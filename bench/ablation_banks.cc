@@ -1,0 +1,55 @@
+/**
+ * @file
+ * AB-BANKS - ablation of the bank structure (paper section 3.2):
+ * 2/4/8 banks per set with the row width fixed at 16 uops. More
+ * banks mean finer conflict granularity (fewer deferred uops) but a
+ * shorter per-bank line.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace xbs;
+
+int
+main()
+{
+    benchHeader("AB-BANKS", "section 3.2 ablation (bank count)",
+                "4 banks x 4 uops balances conflicts and "
+                "fragmentation");
+
+    auto config = [](unsigned banks) {
+        SimConfig c = SimConfig::xbcBaseline();
+        c.xbc.numBanks = banks;
+        c.xbc.bankUops = 16 / banks;
+        return c;
+    };
+
+    SuiteRunner runner;
+    auto results = runner.sweep({
+        {"2banks", config(2)},
+        {"4banks", config(4)},
+        {"8banks", config(8)},
+    });
+
+    TextTable t({"config", "bandwidth", "miss", "conflict defers"});
+    for (const char *l : {"2banks", "4banks", "8banks"}) {
+        uint64_t defers = 0;
+        for (const auto &r : results) {
+            if (r.label == l)
+                defers += r.bankConflictDefers;
+        }
+        t.addRow({l,
+                  TextTable::num(SuiteRunner::meanBandwidth(results,
+                                                            l)),
+                  TextTable::pct(SuiteRunner::meanMissRate(results,
+                                                           l)),
+                  std::to_string(defers)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    printSuiteMeans(results, {"2banks", "4banks", "8banks"},
+                    meanBandwidthWrapper, "bandwidth", false);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * AB-COMPLEX - ablation of the same-suffix/different-prefix storage
+ * policy (paper section 3.3, build case 3): complex XBs versus the
+ * prefix-as-independent-XB alternative versus a naive duplicating
+ * baseline.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace xbs;
+
+int
+main()
+{
+    benchHeader("AB-COMPLEX",
+                "section 3.3 ablation (case-3 storage policy)",
+                "complex XBs keep long blocks without redundancy; "
+                "prefix-split shortens blocks; duplication "
+                "reintroduces TC-style copies");
+
+    auto config = [](XbcParams::ComplexMode m) {
+        SimConfig c = SimConfig::xbcBaseline();
+        c.xbc.complexMode = m;
+        return c;
+    };
+
+    SuiteRunner runner;
+    auto results = runner.sweep({
+        {"complex", config(XbcParams::ComplexMode::Complex)},
+        {"prefix-split",
+         config(XbcParams::ComplexMode::PrefixSplit)},
+        {"duplicate", config(XbcParams::ComplexMode::Duplicate)},
+    });
+
+    TextTable t({"policy", "miss rate", "bandwidth", "redundancy"});
+    for (const char *l : {"complex", "prefix-split", "duplicate"}) {
+        double red = 0;
+        unsigned n = 0;
+        for (const auto &r : results) {
+            if (r.label == l) {
+                red += r.redundancy;
+                ++n;
+            }
+        }
+        t.addRow({l,
+                  TextTable::pct(SuiteRunner::meanMissRate(results,
+                                                           l)),
+                  TextTable::num(SuiteRunner::meanBandwidth(results,
+                                                            l)),
+                  TextTable::num(n ? red / n : 0, 3)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    printSuiteMeans(results,
+                    {"complex", "prefix-split", "duplicate"},
+                    meanMissRateWrapper, "miss rate", true);
+    return 0;
+}

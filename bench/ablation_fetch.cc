@@ -1,0 +1,59 @@
+/**
+ * @file
+ * AB-FETCH - ablation of the fetch machinery: the number of XB
+ * pointers the XBTB provides per cycle (paper section 3.1: n
+ * predictions -> n XBs per cycle) and the set-search mechanism
+ * (section 3.9).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace xbs;
+
+int
+main()
+{
+    benchHeader("AB-FETCH",
+                "sections 3.1/3.9 ablation (XBs per cycle, set "
+                "search)",
+                "2 XBs/cycle matches the TC's 16-uop traces; set "
+                "search avoids build switches");
+
+    auto config = [](unsigned xbs_per_cycle, bool set_search) {
+        SimConfig c = SimConfig::xbcBaseline();
+        c.xbc.fetchXbsPerCycle = xbs_per_cycle;
+        c.xbc.setSearchEnabled = set_search;
+        return c;
+    };
+
+    SuiteRunner runner;
+    auto results = runner.sweep({
+        {"1xb", config(1, true)},
+        {"2xb", config(2, true)},
+        {"3xb", config(3, true)},
+        {"2xb-nosearch", config(2, false)},
+    });
+
+    TextTable t({"config", "bandwidth", "miss rate",
+                 "set-search hits"});
+    for (const char *l : {"1xb", "2xb", "3xb", "2xb-nosearch"}) {
+        uint64_t hits = 0;
+        for (const auto &r : results) {
+            if (r.label == l)
+                hits += r.setSearchHits;
+        }
+        t.addRow({l,
+                  TextTable::num(SuiteRunner::meanBandwidth(results,
+                                                            l)),
+                  TextTable::pct(SuiteRunner::meanMissRate(results,
+                                                           l)),
+                  std::to_string(hits)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    printSuiteMeans(results, {"1xb", "2xb", "3xb"},
+                    meanBandwidthWrapper, "bandwidth", false);
+    return 0;
+}

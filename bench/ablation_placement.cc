@@ -1,0 +1,53 @@
+/**
+ * @file
+ * AB-PLACE - ablation of the placement policies (paper section 3.10):
+ * smart build-mode placement and dynamic delivery-mode re-placement,
+ * in all four combinations.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace xbs;
+
+int
+main()
+{
+    benchHeader("AB-PLACE",
+                "section 3.10 ablation (placement policies)",
+                "conflict-aware placement recovers bandwidth lost to "
+                "bank conflicts");
+
+    auto config = [](bool smart, bool dynamic) {
+        SimConfig c = SimConfig::xbcBaseline();
+        c.xbc.smartBuildPlacement = smart;
+        c.xbc.dynamicPlacement = dynamic;
+        return c;
+    };
+
+    SuiteRunner runner;
+    auto results = runner.sweep({
+        {"none", config(false, false)},
+        {"smart", config(true, false)},
+        {"dynamic", config(false, true)},
+        {"both", config(true, true)},
+    });
+
+    TextTable t({"policy", "bandwidth", "miss", "conflict defers"});
+    for (const char *l : {"none", "smart", "dynamic", "both"}) {
+        uint64_t defers = 0;
+        for (const auto &r : results) {
+            if (r.label == l)
+                defers += r.bankConflictDefers;
+        }
+        t.addRow({l,
+                  TextTable::num(SuiteRunner::meanBandwidth(results,
+                                                            l), 3),
+                  TextTable::pct(SuiteRunner::meanMissRate(results,
+                                                           l)),
+                  std::to_string(defers)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    return 0;
+}

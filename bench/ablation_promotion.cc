@@ -1,0 +1,49 @@
+/**
+ * @file
+ * AB-PROMO - ablation of branch promotion (paper section 3.8):
+ * promotion on versus off, measuring miss rate, bandwidth, the
+ * number of conditional predictions consumed, and promotion counts.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace xbs;
+
+int
+main()
+{
+    benchHeader("AB-PROMO", "section 3.8 ablation (promotion on/off)",
+                "promotion lengthens XBs (8.0 -> 10.0 uops) without "
+                "extra predictions");
+
+    SimConfig on = SimConfig::xbcBaseline();
+    SimConfig off = SimConfig::xbcBaseline();
+    off.xbc.promotionEnabled = false;
+
+    SuiteRunner runner;
+    auto results = runner.sweep({{"promo-on", on}, {"promo-off", off}});
+
+    TextTable t({"workload", "on bw", "off bw", "on miss", "off miss",
+                 "promos", "preds saved"});
+    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+        const auto &a = results[i];      // on
+        const auto &b = results[i + 1];  // off
+        int64_t saved = (int64_t)b.condPredictions -
+                        (int64_t)a.condPredictions;
+        t.addRow({a.workload, TextTable::num(a.bandwidth),
+                  TextTable::num(b.bandwidth),
+                  TextTable::pct(a.missRate),
+                  TextTable::pct(b.missRate),
+                  std::to_string(a.promotions),
+                  std::to_string(saved)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    printSuiteMeans(results, {"promo-on", "promo-off"},
+                    meanBandwidthWrapper, "bandwidth", false);
+    printSuiteMeans(results, {"promo-on", "promo-off"},
+                    meanMissRateWrapper, "miss rate", true);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * AB-XBTB - ablation of the XBTB size. The paper fixes an 8K-entry
+ * XBTB (section 4); since the XBTB is the only road into the XBC, an
+ * undersized XBTB forces build-mode switches even when the data is
+ * resident.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace xbs;
+
+int
+main()
+{
+    benchHeader("AB-XBTB", "section 4 configuration (8K-entry XBTB)",
+                "the XBTB is the only access path; undersizing it "
+                "costs hit rate");
+
+    auto config = [](unsigned entries) {
+        SimConfig c = SimConfig::xbcBaseline();
+        c.xbc.xbtbEntries = entries;
+        return c;
+    };
+
+    SuiteRunner runner;
+    auto results = runner.sweep({
+        {"1K", config(1024)},
+        {"2K", config(2048)},
+        {"4K", config(4096)},
+        {"8K", config(8192)},
+        {"16K", config(16384)},
+    });
+
+    TextTable t({"XBTB entries", "miss rate", "bandwidth",
+                 "mode switches"});
+    for (const char *l : {"1K", "2K", "4K", "8K", "16K"}) {
+        uint64_t sw = 0;
+        for (const auto &r : results) {
+            if (r.label == l)
+                sw += r.modeSwitches;
+        }
+        t.addRow({l,
+                  TextTable::pct(SuiteRunner::meanMissRate(results,
+                                                           l)),
+                  TextTable::num(SuiteRunner::meanBandwidth(results,
+                                                            l)),
+                  std::to_string(sw)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    printSuiteMeans(results, {"1K", "8K", "16K"},
+                    meanMissRateWrapper, "miss rate", true);
+    return 0;
+}

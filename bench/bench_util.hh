@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction benches: standard
+ * header, trace-length handling, and suite aggregation printing.
+ *
+ * Every bench runs with no arguments and honors:
+ *   XBS_TRACE_LEN=<n>  instructions per trace (default 2,000,000)
+ *   XBS_FAST=1         quick mode (300,000 instructions)
+ */
+
+#ifndef XBS_BENCH_BENCH_UTIL_HH
+#define XBS_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/runner.hh"
+#include "workload/catalog.hh"
+
+namespace xbs
+{
+
+/**
+ * When XBS_CSV_DIR is set, also write @p table as
+ * $XBS_CSV_DIR/<name>.csv so results can be post-processed.
+ */
+inline void
+maybeWriteCsv(const std::string &name, const TextTable &table)
+{
+    const char *dir = std::getenv("XBS_CSV_DIR");
+    if (!dir || !*dir)
+        return;
+    std::string path = std::string(dir) + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "warn: cannot write %s\n", path.c_str());
+        return;
+    }
+    out << table.csv();
+    std::printf("(csv written to %s)\n", path.c_str());
+}
+
+inline void
+benchHeader(const char *experiment_id, const char *paper_artifact,
+            const char *paper_claim)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s - reproduces %s\n", experiment_id, paper_artifact);
+    std::printf("paper: %s\n", paper_claim);
+    std::printf("trace length: %llu instructions x 21 workloads\n",
+                (unsigned long long)defaultTraceLength());
+    std::printf("================================================="
+                "=============\n\n");
+}
+
+/** Per-suite and overall mean of a labeled result field. */
+inline void
+printSuiteMeans(const std::vector<RunResult> &results,
+                const std::vector<std::string> &labels,
+                double (*field)(const std::vector<RunResult> &,
+                                const std::string &,
+                                const std::string &),
+                const char *field_name, bool as_percent)
+{
+    std::vector<std::string> headers = {"suite"};
+    for (const auto &l : labels)
+        headers.push_back(l);
+    TextTable t(headers);
+    auto fmt = [&](double v) {
+        return as_percent ? TextTable::pct(v) : TextTable::num(v);
+    };
+    for (const auto &suite : suiteNames()) {
+        std::vector<std::string> row = {suite};
+        for (const auto &l : labels)
+            row.push_back(fmt(field(results, l, suite)));
+        t.addRow(row);
+    }
+    std::vector<std::string> all = {"ALL"};
+    for (const auto &l : labels)
+        all.push_back(fmt(field(results, l, "")));
+    t.addRow(all);
+    std::printf("%s by suite:\n%s\n", field_name, t.render().c_str());
+}
+
+inline double
+meanMissRateWrapper(const std::vector<RunResult> &r,
+                    const std::string &l, const std::string &s)
+{
+    return SuiteRunner::meanMissRate(r, l, s);
+}
+
+inline double
+meanBandwidthWrapper(const std::vector<RunResult> &r,
+                     const std::string &l, const std::string &s)
+{
+    return SuiteRunner::meanBandwidth(r, l, s);
+}
+
+} // namespace xbs
+
+#endif // XBS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * FIG10 - reproduces Figure 10: miss rate versus associativity for
+ * both structures at 32K uops.
+ *
+ * Paper claims: moving from direct-mapped to 2-way reduces misses by
+ * about 60%; going to 4-way helps less ("the well-known curve").
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace xbs;
+
+int
+main()
+{
+    benchHeader("FIG10", "Figure 10 (miss rate vs associativity)",
+                "DM -> 2-way cuts misses ~60%; 4-way helps less");
+
+    SuiteRunner runner;
+    std::vector<std::pair<std::string, SimConfig>> configs = {
+        {"XBC-1w", SimConfig::xbcBaseline(32768, 1)},
+        {"XBC-2w", SimConfig::xbcBaseline(32768, 2)},
+        {"XBC-4w", SimConfig::xbcBaseline(32768, 4)},
+        {"TC-1w", SimConfig::tcBaseline(32768, 1)},
+        {"TC-2w", SimConfig::tcBaseline(32768, 2)},
+        {"TC-4w", SimConfig::tcBaseline(32768, 4)},
+    };
+    auto results = runner.sweep(configs);
+
+    TextTable t({"ways", "XBC miss", "TC miss"});
+    for (const char *w : {"1w", "2w", "4w"}) {
+        t.addRow({w,
+                  TextTable::pct(SuiteRunner::meanMissRate(
+                      results, std::string("XBC-") + w)),
+                  TextTable::pct(SuiteRunner::meanMissRate(
+                      results, std::string("TC-") + w))});
+    }
+    std::printf("miss rate vs associativity (32K uops, mean over 21 "
+                "traces):\n%s\n",
+                t.render().c_str());
+
+    auto reduction = [&](const char *a, const char *b) {
+        double ma = SuiteRunner::meanMissRate(results, a);
+        double mb = SuiteRunner::meanMissRate(results, b);
+        return ma > 0 ? 100.0 * (1.0 - mb / ma) : 0.0;
+    };
+    std::printf("XBC: DM->2way %.1f%% fewer misses (paper ~60%%), "
+                "2way->4way %.1f%% (paper: smaller)\n",
+                reduction("XBC-1w", "XBC-2w"),
+                reduction("XBC-2w", "XBC-4w"));
+    std::printf("TC:  DM->2way %.1f%% fewer misses, 2way->4way "
+                "%.1f%%\n",
+                reduction("TC-1w", "TC-2w"),
+                reduction("TC-2w", "TC-4w"));
+
+    printSuiteMeans(results, {"XBC-1w", "XBC-2w", "XBC-4w"},
+                    meanMissRateWrapper, "XBC miss rate", true);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * FIG1 - reproduces Figure 1 and the section 3.1 length statistics:
+ * the distribution and averages of basic blocks, extended blocks,
+ * XBs with promotion, and dual XBs, all capped at 16 uops.
+ *
+ * Paper values (IA-32, averages in uops): basic block 7.7, XB 8.0,
+ * XB with promotion 10.0, dual XB 12.7.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "trace/trace_stats.hh"
+
+using namespace xbs;
+
+int
+main()
+{
+    benchHeader("FIG1", "Figure 1 (block length distribution)",
+                "avg uops: BB 7.7, XB 8.0, XB+promo 10.0, dual 12.7");
+
+    BlockLengthStats total;
+    TextTable per({"workload", "suite", "bb", "xb", "xb+promo",
+                   "dual"});
+
+    for (const auto &e : workloadCatalog()) {
+        Trace trace = makeCatalogTrace(e.name);
+        auto s = computeBlockLengthStats(trace);
+        per.addRow({e.name, e.suite,
+                    TextTable::num(s.basicBlock.mean()),
+                    TextTable::num(s.xb.mean()),
+                    TextTable::num(s.xbPromoted.mean()),
+                    TextTable::num(s.dualXb.mean())});
+        total.merge(s);
+    }
+
+    std::printf("%s\n", per.render().c_str());
+    maybeWriteCsv("fig1_lengths", per);
+
+    TextTable cmp({"block type", "paper", "measured"});
+    cmp.addRow({"basic block", "7.7",
+                TextTable::num(total.basicBlock.mean())});
+    cmp.addRow({"extended block (XB)", "8.0",
+                TextTable::num(total.xb.mean())});
+    cmp.addRow({"XB with promotion", "10.0",
+                TextTable::num(total.xbPromoted.mean())});
+    cmp.addRow({"dual XB", "12.7",
+                TextTable::num(total.dualXb.mean())});
+    std::printf("aggregate averages (16-uop cap):\n%s\n",
+                cmp.render().c_str());
+
+    // The figure itself: length distribution per block type.
+    TextTable dist({"len", "bb%", "xb%", "xb+promo%", "dual%"});
+    for (uint32_t v = 1; v <= 16; ++v) {
+        dist.addRow({std::to_string(v),
+                     TextTable::num(100 * total.basicBlock.fraction(v),
+                                    1),
+                     TextTable::num(100 * total.xb.fraction(v), 1),
+                     TextTable::num(100 * total.xbPromoted.fraction(v),
+                                    1),
+                     TextTable::num(100 * total.dualXb.fraction(v),
+                                    1)});
+    }
+    std::printf("length distribution (%% of blocks):\n%s\n",
+                dist.render().c_str());
+
+    std::printf("%s\n",
+                total.xb.render("XB length histogram").c_str());
+    return 0;
+}

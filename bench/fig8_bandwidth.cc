@@ -1,0 +1,54 @@
+/**
+ * @file
+ * FIG8 - reproduces Figure 8: XBC versus TC uop bandwidth per trace
+ * at equal 32K-uop capacity.
+ *
+ * Paper claim: "the difference between the XBC and TC bandwidth is
+ * negligible" (both far above the IC baseline).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace xbs;
+
+int
+main()
+{
+    benchHeader("FIG8", "Figure 8 (uop bandwidth, 32K-uop caches)",
+                "XBC matches TC bandwidth; both beat the IC");
+
+    SuiteRunner runner;
+    std::vector<std::pair<std::string, SimConfig>> configs = {
+        {"IC", SimConfig::icBaseline()},
+        {"TC", SimConfig::tcBaseline(32768)},
+        {"XBC", SimConfig::xbcBaseline(32768)},
+    };
+
+    TextTable per({"workload", "suite", "IC bw", "TC bw", "XBC bw",
+                   "XBC/TC"});
+    auto results = runner.sweep(configs);
+    for (std::size_t i = 0; i + 2 < results.size(); i += 3) {
+        const auto &ic = results[i];
+        const auto &tc = results[i + 1];
+        const auto &xbc = results[i + 2];
+        per.addRow({ic.workload, ic.suite,
+                    TextTable::num(ic.bandwidth),
+                    TextTable::num(tc.bandwidth),
+                    TextTable::num(xbc.bandwidth),
+                    TextTable::num(xbc.bandwidth / tc.bandwidth)});
+    }
+    std::printf("%s\n", per.render().c_str());
+    maybeWriteCsv("fig8_bandwidth", per);
+
+    printSuiteMeans(results, {"IC", "TC", "XBC"},
+                    meanBandwidthWrapper, "uop bandwidth", false);
+
+    double tc_bw = SuiteRunner::meanBandwidth(results, "TC");
+    double xbc_bw = SuiteRunner::meanBandwidth(results, "XBC");
+    std::printf("paper: negligible difference; measured: "
+                "TC %.2f vs XBC %.2f (ratio %.3f)\n",
+                tc_bw, xbc_bw, xbc_bw / tc_bw);
+    return 0;
+}

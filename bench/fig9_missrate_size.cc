@@ -1,0 +1,85 @@
+/**
+ * @file
+ * FIG9 - reproduces Figure 9: uop miss rate (percent of uops brought
+ * from the IC) versus total cache size for the XBC and the TC.
+ *
+ * Paper claims: the XBC's reduced redundancy cuts misses by ~29% at
+ * every size, and the TC needs >50% more capacity to match the XBC
+ * hit rate.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace xbs;
+
+int
+main()
+{
+    benchHeader("FIG9", "Figure 9 (miss rate vs cache size)",
+                "~29% fewer misses at all sizes; TC needs >50% more "
+                "capacity to match");
+
+    const std::vector<unsigned> sizes = {8192, 16384, 32768, 65536};
+
+    SuiteRunner runner;
+    std::vector<std::pair<std::string, SimConfig>> configs;
+    for (unsigned s : sizes) {
+        configs.push_back({"TC" + std::to_string(s / 1024) + "K",
+                           SimConfig::tcBaseline(s)});
+        configs.push_back({"XBC" + std::to_string(s / 1024) + "K",
+                           SimConfig::xbcBaseline(s)});
+    }
+    // Extra TC points for the capacity-equivalence question.
+    configs.push_back({"TC48K", SimConfig::tcBaseline(49152)});
+    configs.push_back({"TC96K", SimConfig::tcBaseline(98304)});
+
+    auto results = runner.sweep(configs);
+
+    TextTable series({"size (uops)", "TC miss", "XBC miss",
+                      "reduction"});
+    for (unsigned s : sizes) {
+        std::string k = std::to_string(s / 1024) + "K";
+        double tc = SuiteRunner::meanMissRate(results, "TC" + k);
+        double xbc = SuiteRunner::meanMissRate(results, "XBC" + k);
+        series.addRow({k, TextTable::pct(tc), TextTable::pct(xbc),
+                       TextTable::pct(tc > 0 ? 1.0 - xbc / tc : 0.0)});
+    }
+    std::printf("miss rate vs size (mean over 21 traces):\n%s\n",
+                series.render().c_str());
+    maybeWriteCsv("fig9_missrate_size", series);
+
+    for (unsigned s : {8192u, 32768u}) {
+        std::string k = std::to_string(s / 1024) + "K";
+        std::vector<std::string> labels = {"TC" + k, "XBC" + k};
+        std::printf("-- at %s uops --\n", k.c_str());
+        printSuiteMeans(results, labels, meanMissRateWrapper,
+                        "miss rate", true);
+    }
+
+    // Capacity equivalence: how much TC does it take to match the
+    // XBC at 32K uops?
+    double xbc32 = SuiteRunner::meanMissRate(results, "XBC32K");
+    struct Point { const char *label; double cap; };
+    const Point tc_points[] = {
+        {"TC32K", 32768}, {"TC48K", 49152}, {"TC64K", 65536},
+        {"TC96K", 98304},
+    };
+    double needed = 0;
+    for (const auto &p : tc_points) {
+        if (SuiteRunner::meanMissRate(results, p.label) <= xbc32) {
+            needed = p.cap;
+            break;
+        }
+    }
+    if (needed > 0) {
+        std::printf("TC capacity matching XBC@32K: ~%.0fK uops "
+                    "(%.0f%% more); paper: >50%% more\n",
+                    needed / 1024, 100.0 * (needed / 32768.0 - 1.0));
+    } else {
+        std::printf("TC does not match XBC@32K miss rate even at "
+                    "96K uops (paper: >50%% more capacity needed)\n");
+    }
+    return 0;
+}

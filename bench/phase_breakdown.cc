@@ -1,0 +1,90 @@
+/**
+ * @file
+ * PHASE - quantifies the paper's section 1 execution-phase story:
+ * the cycle breakdown into steady-state supply (delivery), transition
+ * (build mode after disruptive events), and stall (mispredict
+ * bubbles, IC misses), against the [Mich99] rule of thumb of roughly
+ * 50% / 30% / 20% - and how the breakdown responds to the resteer
+ * penalty, which is the lever a deeper pipeline pulls.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace xbs;
+
+int
+main()
+{
+    benchHeader("PHASE",
+                "section 1 (steady state / transition / stall)",
+                "[Mich99] rule of thumb: ~50% steady, ~30% "
+                "transition, ~20% stall");
+
+    SuiteRunner runner;
+
+    // Phase breakdown per structure at the default 10-cycle penalty.
+    {
+        std::vector<std::pair<std::string, SimConfig>> configs = {
+            {"TC", SimConfig::tcBaseline(32768)},
+            {"XBC", SimConfig::xbcBaseline(32768)},
+        };
+
+        TextTable t({"frontend", "delivery", "build", "stall",
+                     "overall uops/cycle"});
+        for (const auto &[label, config] : configs) {
+            uint64_t delivery = 0, build = 0, stall = 0, cycles = 0;
+            double ipc = 0;
+            unsigned n = 0;
+            for (const auto &name : runner.workloads()) {
+                auto fe = makeFrontend(config);
+                Trace trace = makeCatalogTrace(name);
+                fe->run(trace);
+                const auto &m = fe->metrics();
+                delivery += m.deliveryCycles.value();
+                build += m.buildCycles.value();
+                stall += m.stallCycles.value();
+                cycles += m.cycles.value();
+                ipc += m.overallIpc();
+                ++n;
+            }
+            t.addRow({label,
+                      TextTable::pct((double)delivery / cycles),
+                      TextTable::pct((double)build / cycles),
+                      TextTable::pct((double)stall / cycles),
+                      TextTable::num(ipc / n)});
+        }
+        std::printf("cycle breakdown (mean over 21 traces, "
+                    "10-cycle resteer):\n%s\n",
+                    t.render().c_str());
+    }
+
+    // Penalty sensitivity: deeper pipelines stretch the stall phase.
+    {
+        TextTable t({"resteer penalty", "XBC stall share",
+                     "XBC overall uops/cycle"});
+        for (unsigned penalty : {5u, 10u, 20u}) {
+            SimConfig c = SimConfig::xbcBaseline(32768);
+            c.frontend.mispredictPenalty = penalty;
+            uint64_t stall = 0, cycles = 0;
+            double ipc = 0;
+            unsigned n = 0;
+            for (const auto &name : runner.workloads()) {
+                auto fe = makeFrontend(c);
+                Trace trace = makeCatalogTrace(name);
+                fe->run(trace);
+                stall += fe->metrics().stallCycles.value();
+                cycles += fe->metrics().cycles.value();
+                ipc += fe->metrics().overallIpc();
+                ++n;
+            }
+            t.addRow({std::to_string(penalty),
+                      TextTable::pct((double)stall / cycles),
+                      TextTable::num(ipc / n)});
+        }
+        std::printf("resteer-penalty sensitivity:\n%s\n",
+                    t.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SURVEY - the paper's section 2 taxonomy as one experiment: all five
+ * instruction-supply mechanisms (IC, decoded cache, trace cache,
+ * block-based trace cache, XBC) at equal 32K-uop capacity over the
+ * 21-trace catalog.
+ *
+ * Expected ordering per the paper's narrative:
+ *  - IC: high hit rate but decode-limited bandwidth;
+ *  - DC: removes decode latency, keeps IC-like bandwidth, pays
+ *    fragmentation;
+ *  - TC: high bandwidth, poor hit rate (uop redundancy);
+ *  - BBTC: redundancy moved to pointers, more fragmentation;
+ *  - XBC: TC bandwidth with a (nearly) redundancy-free array.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace xbs;
+
+int
+main()
+{
+    benchHeader("SURVEY",
+                "section 2 (frontend alternatives), all at 32K uops",
+                "XBC pairs TC-class bandwidth with the best hit "
+                "rate of the decoded structures");
+
+    SuiteRunner runner;
+    std::vector<std::pair<std::string, SimConfig>> configs = {
+        {"IC", SimConfig::icBaseline()},
+        {"DC", SimConfig::dcBaseline(32768)},
+        {"TC", SimConfig::tcBaseline(32768)},
+        {"TCpath", [] {
+             SimConfig c = SimConfig::tcBaseline(32768);
+             c.tc.pathAssociative = true;
+             return c;
+         }()},
+        {"BBTC", SimConfig::bbtcBaseline(32768)},
+        {"XBC", SimConfig::xbcBaseline(32768)},
+    };
+    auto results = runner.sweep(configs);
+
+    const std::vector<std::string> labels = {"IC", "DC", "TC",
+                                             "TCpath", "BBTC", "XBC"};
+    printSuiteMeans(results, labels, meanBandwidthWrapper,
+                    "uop bandwidth", false);
+    printSuiteMeans(results, labels, meanMissRateWrapper,
+                    "uop miss rate", true);
+
+    // Structure-quality metrics.
+    TextTable t({"frontend", "redundancy", "fill factor"});
+    for (const auto &l : labels) {
+        double red = 0, fill = 0;
+        unsigned n = 0;
+        for (const auto &r : results) {
+            if (r.label == l) {
+                red += r.redundancy;
+                fill += r.fillFactor;
+                ++n;
+            }
+        }
+        t.addRow({l, TextTable::num(n ? red / n : 0, 3),
+                  TextTable::num(n ? fill / n : 0, 3)});
+    }
+    std::printf("storage quality (BBTC redundancy is pointer "
+                "redundancy):\n%s\n",
+                t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Compare the three instruction-supply mechanisms of the paper (IC,
+ * TC, XBC) over a suite of workloads: bandwidth, miss rate, and
+ * redundancy side by side. This is the paper's core comparison as a
+ * library user would run it.
+ *
+ *   $ ./build/examples/compare_frontends
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "sim/runner.hh"
+
+using namespace xbs;
+
+int
+main()
+{
+    // One workload from each suite keeps this example snappy; use
+    // the bench binaries for the full 21-trace evaluation.
+    SuiteRunner runner(400000, {"vortex", "word", "quake2"});
+
+    std::vector<std::pair<std::string, SimConfig>> configs = {
+        {"IC", SimConfig::icBaseline()},
+        {"TC", SimConfig::tcBaseline(32768)},
+        {"XBC", SimConfig::xbcBaseline(32768)},
+    };
+
+    TextTable t({"workload", "frontend", "bandwidth", "miss rate",
+                 "redundancy", "cond MR", "cycles"});
+    auto results = runner.sweep(configs, [](const RunResult &r) {
+        std::printf("  finished %-8s / %-3s\n", r.workload.c_str(),
+                    r.label.c_str());
+    });
+
+    for (const auto &r : results) {
+        t.addRow({r.workload, r.label, TextTable::num(r.bandwidth),
+                  r.label == "IC" ? std::string("-")
+                                  : TextTable::pct(r.missRate),
+                  r.label == "IC" ? std::string("-")
+                                  : TextTable::num(r.redundancy, 2),
+                  TextTable::pct(r.condMispredictRate),
+                  std::to_string(r.cycles)});
+    }
+    std::printf("\n%s\n", t.render().c_str());
+
+    std::printf("reading the table:\n"
+                " - the IC tops out near 4 uops/cycle (decode-"
+                "limited, one fetch block per cycle);\n"
+                " - the TC and the XBC both approach the 8-wide "
+                "renamer in delivery mode;\n"
+                " - the XBC misses less because it stores each uop "
+                "(nearly) once, while the\n"
+                "   TC's redundancy burns capacity.\n");
+    return 0;
+}

@@ -1,0 +1,113 @@
+#include "bbtc/block_cache.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace xbs
+{
+
+BlockCache::BlockCache(const BlockCacheParams &params,
+                       StatGroup *parent)
+    : StatGroup("blockcache", parent), params_(params)
+{
+    unsigned frames = params_.capacityUops / params_.blockUops;
+    xbs_assert(frames >= params_.ways, "capacity below one set");
+    numSets_ = 1u << floorLog2(frames / params_.ways);
+    blocks_.resize((std::size_t)numSets_ * params_.ways);
+}
+
+std::size_t
+BlockCache::setOf(uint64_t ip) const
+{
+    return (std::size_t)foldedIndex(ip, numSets_, 1);
+}
+
+CachedBlock *
+BlockCache::find(uint64_t ip)
+{
+    std::size_t base = setOf(ip) * params_.ways;
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        CachedBlock &b = blocks_[base + w];
+        if (b.valid && b.startIp == ip)
+            return &b;
+    }
+    return nullptr;
+}
+
+const CachedBlock *
+BlockCache::lookup(uint64_t ip)
+{
+    ++lookups;
+    CachedBlock *b = find(ip);
+    if (b) {
+        b->lru = ++clock_;
+        ++hits;
+    }
+    return b;
+}
+
+const CachedBlock *
+BlockCache::probe(uint64_t ip) const
+{
+    std::size_t base = setOf(ip) * params_.ways;
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        const CachedBlock &b = blocks_[base + w];
+        if (b.valid && b.startIp == ip)
+            return &b;
+    }
+    return nullptr;
+}
+
+void
+BlockCache::insert(const CachedBlock &block)
+{
+    xbs_assert(block.valid && !block.insts.empty(),
+               "inserting an empty block");
+    xbs_assert(block.numUops <= params_.blockUops,
+               "block exceeds its frame");
+    if (CachedBlock *existing = find(block.startIp)) {
+        *existing = block;
+        existing->lru = ++clock_;
+        return;
+    }
+    std::size_t base = setOf(block.startIp) * params_.ways;
+    CachedBlock *victim = &blocks_[base];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        CachedBlock &b = blocks_[base + w];
+        if (!b.valid) {
+            victim = &b;
+            break;
+        }
+        if (b.lru < victim->lru)
+            victim = &b;
+    }
+    if (victim->valid)
+        ++evictions;
+    *victim = block;
+    victim->lru = ++clock_;
+    ++inserts;
+}
+
+double
+BlockCache::fillFactor() const
+{
+    uint64_t used = 0, reserved = 0;
+    for (const auto &b : blocks_) {
+        if (b.valid) {
+            used += b.numUops;
+            reserved += params_.blockUops;
+        }
+    }
+    return reserved ? (double)used / (double)reserved : 0.0;
+}
+
+void
+BlockCache::reset()
+{
+    for (auto &b : blocks_)
+        b.clear();
+    clock_ = 0;
+    resetStats();
+}
+
+} // namespace xbs

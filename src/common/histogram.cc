@@ -1,0 +1,95 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace xbs
+{
+
+Histogram::Histogram(uint32_t max_value)
+    : bins_(max_value + 1, 0)
+{
+}
+
+void
+Histogram::add(uint32_t value, uint64_t count)
+{
+    if (value >= bins_.size())
+        value = (uint32_t)bins_.size() - 1;
+    bins_[value] += count;
+    total_ += count;
+    sum_ += (double)value * (double)count;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    xbs_assert(bins_.size() == other.bins_.size(),
+               "merging histograms over different domains");
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+uint64_t
+Histogram::count(uint32_t value) const
+{
+    return value < bins_.size() ? bins_[value] : 0;
+}
+
+double
+Histogram::mean() const
+{
+    return total_ ? sum_ / (double)total_ : 0.0;
+}
+
+double
+Histogram::fraction(uint32_t value) const
+{
+    return total_ ? (double)count(value) / (double)total_ : 0.0;
+}
+
+uint32_t
+Histogram::percentile(double p) const
+{
+    if (!total_)
+        return 0;
+    uint64_t target = (uint64_t)(p * (double)total_);
+    uint64_t acc = 0;
+    for (uint32_t v = 0; v < bins_.size(); ++v) {
+        acc += bins_[v];
+        if (acc >= target)
+            return v;
+    }
+    return maxValue();
+}
+
+std::string
+Histogram::render(const std::string &label, unsigned width) const
+{
+    std::string out = label + " (mean " +
+        std::to_string(mean()).substr(0, 5) + ", n=" +
+        std::to_string(total_) + ")\n";
+    uint64_t peak = 0;
+    for (auto b : bins_)
+        peak = std::max(peak, b);
+    if (!peak)
+        return out + "  <empty>\n";
+    char buf[160];
+    for (uint32_t v = 0; v < bins_.size(); ++v) {
+        if (!bins_[v])
+            continue;
+        auto bar = (unsigned)((double)bins_[v] / (double)peak * width);
+        std::snprintf(buf, sizeof(buf), "  %3u | %-*s %6.2f%%\n", v,
+                      (int)width,
+                      std::string(bar, '#').c_str(),
+                      100.0 * fraction(v));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace xbs

@@ -1,0 +1,163 @@
+#include "common/json.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace xbs
+{
+
+JsonWriter::JsonWriter(std::ostream &os, bool pretty)
+    : os_(os), pretty_(pretty)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    if (!stack_.empty())
+        xbs_warn("JsonWriter destroyed with %zu open containers",
+                 stack_.size());
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if ((unsigned char)c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::indent()
+{
+    if (!pretty_)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::prefix(const std::string &key)
+{
+    if (!stack_.empty()) {
+        if (stack_.back().hasItems)
+            os_ << ',';
+        stack_.back().hasItems = true;
+        indent();
+        if (!stack_.back().isArray) {
+            xbs_assert(!key.empty(), "object member needs a key");
+            os_ << '"' << escape(key) << "\":" << (pretty_ ? " " : "");
+        } else {
+            xbs_assert(key.empty(), "array item must not have a key");
+        }
+    }
+}
+
+void
+JsonWriter::beginObject(const std::string &key)
+{
+    prefix(key);
+    os_ << '{';
+    stack_.push_back(Level{false, false});
+}
+
+void
+JsonWriter::endObject()
+{
+    xbs_assert(!stack_.empty() && !stack_.back().isArray,
+               "endObject without beginObject");
+    bool had = stack_.back().hasItems;
+    stack_.pop_back();
+    if (had)
+        indent();
+    os_ << '}';
+    if (stack_.empty() && pretty_)
+        os_ << '\n';
+}
+
+void
+JsonWriter::beginArray(const std::string &key)
+{
+    prefix(key);
+    os_ << '[';
+    stack_.push_back(Level{true, false});
+}
+
+void
+JsonWriter::endArray()
+{
+    xbs_assert(!stack_.empty() && stack_.back().isArray,
+               "endArray without beginArray");
+    bool had = stack_.back().hasItems;
+    stack_.pop_back();
+    if (had)
+        indent();
+    os_ << ']';
+}
+
+void
+JsonWriter::field(const std::string &key, const std::string &value)
+{
+    prefix(key);
+    os_ << '"' << escape(value) << '"';
+}
+
+void
+JsonWriter::field(const std::string &key, const char *value)
+{
+    field(key, std::string(value));
+}
+
+void
+JsonWriter::field(const std::string &key, double value)
+{
+    prefix(key);
+    if (std::isfinite(value)) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        os_ << buf;
+    } else {
+        os_ << "null";
+    }
+}
+
+void
+JsonWriter::field(const std::string &key, uint64_t value)
+{
+    prefix(key);
+    os_ << value;
+}
+
+void
+JsonWriter::field(const std::string &key, int64_t value)
+{
+    prefix(key);
+    os_ << value;
+}
+
+void
+JsonWriter::field(const std::string &key, bool value)
+{
+    prefix(key);
+    os_ << (value ? "true" : "false");
+}
+
+} // namespace xbs

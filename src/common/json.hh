@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal JSON emission helper: a streaming writer that tracks
+ * nesting and comma placement, enough for stats export and bench
+ * results (no parsing, no reflection).
+ */
+
+#ifndef XBS_COMMON_JSON_HH
+#define XBS_COMMON_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xbs
+{
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, bool pretty = true);
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    /// @{ Containers.
+    void beginObject(const std::string &key = "");
+    void endObject();
+    void beginArray(const std::string &key = "");
+    void endArray();
+    /// @}
+
+    /// @{ Scalar fields (inside an object: with key; inside an
+    ///    array: pass an empty key).
+    void field(const std::string &key, const std::string &value);
+    void field(const std::string &key, const char *value);
+    void field(const std::string &key, double value);
+    void field(const std::string &key, uint64_t value);
+    void field(const std::string &key, int64_t value);
+    void field(const std::string &key, bool value);
+    /// @}
+
+    /** All containers must be closed before destruction. */
+    bool balanced() const { return stack_.empty(); }
+
+  private:
+    void prefix(const std::string &key);
+    void indent();
+    static std::string escape(const std::string &s);
+
+    std::ostream &os_;
+    bool pretty_;
+    struct Level
+    {
+        bool isArray = false;
+        bool hasItems = false;
+    };
+    std::vector<Level> stack_;
+};
+
+} // namespace xbs
+
+#endif // XBS_COMMON_JSON_HH

@@ -1,0 +1,90 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xbs
+{
+
+namespace
+{
+
+bool quietFlag = false;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+void
+vlogMessage(LogLevel level, const char *file, int line,
+            const char *fmt, va_list args)
+{
+    if (quietFlag &&
+        (level == LogLevel::Inform || level == LogLevel::Warn)) {
+        return;
+    }
+
+    FILE *out = (level == LogLevel::Inform) ? stdout : stderr;
+    if (level == LogLevel::Inform) {
+        std::fprintf(out, "%s: ", levelName(level));
+    } else {
+        std::fprintf(out, "%s: %s:%d: ", levelName(level), file, line);
+    }
+    std::vfprintf(out, fmt, args);
+    std::fprintf(out, "\n");
+    std::fflush(out);
+}
+
+} // anonymous namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+logQuiet()
+{
+    return quietFlag;
+}
+
+void
+logMessage(LogLevel level, const char *file, int line,
+           const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(level, file, line, fmt, args);
+    va_end(args);
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Panic, file, line, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Fatal, file, line, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+} // namespace xbs

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Error / status reporting helpers in the gem5 spirit.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in
+ *            xbcsim itself); aborts so a core dump / debugger is useful.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid argument); exits with code 1.
+ * warn()   - something is modeled approximately; simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef XBS_COMMON_LOGGING_HH
+#define XBS_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace xbs
+{
+
+/** Severity levels used by the logging backend. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Core logging entry point. Formats a printf-style message, prefixes it
+ * with the severity and source location, and writes it to stderr
+ * (stdout for Inform).
+ *
+ * @param level severity of the message
+ * @param file  source file emitting the message (use __FILE__)
+ * @param line  source line emitting the message (use __LINE__)
+ * @param fmt   printf-style format string
+ */
+void logMessage(LogLevel level, const char *file, int line,
+                const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** [[noreturn]] backends for panic/fatal so control flow is explicit. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/**
+ * Quiet mode suppresses inform()/warn() output; used by benches that
+ * print machine-readable tables.
+ */
+void setLogQuiet(bool quiet);
+bool logQuiet();
+
+} // namespace xbs
+
+#define xbs_panic(...) \
+    ::xbs::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define xbs_fatal(...) \
+    ::xbs::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define xbs_warn(...) \
+    ::xbs::logMessage(::xbs::LogLevel::Warn, __FILE__, __LINE__, \
+                      __VA_ARGS__)
+
+#define xbs_inform(...) \
+    ::xbs::logMessage(::xbs::LogLevel::Inform, __FILE__, __LINE__, \
+                      __VA_ARGS__)
+
+/**
+ * Assertion that survives NDEBUG builds: these guard simulator
+ * invariants whose violation would silently corrupt results.
+ */
+#define xbs_assert(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::xbs::logMessage(::xbs::LogLevel::Panic, __FILE__,         \
+                              __LINE__, "assertion '%s' failed",        \
+                              #cond);                                   \
+            ::xbs::panicImpl(__FILE__, __LINE__, __VA_ARGS__);          \
+        }                                                               \
+    } while (0)
+
+#endif // XBS_COMMON_LOGGING_HH

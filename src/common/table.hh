@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal text-table formatter used by the bench harnesses to print
+ * figure/table rows in a stable, diffable layout, plus CSV export.
+ */
+
+#ifndef XBS_COMMON_TABLE_HH
+#define XBS_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace xbs
+{
+
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with @p precision digits. */
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double v, int precision = 2);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    /** Render as CSV (header + rows). */
+    std::string csv() const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace xbs
+
+#endif // XBS_COMMON_TABLE_HH

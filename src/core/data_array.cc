@@ -1,0 +1,714 @@
+#include "core/data_array.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace xbs
+{
+
+XbcDataArray::XbcDataArray(const XbcParams &params, StatGroup *parent)
+    : StatGroup("xbc", parent), params_(params)
+{
+    xbs_assert(params_.numBanks >= 1 && params_.bankUops >= 1 &&
+               params_.ways >= 1, "bad XBC geometry");
+    xbs_assert(params_.xbQuotaUops <=
+               params_.numBanks * params_.bankUops,
+               "XB quota exceeds one set row");
+    unsigned set_uops = params_.numBanks * params_.bankUops *
+                        params_.ways;
+    unsigned sets = params_.capacityUops / set_uops;
+    xbs_assert(sets >= 1, "XBC capacity below one set");
+    numSets_ = 1u << floorLog2(sets);
+    lines_.resize((std::size_t)params_.numBanks * numSets_ *
+                  params_.ways);
+}
+
+std::size_t
+XbcDataArray::setOf(uint64_t tag) const
+{
+    return (std::size_t)foldedIndex(tag, numSets_, 0);
+}
+
+XbcDataArray::BankLine &
+XbcDataArray::line(unsigned bank, std::size_t set, unsigned way)
+{
+    return lines_[((std::size_t)bank * numSets_ + set) * params_.ways +
+                  way];
+}
+
+const XbcDataArray::BankLine &
+XbcDataArray::line(unsigned bank, std::size_t set, unsigned way) const
+{
+    return lines_[((std::size_t)bank * numSets_ + set) * params_.ways +
+                  way];
+}
+
+XbcDataArray::BankLine &
+XbcDataArray::line(const LineUse &lu, std::size_t set)
+{
+    return line(lu.bank, set, lu.way);
+}
+
+void
+XbcDataArray::accountSlots(const std::vector<UopSlot> &slots, int delta)
+{
+    xbs_assert(code_ != nullptr, "XBC used before bindCode()");
+    for (const auto &s : slots) {
+        UopId id = makeUopId(code_->inst(s.staticIdx).ip, s.seq);
+        if (delta > 0) {
+            ++residency_[id];
+            ++filledUops_;
+        } else {
+            auto it = residency_.find(id);
+            xbs_assert(it != residency_.end() && it->second > 0,
+                       "XBC residency underflow");
+            if (--it->second == 0)
+                residency_.erase(it);
+            --filledUops_;
+        }
+    }
+}
+
+void
+XbcDataArray::rebuildMask(Variant &v)
+{
+    v.mask = 0;
+    for (const auto &lu : v.lines)
+        v.mask |= 1u << lu.bank;
+}
+
+void
+XbcDataArray::dropVariantsUsing(uint64_t tag, std::size_t set,
+                                unsigned bank, unsigned way)
+{
+    (void)set;
+    auto it = directory_.find(tag);
+    if (it == directory_.end())
+        return;
+    auto &vars = it->second;
+
+    // Paper section 3.10: evicting a head line still leaves the XB
+    // enterable in its middle, so a variant losing a line keeps its
+    // surviving suffix (the lines after the evicted one); only a
+    // variant losing its primary line dies entirely.
+    for (auto &v : vars) {
+        std::size_t hit = v.lines.size();
+        for (std::size_t i = 0; i < v.lines.size(); ++i) {
+            if (v.lines[i].bank == bank && v.lines[i].way == way) {
+                hit = i;
+                break;
+            }
+        }
+        if (hit == v.lines.size())
+            continue;
+        ++variantDrops;
+        std::size_t keep_uops = 0;
+        for (std::size_t i = hit + 1; i < v.lines.size(); ++i)
+            keep_uops += v.lines[i].count;
+        if (keep_uops == 0) {
+            v.lines.clear();  // marks the variant dead
+            v.seq.clear();
+            continue;
+        }
+        v.lines.erase(v.lines.begin(),
+                      v.lines.begin() + (std::ptrdiff_t)hit + 1);
+        v.seq.erase(v.seq.begin(),
+                    v.seq.end() - (std::ptrdiff_t)keep_uops);
+        rebuildMask(v);
+    }
+    vars.erase(std::remove_if(vars.begin(), vars.end(),
+                              [](const Variant &v) {
+                                  return v.lines.empty();
+                              }),
+               vars.end());
+
+    // Truncation can leave duplicate suffix-only variants; keep one.
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        for (std::size_t j = vars.size(); j-- > i + 1;) {
+            if (vars[j].seq == vars[i].seq &&
+                vars[j].mask == vars[i].mask) {
+                vars.erase(vars.begin() + (std::ptrdiff_t)j);
+            }
+        }
+    }
+    if (vars.empty())
+        directory_.erase(it);
+}
+
+std::optional<XbcDataArray::LineUse>
+XbcDataArray::allocLine(uint64_t tag, std::size_t set,
+                        uint32_t used_banks, uint32_t avoid_mask)
+{
+    const uint32_t all = mask(params_.numBanks);
+    uint32_t allowed = all & ~used_banks;
+    if (!allowed)
+        return std::nullopt;
+
+    // Pass 1: an invalid way in a preferred (non-avoid) bank.
+    // Pass 2: an invalid way anywhere allowed.
+    // Pass 3: LRU victim in a preferred bank.
+    // Pass 4: LRU victim anywhere allowed.
+    for (int pass = 0; pass < 4; ++pass) {
+        bool prefer = (pass == 0 || pass == 2);
+        bool want_invalid = (pass < 2);
+        BankLine *victim = nullptr;
+        LineUse ref;
+        for (unsigned b = 0; b < params_.numBanks; ++b) {
+            if (!(allowed & (1u << b)))
+                continue;
+            if (prefer && (avoid_mask & (1u << b)))
+                continue;
+            for (unsigned w = 0; w < params_.ways; ++w) {
+                BankLine &l = line(b, set, w);
+                if (want_invalid) {
+                    if (!l.valid) {
+                        victim = &l;
+                        ref = LineUse{(uint8_t)b, (uint8_t)w, 0};
+                        break;
+                    }
+                } else if (l.valid) {
+                    if (!victim || l.lru < victim->lru) {
+                        victim = &l;
+                        ref = LineUse{(uint8_t)b, (uint8_t)w, 0};
+                    }
+                }
+            }
+            if (want_invalid && victim)
+                break;
+        }
+        if (!victim)
+            continue;
+
+        if (victim->valid) {
+            ++evictions;
+            accountSlots(victim->slots, -1);
+            dropVariantsUsing(victim->tag, set, ref.bank, ref.way);
+        }
+        victim->valid = true;
+        victim->tag = tag;
+        victim->lru = ++clock_;
+        victim->conflict = 0;
+        victim->slots.clear();
+        return ref;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::vector<XbcDataArray::LineUse>>
+XbcDataArray::placeChunks(const XbSeq &seq, std::size_t uops,
+                          uint64_t tag, std::size_t set,
+                          uint32_t used_banks, uint32_t avoid_mask)
+{
+    xbs_assert(uops >= 1 && uops <= seq.size(), "bad chunk span");
+
+    // Reverse-order fill: full bankUops chunks counted from the end
+    // of the span; the head chunk takes the remainder, leaving free
+    // space at the head line for later extension.
+    std::vector<std::size_t> sizes;
+    std::size_t head = uops % params_.bankUops;
+    if (head)
+        sizes.push_back(head);
+    for (std::size_t done = head; done < uops;
+         done += params_.bankUops) {
+        sizes.push_back(params_.bankUops);
+    }
+
+    if (sizes.size() > popCount(mask(params_.numBanks) & ~used_banks))
+        return std::nullopt;
+
+    std::vector<LineUse> placed;
+    uint32_t banks = used_banks;
+    std::size_t pos = 0;
+    for (std::size_t sz : sizes) {
+        auto lu = allocLine(tag, set, banks, avoid_mask);
+        if (!lu) {
+            // Roll back lines placed so far.
+            for (auto &p : placed) {
+                BankLine &l = line(p, set);
+                accountSlots(l.slots, -1);
+                l.valid = false;
+                l.slots.clear();
+            }
+            return std::nullopt;
+        }
+        BankLine &l = line(*lu, set);
+        l.slots.assign(seq.begin() + pos, seq.begin() + pos + sz);
+        accountSlots(l.slots, +1);
+        lu->count = (uint16_t)sz;
+        placed.push_back(*lu);
+        banks |= 1u << lu->bank;
+        pos += sz;
+    }
+    return placed;
+}
+
+XbcDataArray::InsertOutcome
+XbcDataArray::insert(const XbSeq &seq, uint64_t end_ip,
+                     uint32_t prev_mask, XbPointer *out,
+                     unsigned *common_out, bool allow_match)
+{
+    xbs_assert(!seq.empty() && seq.size() <= params_.xbQuotaUops,
+               "bad XB length %zu", seq.size());
+    ++inserts;
+    std::size_t set = setOf(end_ip);
+
+    auto fill_out = [&](const Variant &v) {
+        if (out) {
+            out->valid = true;
+            out->xbIp = end_ip;
+            out->mask = v.mask;
+            out->entryIdx = seq.front().staticIdx;
+        }
+    };
+    if (out)
+        out->valid = false;
+
+    // Find the resident variant with the longest common suffix.
+    // NOTE: evictions during line allocation can reshuffle the
+    // variant vector, so everything needed later is copied out and
+    // the variant is re-found by its sequence before mutation.
+    unsigned best_common = 0;
+    XbSeq best_seq;
+    uint32_t best_mask = 0;
+    std::vector<LineUse> best_lines;
+    if (allow_match) {
+        auto it = directory_.find(end_ip);
+        if (it != directory_.end()) {
+            for (auto &v : it->second) {
+                unsigned c = commonSuffixLength(seq, v.seq);
+                if (c > best_common) {
+                    best_common = c;
+                    best_seq = v.seq;
+                    best_mask = v.mask;
+                    best_lines = v.lines;
+                }
+            }
+        }
+    }
+    bool have_best = best_common > 0;
+
+    auto refind_best = [&]() -> Variant * {
+        auto it = directory_.find(end_ip);
+        if (it == directory_.end())
+            return nullptr;
+        for (auto &v : it->second) {
+            if (v.seq == best_seq && v.mask == best_mask)
+                return &v;
+        }
+        return nullptr;
+    };
+
+    if (have_best && best_common == seq.size()) {
+        // Case 1: the existing XB contains the new one; only the
+        // XBTB needs a pointer (multiple entry points at work).
+        ++containedHits;
+        Variant *v = refind_best();
+        xbs_assert(v != nullptr, "case-1 variant vanished");
+        fill_out(*v);
+        return InsertOutcome::AlreadyPresent;
+    }
+
+    if (have_best && best_common == best_seq.size()) {
+        // Case 2: the new XB contains the existing one; extend it at
+        // its head. Reverse-order storage means nothing moves: free
+        // head-line slots fill up, then fresh lines are allocated.
+        std::size_t extra = seq.size() - best_common;
+        const BankLine &hl_probe = line(best_lines.front(), set);
+        // A truncated variant's head line may be partially used (its
+        // leading slots belong to an evicted prefix); in-place head
+        // fill is only legal when the variant owns the whole line.
+        std::size_t free_slots = 0;
+        if (hl_probe.slots.size() == best_lines.front().count)
+            free_slots = params_.bankUops - hl_probe.slots.size();
+        std::size_t take = std::min(free_slots, extra);
+        std::size_t remaining = extra - take;
+
+        std::vector<LineUse> new_lines;
+        bool ok = true;
+        if (remaining) {
+            auto chunks = placeChunks(seq, remaining, end_ip, set,
+                                      best_mask, prev_mask);
+            if (chunks)
+                new_lines = std::move(*chunks);
+            else
+                ok = false;  // bank exhaustion; fall through below
+        }
+        if (ok) {
+            Variant *v = refind_best();
+            xbs_assert(v != nullptr,
+                       "case-2 variant vanished (lines protected)");
+            if (take) {
+                BankLine &hl = line(v->lines.front(), set);
+                std::vector<UopSlot> prepend(
+                    seq.begin() + remaining,
+                    seq.begin() + remaining + take);
+                hl.slots.insert(hl.slots.begin(), prepend.begin(),
+                                prepend.end());
+                accountSlots(prepend, +1);
+                v->lines.front().count += (uint16_t)take;
+            }
+            v->lines.insert(v->lines.begin(), new_lines.begin(),
+                            new_lines.end());
+            v->seq = seq;
+            rebuildMask(*v);
+            ++extensions;
+            fill_out(*v);
+            return InsertOutcome::Extended;
+        }
+    } else if (have_best &&
+               params_.complexMode ==
+                   XbcParams::ComplexMode::PrefixSplit) {
+        // The caller (XFU) stores the differing prefix as an
+        // independent XB and chains it through the XBTB.
+        if (common_out)
+            *common_out = best_common;
+        return InsertOutcome::PrefixNeeded;
+    } else if (have_best &&
+               params_.complexMode ==
+                   XbcParams::ComplexMode::Complex) {
+        // Case 3: same suffix, different prefix -> complex XB. Share
+        // as many suffix lines as the bank budget allows (the
+        // boundary line may be shared partially thanks to the
+        // reverse-order storage).
+        std::size_t m = best_lines.size();
+        // cum[j] = uops covered by the last j lines of best.
+        std::vector<std::size_t> cum(m + 1, 0);
+        for (std::size_t j = 1; j <= m; ++j)
+            cum[j] = cum[j - 1] + best_lines[m - j].count;
+
+        for (std::size_t k_shared = m; k_shared >= 1; --k_shared) {
+            std::size_t shared_uops =
+                std::min<std::size_t>(best_common, cum[k_shared]);
+            if (shared_uops == 0 || shared_uops >= seq.size())
+                continue;
+            if (shared_uops <= cum[k_shared - 1])
+                continue;  // k_shared-1 lines already cover it
+            std::size_t prefix_uops = seq.size() - shared_uops;
+            std::size_t prefix_lines =
+                (prefix_uops + params_.bankUops - 1) /
+                params_.bankUops;
+            if (prefix_lines + k_shared > params_.numBanks)
+                continue;
+
+            uint32_t shared_banks = 0;
+            for (std::size_t j = 0; j < k_shared; ++j)
+                shared_banks |= 1u << best_lines[m - 1 - j].bank;
+
+            auto chunks = placeChunks(seq, prefix_uops, end_ip, set,
+                                      shared_banks, prev_mask);
+            if (!chunks)
+                continue;
+            // The shared lines belong to best; they were excluded
+            // from eviction via shared_banks, so they still hold.
+            Variant v;
+            v.tag = end_ip;
+            v.lines = std::move(*chunks);
+            for (std::size_t j = k_shared; j-- > 0;) {
+                LineUse lu = best_lines[m - 1 - j];
+                if (j == k_shared - 1) {
+                    // Earliest shared line: partial use.
+                    std::size_t before = cum[k_shared - 1];
+                    lu.count = (uint16_t)(shared_uops - before);
+                }
+                v.lines.push_back(lu);
+            }
+            v.seq = seq;
+            rebuildMask(v);
+            ++complexAdds;
+            auto &vars = directory_[end_ip];
+            vars.push_back(std::move(v));
+            fill_out(vars.back());
+            return InsertOutcome::ComplexAdded;
+        }
+    }
+
+    // Fresh allocation (also the complex fallback and the
+    // prefix-as-independent-XB policy when complex XBs are disabled).
+    {
+        auto chunks = placeChunks(seq, seq.size(), end_ip, set, 0,
+                                  prev_mask);
+        if (!chunks) {
+            if (out)
+                out->valid = false;
+            auto it = directory_.find(end_ip);
+            if (it != directory_.end() && it->second.empty())
+                directory_.erase(it);
+            return InsertOutcome::IndependentAdded;
+        }
+        Variant v;
+        v.tag = end_ip;
+        v.lines = std::move(*chunks);
+        v.seq = seq;
+        rebuildMask(v);
+        auto &vars = directory_[end_ip];
+        bool fresh = vars.empty();
+        vars.push_back(std::move(v));
+        if (fresh)
+            ++allocs;
+        else
+            ++independentAdds;
+        fill_out(vars.back());
+        return fresh ? InsertOutcome::Allocated
+                     : InsertOutcome::IndependentAdded;
+    }
+}
+
+XbcDataArray::Access
+XbcDataArray::lookup(uint64_t tag, uint32_t mask_bits,
+                     int32_t entry_idx)
+{
+    Access acc;
+    auto it = directory_.find(tag);
+    if (it == directory_.end())
+        return acc;
+    for (auto &v : it->second) {
+        if (v.mask != mask_bits)
+            continue;
+        // Entry must sit at an instruction boundary in the sequence.
+        for (std::size_t p = 0; p < v.seq.size(); ++p) {
+            if (v.seq[p].staticIdx == entry_idx && v.seq[p].seq == 0) {
+                acc.variant = &v;
+                acc.entryPos = p;
+                return acc;
+            }
+        }
+    }
+    return acc;
+}
+
+XbcDataArray::Access
+XbcDataArray::findQuiet(uint64_t tag, int32_t entry_idx)
+{
+    Access acc;
+    auto it = directory_.find(tag);
+    if (it == directory_.end())
+        return acc;
+    for (auto &v : it->second) {
+        for (std::size_t p = 0; p < v.seq.size(); ++p) {
+            if (v.seq[p].staticIdx == entry_idx && v.seq[p].seq == 0) {
+                acc.variant = &v;
+                acc.entryPos = p;
+                return acc;
+            }
+        }
+    }
+    return acc;
+}
+
+const XbcDataArray::Variant *
+XbcDataArray::longestVariant(uint64_t tag) const
+{
+    auto it = directory_.find(tag);
+    if (it == directory_.end())
+        return nullptr;
+    const Variant *best = nullptr;
+    for (const auto &v : it->second) {
+        if (!best || v.seq.size() > best->seq.size())
+            best = &v;
+    }
+    return best;
+}
+
+XbcDataArray::Access
+XbcDataArray::setSearch(uint64_t tag, int32_t entry_idx)
+{
+    ++setSearches;
+    Access acc = findQuiet(tag, entry_idx);
+    if (acc.variant)
+        ++setSearchHits;
+    return acc;
+}
+
+void
+XbcDataArray::touch(const Variant &variant, std::size_t entry_pos)
+{
+    std::size_t set = setOf(variant.tag);
+    // Find the first line the entry falls into.
+    std::size_t pos = 0;
+    std::size_t start_line = 0;
+    for (std::size_t i = 0; i < variant.lines.size(); ++i) {
+        if (entry_pos < pos + variant.lines[i].count) {
+            start_line = i;
+            break;
+        }
+        pos += variant.lines[i].count;
+    }
+    // Touch head-to-primary so the primary ends most recent and a
+    // head line is always the first of the XB to age out.
+    for (std::size_t i = start_line; i < variant.lines.size(); ++i)
+        line(variant.lines[i], set).lru = ++clock_;
+}
+
+bool
+XbcDataArray::noteConflict(const Variant &variant,
+                           std::size_t line_pos,
+                           uint32_t free_banks_mask)
+{
+    std::size_t set = setOf(variant.tag);
+    const LineUse lu = variant.lines[line_pos];
+    BankLine &l = line(lu, set);
+    ++l.conflict;
+    if (!params_.dynamicPlacement ||
+        l.conflict < params_.dynamicPlacementThreshold) {
+        return false;
+    }
+    l.conflict = 0;
+
+    uint32_t candidates = free_banks_mask & ~variant.mask &
+                          (uint32_t)mask(params_.numBanks);
+    for (unsigned b = 0; b < params_.numBanks; ++b) {
+        if (!(candidates & (1u << b)))
+            continue;
+        for (unsigned w = 0; w < params_.ways; ++w) {
+            BankLine &target = line(b, set, w);
+            // Move only into an invalid way or over an older line
+            // ("only if its LRU is higher, or both gain").
+            if (target.valid && target.lru >= l.lru)
+                continue;
+            if (target.valid) {
+                ++evictions;
+                accountSlots(target.slots, -1);
+                dropVariantsUsing(target.tag, set, b, w);
+            }
+            target = l;
+            l.valid = false;
+            l.slots.clear();
+            l.conflict = 0;
+
+            // Repoint every variant of this tag that used the old
+            // line; drop any that would now collide on the bank.
+            auto it = directory_.find(variant.tag);
+            if (it != directory_.end()) {
+                auto &vars = it->second;
+                for (auto &v : vars) {
+                    for (auto &ref : v.lines) {
+                        if (ref.bank == lu.bank && ref.way == lu.way) {
+                            ref.bank = (uint8_t)b;
+                            ref.way = (uint8_t)w;
+                        }
+                    }
+                    rebuildMask(v);
+                }
+                // Drop variants with duplicate banks (unreadable).
+                vars.erase(std::remove_if(vars.begin(), vars.end(),
+                    [&](const Variant &v) {
+                        uint32_t seen = 0;
+                        for (const auto &ref : v.lines) {
+                            if (seen & (1u << ref.bank))
+                                return true;
+                            seen |= 1u << ref.bank;
+                        }
+                        return false;
+                    }), vars.end());
+                if (vars.empty())
+                    directory_.erase(it);
+            }
+            ++relocations;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+XbcDataArray::demoteLru(uint64_t tag, uint32_t mask_bits)
+{
+    auto it = directory_.find(tag);
+    if (it == directory_.end())
+        return;
+    std::size_t set = setOf(tag);
+    for (auto &v : it->second) {
+        if (v.mask != mask_bits)
+            continue;
+        for (const auto &lu : v.lines)
+            line(lu, set).lru = 0;
+    }
+}
+
+double
+XbcDataArray::redundancy() const
+{
+    uint64_t instances = 0;
+    for (const auto &[id, count] : residency_)
+        instances += count;
+    return residency_.empty()
+               ? 1.0
+               : (double)instances / (double)residency_.size();
+}
+
+double
+XbcDataArray::fillFactor() const
+{
+    uint64_t reserved = 0;
+    for (const auto &l : lines_) {
+        if (l.valid)
+            reserved += params_.bankUops;
+    }
+    return reserved ? (double)filledUops_ / (double)reserved : 0.0;
+}
+
+void
+XbcDataArray::checkInvariants() const
+{
+    for (const auto &[tag, vars] : directory_) {
+        std::size_t set = setOf(tag);
+        for (const auto &v : vars) {
+            xbs_assert(v.tag == tag, "variant tag mismatch");
+            xbs_assert(!v.lines.empty() && !v.seq.empty(),
+                       "empty variant");
+            uint32_t banks = 0;
+            XbSeq concat;
+            for (std::size_t i = 0; i < v.lines.size(); ++i) {
+                const auto &lu = v.lines[i];
+                xbs_assert(!(banks & (1u << lu.bank)),
+                           "duplicate bank within variant");
+                banks |= 1u << lu.bank;
+                const BankLine &l = line(lu.bank, set, lu.way);
+                xbs_assert(l.valid && l.tag == tag,
+                           "variant references stale line");
+                xbs_assert(lu.count >= 1 &&
+                           lu.count <= l.slots.size(),
+                           "bad line use count");
+                // (A truncated variant's head line may be
+                // partially used, so no head-fullness invariant.)
+                concat.insert(concat.end(),
+                              l.slots.end() - lu.count,
+                              l.slots.end());
+            }
+            xbs_assert(banks == v.mask, "stale mask");
+            xbs_assert(concat.size() == v.seq.size(),
+                       "seq length mismatch");
+            for (std::size_t i = 0; i < concat.size(); ++i) {
+                xbs_assert(concat[i] == v.seq[i],
+                           "seq content mismatch at %zu", i);
+            }
+        }
+    }
+
+    // Residency must match the physical contents exactly.
+    uint64_t filled = 0;
+    for (const auto &l : lines_) {
+        if (l.valid) {
+            xbs_assert(l.slots.size() <= params_.bankUops,
+                       "overfull line");
+            filled += l.slots.size();
+        }
+    }
+    xbs_assert(filled == filledUops_, "filledUops accounting drift");
+}
+
+void
+XbcDataArray::reset()
+{
+    for (auto &l : lines_)
+        l = BankLine{};
+    directory_.clear();
+    residency_.clear();
+    filledUops_ = 0;
+    clock_ = 0;
+    resetStats();
+}
+
+} // namespace xbs

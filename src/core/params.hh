@@ -1,0 +1,93 @@
+/**
+ * @file
+ * XBC configuration (paper sections 3.2 and 4).
+ *
+ * Default geometry: 32K uops organized as 4 banks x 2 ways per bank
+ * x 1024 sets x 4 uops per bank line; a 16-uop XB quota (= the fetch
+ * width); an 8K-entry XBTB; 2 XB pointers provided per cycle.
+ */
+
+#ifndef XBS_CORE_PARAMS_HH
+#define XBS_CORE_PARAMS_HH
+
+namespace xbs
+{
+
+struct XbcParams
+{
+    /** Total data-array capacity in uops. */
+    unsigned capacityUops = 32768;
+
+    /** Banks per set (each with its own decoder). */
+    unsigned numBanks = 4;
+
+    /** Uops per bank line. */
+    unsigned bankUops = 4;
+
+    /** Per-bank associativity (paper recommends 2). */
+    unsigned ways = 2;
+
+    /** Maximum XB length in uops (also the per-cycle fetch width). */
+    unsigned xbQuotaUops = 16;
+
+    /// @{ XBTB geometry (total entries = sets * ways).
+    unsigned xbtbEntries = 8192;
+    unsigned xbtbWays = 4;
+    /// @}
+
+    /// @{ XiBTB (indirect next-XB predictor) geometry.
+    unsigned xibtbSets = 512;
+    unsigned xibtbWays = 4;
+    /// @}
+
+    /** XRSB (return stack) depth. */
+    unsigned xrsbDepth = 32;
+
+    /** XB pointers supplied by the XBTB per cycle (paper: 2). */
+    unsigned fetchXbsPerCycle = 2;
+
+    /// @{ Branch promotion (section 3.8).
+    bool promotionEnabled = true;
+    /** Promote when the 7-bit counter is <= low or >= high
+     *  (127 - 1 => at least 99.2% biased). */
+    unsigned promoteLow = 1;
+    unsigned promoteHigh = 126;
+    /** De-promote when the counter retreats past these marks. */
+    unsigned depromoteLow = 8;
+    unsigned depromoteHigh = 119;
+    /// @}
+
+    /**
+     * How a same-suffix/different-prefix XB (build case 3) is
+     * stored. The paper's two redundancy-free solutions plus a naive
+     * duplicating baseline for ablation:
+     *  - Complex:     one complex XB, prefixes sharing the suffix;
+     *  - PrefixSplit: the prefix becomes an independent XB chained
+     *                 through the XBTB (shorter blocks);
+     *  - Duplicate:   store the new XB as an independent copy
+     *                 (reintroduces TC-style redundancy).
+     */
+    enum class ComplexMode { Complex, PrefixSplit, Duplicate };
+    ComplexMode complexMode = ComplexMode::Complex;
+
+    /** Set search on XBTB hit / XBC tag miss (section 3.9). */
+    bool setSearchEnabled = true;
+    unsigned setSearchPenalty = 1;
+
+    /** Conflict-aware build-mode placement (section 3.10). */
+    bool smartBuildPlacement = true;
+
+    /** Delivery-mode dynamic re-placement (section 3.10). */
+    bool dynamicPlacement = true;
+    unsigned dynamicPlacementThreshold = 16;
+
+    /**
+     * Debug aid: run the data array's full invariant check every N
+     * XFU completions (0 = never). Used by stress tests; expensive.
+     */
+    unsigned checkInvariantsEveryN = 0;
+};
+
+} // namespace xbs
+
+#endif // XBS_CORE_PARAMS_HH

@@ -1,0 +1,61 @@
+#include "core/priority_encoder.hh"
+
+#include "common/logging.hh"
+
+namespace xbs
+{
+
+PriorityEncoder::PriorityEncoder(unsigned num_banks, StatGroup *parent)
+    : StatGroup("prioenc", parent), grants_(num_banks)
+{
+    xbs_assert(num_banks >= 1, "need at least one bank");
+}
+
+void
+PriorityEncoder::reset()
+{
+    for (auto &g : grants_)
+        g.busy = false;
+}
+
+bool
+PriorityEncoder::wouldGrant(unsigned bank, uint32_t set,
+                            uint8_t way) const
+{
+    xbs_assert(bank < grants_.size(), "bank out of range");
+    const Grant &g = grants_[bank];
+    return !g.busy || (g.set == set && g.way == way);
+}
+
+bool
+PriorityEncoder::claim(unsigned bank, uint32_t set, uint8_t way)
+{
+    xbs_assert(bank < grants_.size(), "bank out of range");
+    Grant &g = grants_[bank];
+    if (!g.busy) {
+        g.busy = true;
+        g.set = set;
+        g.way = way;
+        ++grants;
+        return true;
+    }
+    if (g.set == set && g.way == way) {
+        ++shared;
+        return true;
+    }
+    ++conflicts;
+    return false;
+}
+
+uint32_t
+PriorityEncoder::busyMask() const
+{
+    uint32_t mask_bits = 0;
+    for (std::size_t b = 0; b < grants_.size(); ++b) {
+        if (grants_[b].busy)
+            mask_bits |= 1u << b;
+    }
+    return mask_bits;
+}
+
+} // namespace xbs

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Extended-block value types shared across the XBC sub-units.
+ */
+
+#ifndef XBS_CORE_XB_HH
+#define XBS_CORE_XB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/static_inst.hh"
+#include "isa/uop.hh"
+
+namespace xbs
+{
+
+/** One uop slot in a bank line: a specific uop of a specific inst. */
+struct UopSlot
+{
+    int32_t staticIdx = kNoTarget;
+    uint8_t seq = 0;
+
+    bool operator==(const UopSlot &o) const
+    {
+        return staticIdx == o.staticIdx && seq == o.seq;
+    }
+};
+
+/** An XB's uop sequence in logical order (earliest uop first). */
+using XbSeq = std::vector<UopSlot>;
+
+/**
+ * Pointer into the XBC as provided by the XBTB (paper section 3.5):
+ * the XB_IP (tag of the target XB = IP of its ending instruction), a
+ * bank mask selecting the variant, and the entry point. The hardware
+ * encodes the entry as OFFSET (uops counted backward from the end);
+ * the model carries the entry instruction's static index, which is
+ * equivalent and self-checking.
+ */
+struct XbPointer
+{
+    bool valid = false;
+    uint64_t xbIp = 0;
+    uint32_t mask = 0;
+    int32_t entryIdx = kNoTarget;
+};
+
+/**
+ * Append the uops of instruction @p idx of @p code to @p seq.
+ */
+inline void
+appendInstUops(const StaticCode &code, int32_t idx, XbSeq &seq)
+{
+    const StaticInst &si = code.inst(idx);
+    for (unsigned s = 0; s < si.numUops; ++s)
+        seq.push_back(UopSlot{idx, (uint8_t)s});
+}
+
+/** Length in uops of the longest common suffix of two sequences. */
+inline unsigned
+commonSuffixLength(const XbSeq &a, const XbSeq &b)
+{
+    unsigned n = 0;
+    while (n < a.size() && n < b.size() &&
+           a[a.size() - 1 - n] == b[b.size() - 1 - n]) {
+        ++n;
+    }
+    return n;
+}
+
+} // namespace xbs
+
+#endif // XBS_CORE_XB_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The XBTB and its companion predictors (paper section 3.5).
+ *
+ * The XBTB is the only road into the XBC: since XBs are indexed by
+ * their *ending* IP, a branch target IP cannot be looked up in the
+ * XBC directly. Each entry describes one XB (keyed by its XB_IP) and
+ * carries pointers (XB_IP, BANK_MASK, OFFSET) to the taken-path and
+ * fall-through successors, the end-instruction type, and the 7-bit
+ * bias counter driving branch promotion (section 3.8).
+ *
+ * The XiBTB predicts the successor of indirect-ended XBs; the XRSB
+ * predicts the successor of return-ended XBs by stacking references
+ * to the XBTB entries of the corresponding calls.
+ */
+
+#ifndef XBS_CORE_XBTB_HH
+#define XBS_CORE_XBTB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/params.hh"
+#include "core/xb.hh"
+#include "isa/types.hh"
+
+namespace xbs
+{
+
+class Xbtb : public StatGroup
+{
+  public:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t xbIp = 0;
+        uint64_t lru = 0;
+
+        /** Class of the XB's ending instruction (Seq marks a
+         *  quota-ended XB, whose successor is unconditional). */
+        InstClass endType = InstClass::Seq;
+
+        /** Taken-path successor; for calls, XB_func; for quota-ended
+         *  and jump-ended XBs, the unconditional successor. */
+        XbPointer taken;
+
+        /** Fall-through successor; for calls, XB_ret. */
+        XbPointer fallthrough;
+
+        /// @{ Branch promotion state (7-bit counter, section 3.8).
+        uint8_t counter = 64;
+        bool promoted = false;
+        bool promotedTaken = false;  ///< frequent direction
+        /** Entry into XB_comb at this XB's first instruction. */
+        XbPointer promotedPtr;
+        /// @}
+
+        void
+        trainCounter(bool taken_dir)
+        {
+            if (taken_dir) {
+                if (counter < 127)
+                    ++counter;
+            } else {
+                if (counter > 0)
+                    --counter;
+            }
+        }
+    };
+
+    Xbtb(unsigned entries, unsigned ways, StatGroup *parent);
+
+    /** Predictive lookup (counted in hit/miss statistics). */
+    Entry *lookup(uint64_t xb_ip);
+
+    /** Silent lookup for updates/linking (no statistics). */
+    Entry *find(uint64_t xb_ip);
+
+    /**
+     * Find-or-allocate the entry for @p xb_ip (LRU victim on
+     * conflict); used by the XFU when an XB is built.
+     */
+    Entry &allocate(uint64_t xb_ip, InstClass end_type);
+
+    unsigned numSets() const { return numSets_; }
+
+    void reset();
+
+    ScalarStat lookups{this, "lookups", "XBTB predictive lookups"};
+    ScalarStat hits{this, "hits", "XBTB lookup hits"};
+    ScalarStat allocations{this, "allocations",
+        "XBTB entries allocated"};
+    ScalarStat entryEvictions{this, "entryEvictions",
+        "valid XBTB entries replaced"};
+
+  private:
+    std::size_t setOf(uint64_t xb_ip) const;
+
+    unsigned numSets_;
+    unsigned ways_;
+    std::vector<Entry> entries_;
+    uint64_t clock_ = 0;
+};
+
+/** Indirect next-XB predictor: a tagged last-pointer table. */
+class XiBtb : public StatGroup
+{
+  public:
+    XiBtb(unsigned sets, unsigned ways, StatGroup *parent);
+
+    /** Predicted successor pointer of the indirect-ended XB at
+     *  @p xb_ip, or nullptr. */
+    const XbPointer *predict(uint64_t xb_ip);
+
+    /** Record the observed successor. */
+    void update(uint64_t xb_ip, const XbPointer &ptr);
+
+    void reset();
+
+    ScalarStat lookups{this, "lookups", "XiBTB lookups"};
+    ScalarStat hits{this, "hits", "XiBTB tag hits"};
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+        XbPointer ptr;
+    };
+
+    std::size_t setOf(uint64_t ip) const;
+
+    unsigned numSets_;
+    unsigned ways_;
+    std::vector<Slot> slots_;
+    uint64_t clock_ = 0;
+};
+
+/**
+ * XRSB: return stack of call-XB references. Pushing happens when a
+ * call-ended XB is fetched; popping yields the XBTB entry of the
+ * matching call, whose fall-through pointer locates XB_ret.
+ */
+class Xrsb
+{
+  public:
+    explicit Xrsb(unsigned depth);
+
+    void push(uint64_t call_xb_ip);
+
+    /** @return the call-XB ip, or 0 when empty (underflow). */
+    uint64_t pop();
+
+    unsigned size() const { return size_; }
+    void reset();
+
+  private:
+    std::vector<uint64_t> stack_;
+    unsigned topIdx_ = 0;
+    unsigned size_ = 0;
+};
+
+} // namespace xbs
+
+#endif // XBS_CORE_XBTB_HH

@@ -1,0 +1,128 @@
+#include "dc/dc_frontend.hh"
+
+#include <algorithm>
+
+#include "frontend/control.hh"
+
+namespace xbs
+{
+
+DcFrontend::DcFrontend(const FrontendParams &params,
+                       const DecodedCacheParams &dc_params)
+    : Frontend("dcfe", params), dcParams_(dc_params), preds_(params_),
+      pipe_(params_, metrics_, preds_), dc_(dcParams_, &root_)
+{
+}
+
+unsigned
+DcFrontend::supplyRun(const Trace &trace, std::size_t &rec,
+                      unsigned &stall, bool &miss)
+{
+    miss = false;
+    unsigned supplied = 0;
+    const DecodedCache::Line *line = nullptr;
+    uint64_t cur_window = ~0ULL;
+
+    while (rec < trace.numRecords() &&
+           supplied < params_.renamerWidth) {
+        const StaticInst &si = trace.inst(rec);
+        uint64_t window = dc_.windowOf(si.ip);
+        if (window != cur_window) {
+            if (cur_window != ~0ULL) {
+                // A sequential run may cross into the next window
+                // only once per cycle (single-ported array).
+                break;
+            }
+            auto [l, pos] = dc_.lookup(si.ip,
+                                       trace.record(rec).staticIdx);
+            (void)pos;
+            if (!l) {
+                miss = supplied == 0;
+                break;
+            }
+            line = l;
+            cur_window = window;
+        } else {
+            // Same window: the instruction must be present in the
+            // line (fragmentation drops punch holes).
+            bool present = false;
+            for (const auto &di : line->insts) {
+                if (di.staticIdx == trace.record(rec).staticIdx) {
+                    present = true;
+                    break;
+                }
+            }
+            if (!present) {
+                miss = supplied == 0;
+                break;
+            }
+        }
+
+        if (supplied + si.numUops > params_.renamerWidth)
+            break;
+
+        supplied += si.numUops;
+        bool redirects = si.isControl() &&
+                         !(si.cls == InstClass::CondBranch &&
+                           trace.record(rec).taken == 0);
+        if (si.isControl()) {
+            stall += predictControl(params_, metrics_, preds_, trace,
+                                    rec, /*legacy_path=*/true);
+        }
+        ++rec;
+        if (redirects || stall > 0)
+            break;
+    }
+    return supplied;
+}
+
+void
+DcFrontend::run(const Trace &trace)
+{
+    const std::size_t num_records = trace.numRecords();
+    std::size_t rec = 0;
+    Mode mode = Mode::Build;
+    unsigned stall = 0;
+
+    while (rec < num_records) {
+        ++metrics_.cycles;
+        if (stall > 0) {
+            --stall;
+            ++metrics_.stallCycles;
+            continue;
+        }
+
+        if (mode == Mode::Delivery) {
+            bool miss = false;
+            unsigned got = supplyRun(trace, rec, stall, miss);
+            if (miss) {
+                mode = Mode::Build;
+                ++metrics_.modeSwitches;
+                --metrics_.cycles;  // re-issue this cycle as build
+                continue;
+            }
+            ++metrics_.deliveryCycles;
+            metrics_.deliveryUops += got;
+            metrics_.renamedUops += got;
+        } else {
+            ++metrics_.buildCycles;
+            std::size_t prev = rec;
+            LegacyPipe::Result r = pipe_.cycle(trace, rec);
+            metrics_.buildUops += r.uops;
+            stall += r.stall;
+            for (std::size_t i = prev; i < rec; ++i) {
+                dc_.fill(trace.inst(i), trace.record(i).staticIdx);
+            }
+            // Return to delivery as soon as the next instruction's
+            // window is cached (no trace/XB build boundary here).
+            if (rec < num_records &&
+                dc_.lookup(trace.inst(rec).ip,
+                           trace.record(rec).staticIdx)
+                    .first) {
+                mode = Mode::Delivery;
+            }
+        }
+    }
+}
+
+} // namespace xbs

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Decoded-cache frontend (paper section 2.2): uops are supplied
+ * without decode latency, but the structure is still indexed by
+ * instruction address, so bandwidth stays IC-like (one sequential
+ * run per cycle, ending at every taken transfer) and fragmentation
+ * costs hit rate.
+ */
+
+#ifndef XBS_DC_DC_FRONTEND_HH
+#define XBS_DC_DC_FRONTEND_HH
+
+#include "dc/decoded_cache.hh"
+#include "frontend/frontend.hh"
+#include "frontend/predictors.hh"
+#include "ic/legacy_pipe.hh"
+
+namespace xbs
+{
+
+class DcFrontend : public Frontend
+{
+  public:
+    DcFrontend(const FrontendParams &params,
+               const DecodedCacheParams &dc_params);
+
+    void run(const Trace &trace) override;
+
+    const DecodedCache &cache() const { return dc_; }
+
+  private:
+    enum class Mode { Build, Delivery };
+
+    /**
+     * Supply one sequential run from the decoded cache.
+     * @return uops supplied; 0 with @p miss set on a lookup miss
+     */
+    unsigned supplyRun(const Trace &trace, std::size_t &rec,
+                       unsigned &stall, bool &miss);
+
+    DecodedCacheParams dcParams_;
+    PredictorBank preds_;
+    LegacyPipe pipe_;
+    DecodedCache dc_;
+};
+
+} // namespace xbs
+
+#endif // XBS_DC_DC_FRONTEND_HH

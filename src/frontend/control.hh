@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared control-flow prediction/training step.
+ *
+ * All three frontends walk the actual path and consult the same
+ * predictor complement; only the target-delivery mechanism differs
+ * (BTB redirects on the legacy path, XBTB/trace pointers in the
+ * decoded-cache structures). predictControl() centralizes the
+ * predict-compare-train sequence and returns the penalty to charge.
+ */
+
+#ifndef XBS_FRONTEND_CONTROL_HH
+#define XBS_FRONTEND_CONTROL_HH
+
+#include "frontend/metrics.hh"
+#include "frontend/params.hh"
+#include "frontend/predictors.hh"
+#include "trace/trace.hh"
+
+namespace xbs
+{
+
+/**
+ * Predict and train on the control instruction at record @p rec.
+ *
+ * @param legacy_path when true, model the decode-stage redirect cost
+ *        of taken direct transfers that miss the BTB (the decoded
+ *        cache structures carry their own pointers, so they skip it)
+ * @return penalty cycles (0 when everything was predicted right)
+ */
+inline unsigned
+predictControl(const FrontendParams &params, FrontendMetrics &metrics,
+               PredictorBank &preds, const Trace &trace,
+               std::size_t rec, bool legacy_path)
+{
+    const StaticInst &si = trace.inst(rec);
+    const bool taken = trace.record(rec).taken != 0;
+    const uint64_t actual_target = trace.nextIp(rec);
+    unsigned penalty = 0;
+
+    switch (si.cls) {
+      case InstClass::CondBranch: {
+        ++metrics.condBranches;
+        bool pred = preds.gshare.predict(si.ip);
+        preds.gshare.update(si.ip, taken);
+        if (pred != taken) {
+            ++metrics.condMispredicts;
+            penalty += params.mispredictPenalty;
+        } else if (taken && legacy_path) {
+            if (!preds.btb.lookup(si.ip)) {
+                ++metrics.btbMisses;
+                penalty += params.btbMissPenalty;
+            }
+        }
+        if (taken && actual_target)
+            preds.btb.update(si.ip, actual_target);
+        break;
+      }
+      case InstClass::DirectJump:
+      case InstClass::DirectCall: {
+        if (legacy_path) {
+            if (!preds.btb.lookup(si.ip)) {
+                ++metrics.btbMisses;
+                penalty += params.btbMissPenalty;
+            }
+        }
+        if (actual_target)
+            preds.btb.update(si.ip, actual_target);
+        if (si.cls == InstClass::DirectCall)
+            preds.rsb.push(si.fallThroughIp());
+        break;
+      }
+      case InstClass::IndirectJump:
+      case InstClass::IndirectCall: {
+        ++metrics.indirectBranches;
+        auto pred = preds.indirect.predict(si.ip);
+        if (!pred || (actual_target && *pred != actual_target)) {
+            ++metrics.indirectMispredicts;
+            penalty += params.mispredictPenalty;
+        }
+        if (actual_target)
+            preds.indirect.update(si.ip, actual_target);
+        if (si.cls == InstClass::IndirectCall)
+            preds.rsb.push(si.fallThroughIp());
+        break;
+      }
+      case InstClass::Return: {
+        ++metrics.returns;
+        uint64_t pred = preds.rsb.pop();
+        if (actual_target && pred != actual_target) {
+            ++metrics.returnMispredicts;
+            penalty += params.mispredictPenalty;
+        }
+        break;
+      }
+      default:
+        break;  // non-control: nothing to predict
+    }
+    return penalty;
+}
+
+} // namespace xbs
+
+#endif // XBS_FRONTEND_CONTROL_HH

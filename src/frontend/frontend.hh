@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Abstract frontend interface: a structure that consumes a dynamic
+ * trace and reports cycle/uop metrics. Concrete implementations are
+ * IcFrontend, TcFrontend, and XbcFrontend.
+ *
+ * The simulator is trace-driven with oracle resteer: the frontend
+ * always follows the actual dynamic path, consults its predictors
+ * along it, and charges penalty bubbles whenever a prediction
+ * disagrees with the actual outcome. This matches the methodology of
+ * standalone frontend studies (hit rates and bandwidth are exact;
+ * wrong-path fetch effects are out of scope, as in the paper).
+ */
+
+#ifndef XBS_FRONTEND_FRONTEND_HH
+#define XBS_FRONTEND_FRONTEND_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "frontend/metrics.hh"
+#include "frontend/params.hh"
+#include "trace/trace.hh"
+
+namespace xbs
+{
+
+class Frontend
+{
+  public:
+    Frontend(std::string name, const FrontendParams &params)
+        : root_(std::move(name)), metrics_(&root_), params_(params)
+    {
+    }
+
+    virtual ~Frontend() = default;
+
+    Frontend(const Frontend &) = delete;
+    Frontend &operator=(const Frontend &) = delete;
+
+    /** Simulate the whole trace, accumulating metrics. */
+    virtual void run(const Trace &trace) = 0;
+
+    /** Human-readable structure name ("ic", "tc", "xbc"). */
+    const std::string &name() const { return root_.statName(); }
+
+    const FrontendMetrics &metrics() const { return metrics_; }
+    FrontendMetrics &metrics() { return metrics_; }
+
+    /** Root stat group (frontends hang structure stats below it). */
+    StatGroup &statRoot() { return root_; }
+    const StatGroup &statRoot() const { return root_; }
+
+    const FrontendParams &params() const { return params_; }
+
+  protected:
+    StatGroup root_;
+    FrontendMetrics metrics_;
+    FrontendParams params_;
+};
+
+} // namespace xbs
+
+#endif // XBS_FRONTEND_FRONTEND_HH

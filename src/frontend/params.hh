@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared configuration of the standalone frontend simulator.
+ *
+ * The paper's setup (section 4): renamer bandwidth of 8 uops/cycle, a
+ * 16-bit-history GSHARE for direction prediction, an 8K-entry XBTB,
+ * and cache capacities measured in uops.
+ */
+
+#ifndef XBS_FRONTEND_PARAMS_HH
+#define XBS_FRONTEND_PARAMS_HH
+
+#include <cstdint>
+
+#include "isa/decoder.hh"
+
+namespace xbs
+{
+
+struct FrontendParams
+{
+    /** Renamer bandwidth: hard cap on uops leaving the frontend per
+     *  cycle (paper: 8). */
+    unsigned renamerWidth = 8;
+
+    /** Resteer bubble after a mispredicted conditional / indirect /
+     *  return (cycles of fetch silence). */
+    unsigned mispredictPenalty = 10;
+
+    /** Decode-stage redirect penalty when a taken direct transfer
+     *  misses the BTB (the target is known at decode). */
+    unsigned btbMissPenalty = 3;
+
+    /** Legacy decode path configuration. */
+    DecodeParams decode;
+
+    /// @{ Instruction cache (legacy path) geometry.
+    unsigned icCapacityBytes = 64 * 1024;
+    unsigned icLineBytes = 64;
+    unsigned icWays = 4;
+    unsigned icMissLatency = 12;   ///< IC miss, L2 hit
+    /// @}
+
+    /// @{ Unified L2 behind the IC (code side only is modeled).
+    unsigned l2CapacityBytes = 512 * 1024;
+    unsigned l2Ways = 8;
+    unsigned l2MissLatency = 40;   ///< IC miss, L2 miss (memory)
+    /// @}
+
+    /// @{ Predictors.
+    unsigned gshareHistoryBits = 16;
+    unsigned btbSets = 1024;
+    unsigned btbWays = 4;
+    unsigned rsbDepth = 32;
+    unsigned indirectSets = 512;
+    unsigned indirectWays = 4;
+    /// @}
+
+    /** Size of the decoupling fetch buffer between the decoded-cache
+     *  structure and the renamer, in uops. */
+    unsigned fetchBufferUops = 32;
+};
+
+} // namespace xbs
+
+#endif // XBS_FRONTEND_PARAMS_HH

@@ -1,0 +1,29 @@
+#include "ic/ic_frontend.hh"
+
+namespace xbs
+{
+
+IcFrontend::IcFrontend(const FrontendParams &params)
+    : Frontend("ic", params), preds_(params),
+      pipe_(params_, metrics_, preds_)
+{
+}
+
+void
+IcFrontend::run(const Trace &trace)
+{
+    std::size_t rec = 0;
+    while (rec < trace.numRecords()) {
+        LegacyPipe::Result r = pipe_.cycle(trace, rec);
+        ++metrics_.cycles;
+        // The IC baseline has no decoded-cache structure; count its
+        // supply as "delivery" so bandwidth() reports its uops/cycle.
+        ++metrics_.deliveryCycles;
+        metrics_.deliveryUops += r.uops;
+        metrics_.renamedUops += r.uops;
+        metrics_.cycles += r.stall;
+        metrics_.stallCycles += r.stall;
+    }
+}
+
+} // namespace xbs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Decode-path model parameters and helpers.
+ *
+ * The legacy (build-mode) pipeline of all three frontends fetches raw
+ * bytes from the instruction cache and decodes variable-length
+ * instructions. Decoder captures the classic x86 decode constraints:
+ * a fetch-block of bytes per cycle, a limited number of length-marked
+ * instructions decoded per cycle, and a uop emission cap.
+ */
+
+#ifndef XBS_ISA_DECODER_HH
+#define XBS_ISA_DECODER_HH
+
+#include <cstdint>
+
+#include "isa/static_inst.hh"
+
+namespace xbs
+{
+
+/** Static configuration of the decode path. */
+struct DecodeParams
+{
+    /** Bytes delivered by one IC access (also the IC line size). */
+    unsigned fetchBytes = 16;
+
+    /** Macro instructions decoded per cycle (4-1-1-1 style caps
+     *  collapse to a simple width here). */
+    unsigned decodeWidth = 4;
+
+    /** Uops emitted by the decoder per cycle. */
+    unsigned uopWidth = 6;
+
+    /** Extra pipeline stages between IC and rename relative to the
+     *  decoded-cache path; charged on every build-mode resteer. */
+    unsigned decodePipeDepth = 3;
+};
+
+/**
+ * Stateless decode-throughput calculator. Given a run of instructions
+ * beginning somewhere in a fetch block, determine how many of them can
+ * be decoded in one cycle.
+ */
+class Decoder
+{
+  public:
+    explicit Decoder(const DecodeParams &params) : params_(params) {}
+
+    const DecodeParams &params() const { return params_; }
+
+    /**
+     * Feed instructions one by one for the current cycle.
+     * Returns true if @p inst still fits in this cycle's fetch/decode
+     * budget, false if it must wait for the next cycle.
+     *
+     * @param inst       candidate instruction
+     * @param bytes_used bytes already consumed this cycle (updated)
+     * @param insts_used instructions already decoded (updated)
+     * @param uops_used  uops already emitted (updated)
+     */
+    bool
+    admit(const StaticInst &inst, unsigned &bytes_used,
+          unsigned &insts_used, unsigned &uops_used) const
+    {
+        if (insts_used >= params_.decodeWidth)
+            return false;
+        if (uops_used + inst.numUops > params_.uopWidth)
+            return false;
+        if (bytes_used + inst.length > params_.fetchBytes)
+            return false;
+        bytes_used += inst.length;
+        insts_used += 1;
+        uops_used += inst.numUops;
+        return true;
+    }
+
+  private:
+    DecodeParams params_;
+};
+
+} // namespace xbs
+
+#endif // XBS_ISA_DECODER_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Static (flattened) representation of program instructions.
+ *
+ * A StaticCode object is the immutable, flattened image of a synthetic
+ * program: an array of StaticInst in address order plus an IP -> index
+ * map. Dynamic traces reference instructions by index into this array,
+ * which keeps trace records tiny and makes IP arithmetic trivial.
+ */
+
+#ifndef XBS_ISA_STATIC_INST_HH
+#define XBS_ISA_STATIC_INST_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/types.hh"
+
+namespace xbs
+{
+
+/** Sentinel index meaning "no static target" (indirect / return). */
+constexpr int32_t kNoTarget = -1;
+
+/** Sentinel index meaning "no behavior attached". */
+constexpr int32_t kNoBehavior = -1;
+
+/**
+ * One static instruction. Kept to 24 bytes so multi-megabyte programs
+ * stay cache friendly.
+ */
+struct StaticInst
+{
+    uint64_t ip = 0;       ///< virtual address of the first byte
+    uint8_t length = 1;    ///< encoded length in bytes (1..15)
+    uint8_t numUops = 1;   ///< uop expansion count (1..4 here)
+    InstClass cls = InstClass::Seq;
+
+    /**
+     * Target instruction index for direct control transfers
+     * (CondBranch taken path, DirectJump, DirectCall); kNoTarget for
+     * everything else.
+     */
+    int32_t takenIdx = kNoTarget;
+
+    /**
+     * For CondBranch / IndirectJump / IndirectCall: index into the
+     * program's behavior table driving dynamic outcomes.
+     */
+    int32_t behaviorId = kNoBehavior;
+
+    /** @return the fall-through IP (the next sequential address). */
+    uint64_t fallThroughIp() const { return ip + length; }
+
+    bool isControl() const { return xbs::isControl(cls); }
+    bool endsXb() const { return xbs::endsXb(cls); }
+    bool endsTrace() const { return xbs::endsTrace(cls); }
+    bool endsBasicBlock() const { return xbs::endsBasicBlock(cls); }
+};
+
+/**
+ * Immutable flattened code image. Instances are shared between the
+ * workload executor, traces, and frontends via shared_ptr.
+ */
+class StaticCode
+{
+  public:
+    StaticCode() = default;
+
+    /** Append an instruction; returns its index. */
+    int32_t append(const StaticInst &inst);
+
+    /** Finalize: build the IP map and validate target indices. */
+    void finalize();
+
+    const StaticInst &inst(int32_t idx) const { return insts_[idx]; }
+    const StaticInst &operator[](int32_t idx) const
+    {
+        return insts_[idx];
+    }
+
+    std::size_t size() const { return insts_.size(); }
+    bool finalized() const { return finalized_; }
+
+    /** @return instruction index at @p ip, or kNoTarget. */
+    int32_t indexOf(uint64_t ip) const;
+
+    /** Total static uop footprint (sum of numUops). */
+    uint64_t totalUops() const { return totalUops_; }
+
+    /** Mutable access during construction only. */
+    StaticInst &mutableInst(int32_t idx);
+
+  private:
+    std::vector<StaticInst> insts_;
+    std::unordered_map<uint64_t, int32_t> ipMap_;
+    uint64_t totalUops_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace xbs
+
+#endif // XBS_ISA_STATIC_INST_HH

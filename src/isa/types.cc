@@ -1,0 +1,34 @@
+#include "isa/types.hh"
+
+namespace xbs
+{
+
+const char *
+instClassName(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::Seq:          return "seq";
+      case InstClass::CondBranch:   return "cond";
+      case InstClass::DirectJump:   return "jmp";
+      case InstClass::DirectCall:   return "call";
+      case InstClass::IndirectJump: return "ijmp";
+      case InstClass::IndirectCall: return "icall";
+      case InstClass::Return:       return "ret";
+      default:                      return "?";
+    }
+}
+
+const char *
+uopClassName(UopClass cls)
+{
+    switch (cls) {
+      case UopClass::Alu:    return "alu";
+      case UopClass::Load:   return "load";
+      case UopClass::Store:  return "store";
+      case UopClass::Fp:     return "fp";
+      case UopClass::Branch: return "branch";
+      default:               return "?";
+    }
+}
+
+} // namespace xbs

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Core ISA-level type definitions for the synthetic x86-like
+ * instruction set used throughout xbcsim.
+ *
+ * The frontend structures studied by the XBC paper never interpret
+ * instruction semantics; they only care about each instruction's IP,
+ * byte length, uop expansion, and control-flow class. The enums here
+ * capture exactly that surface.
+ */
+
+#ifndef XBS_ISA_TYPES_HH
+#define XBS_ISA_TYPES_HH
+
+#include <cstdint>
+
+namespace xbs
+{
+
+/**
+ * Control-flow classification of a macro instruction.
+ *
+ * The XB end conditions (paper section 3.1 and 3.5) partition these:
+ *  - Seq and DirectJump never end an extended block;
+ *  - CondBranch, IndirectJump, IndirectCall, Return end extended
+ *    blocks because they may redirect to multiple locations;
+ *  - DirectCall ends an extended block as well: although it has a
+ *    single target, the XRSB machinery (section 3.5) requires an XBTB
+ *    entry per call so the return linkage can be recorded.
+ */
+enum class InstClass : uint8_t
+{
+    Seq,           ///< plain non-control instruction
+    CondBranch,    ///< conditional direct branch
+    DirectJump,    ///< unconditional direct jump
+    DirectCall,    ///< direct call
+    IndirectJump,  ///< register/memory indirect jump
+    IndirectCall,  ///< indirect call
+    Return,        ///< procedure return
+    NumClasses,
+};
+
+/** Functional class of a micro-operation. */
+enum class UopClass : uint8_t
+{
+    Alu,
+    Load,
+    Store,
+    Fp,
+    Branch,   ///< the resolving uop of a control instruction
+    NumClasses,
+};
+
+/** @return a short printable name for @p cls. */
+const char *instClassName(InstClass cls);
+
+/** @return a short printable name for @p cls. */
+const char *uopClassName(UopClass cls);
+
+/** @return true if the instruction redirects control flow at all. */
+constexpr bool
+isControl(InstClass cls)
+{
+    return cls != InstClass::Seq;
+}
+
+/** @return true if the instruction is any kind of call. */
+constexpr bool
+isCall(InstClass cls)
+{
+    return cls == InstClass::DirectCall || cls == InstClass::IndirectCall;
+}
+
+/** @return true if the instruction's target is not statically known. */
+constexpr bool
+isIndirect(InstClass cls)
+{
+    return cls == InstClass::IndirectJump ||
+           cls == InstClass::IndirectCall ||
+           cls == InstClass::Return;
+}
+
+/**
+ * @return true if the instruction ends an extended block
+ * (paper section 3.1, amended with calls for XRSB bookkeeping).
+ */
+constexpr bool
+endsXb(InstClass cls)
+{
+    return cls == InstClass::CondBranch || isIndirect(cls) ||
+           isCall(cls);
+}
+
+/**
+ * @return true if the instruction ends a trace-cache trace
+ * irrespective of the branch quota ([Rote96] end conditions: indirect
+ * branches and returns; direct jumps and calls are embedded).
+ */
+constexpr bool
+endsTrace(InstClass cls)
+{
+    return isIndirect(cls);
+}
+
+/**
+ * @return true if the instruction ends a "basic block" as defined for
+ * Figure 1 of the paper: a sequence ended by any jump.
+ */
+constexpr bool
+endsBasicBlock(InstClass cls)
+{
+    return isControl(cls);
+}
+
+/**
+ * @return true if the instruction may have a not-taken (fall-through)
+ * successor.
+ */
+constexpr bool
+hasFallThrough(InstClass cls)
+{
+    return cls == InstClass::Seq || cls == InstClass::CondBranch;
+}
+
+} // namespace xbs
+
+#endif // XBS_ISA_TYPES_HH

@@ -1,0 +1,57 @@
+#include "isa/uop.hh"
+
+#include "common/logging.hh"
+
+namespace xbs
+{
+
+namespace
+{
+
+/** Cheap stateless mix for per-uop class selection. */
+uint64_t
+mix(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // anonymous namespace
+
+UopClass
+uopClassOf(const StaticInst &inst, unsigned seq)
+{
+    xbs_assert(seq < inst.numUops, "uop seq %u out of range", seq);
+    // The resolving uop of a control instruction is a branch uop.
+    if (seq + 1 == inst.numUops && isControl(inst.cls))
+        return UopClass::Branch;
+    switch (mix(inst.ip + seq) % 8) {
+      case 0: case 1: case 2: case 3:
+        return UopClass::Alu;
+      case 4: case 5:
+        return UopClass::Load;
+      case 6:
+        return UopClass::Store;
+      default:
+        return UopClass::Fp;
+    }
+}
+
+unsigned
+expandUops(const StaticInst &inst, std::vector<Uop> &out)
+{
+    for (unsigned s = 0; s < inst.numUops; ++s) {
+        Uop u;
+        u.ip = inst.ip;
+        u.seq = (uint8_t)s;
+        u.ofTotal = inst.numUops;
+        u.cls = uopClassOf(inst, s);
+        u.parentCls = inst.cls;
+        out.push_back(u);
+    }
+    return inst.numUops;
+}
+
+} // namespace xbs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Micro-operation identity and expansion.
+ *
+ * A uop is identified by its parent instruction's IP and its index
+ * within the instruction's expansion. This identity is what the
+ * redundancy metric counts: the TC may hold many copies of the same
+ * (ip, seq) pair, while the XBC holds at most one (plus transient
+ * promotion copies).
+ */
+
+#ifndef XBS_ISA_UOP_HH
+#define XBS_ISA_UOP_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "isa/static_inst.hh"
+#include "isa/types.hh"
+
+namespace xbs
+{
+
+/**
+ * Unique identity of a uop: parent IP in the upper bits, expansion
+ * index (< 16) in the low 4 bits. IPs in the synthetic programs are
+ * well below 2^60, so no information is lost.
+ */
+using UopId = uint64_t;
+
+constexpr UopId
+makeUopId(uint64_t ip, unsigned seq)
+{
+    return (ip << 4) | (seq & 0xf);
+}
+
+constexpr uint64_t
+uopIdIp(UopId id)
+{
+    return id >> 4;
+}
+
+constexpr unsigned
+uopIdSeq(UopId id)
+{
+    return (unsigned)(id & 0xf);
+}
+
+/** One decoded micro-operation as held in a frontend structure. */
+struct Uop
+{
+    uint64_t ip = 0;       ///< parent instruction IP
+    uint8_t seq = 0;       ///< index within the expansion
+    uint8_t ofTotal = 1;   ///< expansion size of the parent
+    UopClass cls = UopClass::Alu;
+    InstClass parentCls = InstClass::Seq;
+
+    UopId id() const { return makeUopId(ip, seq); }
+
+    /** Last uop of the parent instruction? */
+    bool endOfInst() const { return seq + 1 == ofTotal; }
+
+    /**
+     * The uop that actually resolves a control instruction is the
+     * last uop of that instruction's expansion.
+     */
+    bool
+    isControlUop() const
+    {
+        return endOfInst() && isControl(parentCls);
+    }
+};
+
+/**
+ * Deterministically expand @p inst into its uops, appending to
+ * @p out. The functional classes are a hash of the IP so they are
+ * stable across runs without storing per-uop data in StaticInst.
+ *
+ * @return the number of uops appended.
+ */
+unsigned expandUops(const StaticInst &inst, std::vector<Uop> &out);
+
+/** Expansion without materialization: class of uop @p seq of @p inst. */
+UopClass uopClassOf(const StaticInst &inst, unsigned seq);
+
+} // namespace xbs
+
+#endif // XBS_ISA_UOP_HH

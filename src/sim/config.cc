@@ -1,0 +1,91 @@
+#include "sim/config.hh"
+
+#include "common/logging.hh"
+#include "core/xbc_frontend.hh"
+#include "ic/ic_frontend.hh"
+
+namespace xbs
+{
+
+SimConfig
+SimConfig::icBaseline()
+{
+    SimConfig c;
+    c.kind = FrontendKind::Ic;
+    return c;
+}
+
+SimConfig
+SimConfig::dcBaseline(unsigned capacity_uops)
+{
+    SimConfig c;
+    c.kind = FrontendKind::Dc;
+    c.dc.capacityUops = capacity_uops;
+    return c;
+}
+
+SimConfig
+SimConfig::bbtcBaseline(unsigned capacity_uops)
+{
+    SimConfig c;
+    c.kind = FrontendKind::Bbtc;
+    c.bbtc.blocks.capacityUops = capacity_uops;
+    return c;
+}
+
+SimConfig
+SimConfig::tcBaseline(unsigned capacity_uops, unsigned ways)
+{
+    SimConfig c;
+    c.kind = FrontendKind::Tc;
+    c.tc.capacityUops = capacity_uops;
+    c.tc.ways = ways;
+    return c;
+}
+
+SimConfig
+SimConfig::xbcBaseline(unsigned capacity_uops, unsigned ways)
+{
+    SimConfig c;
+    c.kind = FrontendKind::Xbc;
+    c.xbc.capacityUops = capacity_uops;
+    c.xbc.ways = ways;
+    return c;
+}
+
+std::unique_ptr<Frontend>
+makeFrontend(const SimConfig &config)
+{
+    switch (config.kind) {
+      case FrontendKind::Ic:
+        return std::make_unique<IcFrontend>(config.frontend);
+      case FrontendKind::Dc:
+        return std::make_unique<DcFrontend>(config.frontend,
+                                            config.dc);
+      case FrontendKind::Tc:
+        return std::make_unique<TcFrontend>(config.frontend,
+                                            config.tc);
+      case FrontendKind::Bbtc:
+        return std::make_unique<BbtcFrontend>(config.frontend,
+                                              config.bbtc);
+      case FrontendKind::Xbc:
+        return std::make_unique<XbcFrontend>(config.frontend,
+                                             config.xbc);
+    }
+    xbs_panic("bad frontend kind");
+}
+
+const char *
+frontendKindName(FrontendKind kind)
+{
+    switch (kind) {
+      case FrontendKind::Ic:   return "IC";
+      case FrontendKind::Dc:   return "DC";
+      case FrontendKind::Tc:   return "TC";
+      case FrontendKind::Bbtc: return "BBTC";
+      case FrontendKind::Xbc:  return "XBC";
+    }
+    return "?";
+}
+
+} // namespace xbs

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Simulation configuration: which frontend to instantiate, with what
+ * parameters. Used by the bench harnesses and examples.
+ */
+
+#ifndef XBS_SIM_CONFIG_HH
+#define XBS_SIM_CONFIG_HH
+
+#include <memory>
+#include <string>
+
+#include "bbtc/bbtc_frontend.hh"
+#include "core/params.hh"
+#include "dc/dc_frontend.hh"
+#include "frontend/frontend.hh"
+#include "tc/tc_frontend.hh"
+
+namespace xbs
+{
+
+enum class FrontendKind
+{
+    Ic,
+    Dc,    ///< decoded uop cache (section 2.2)
+    Tc,
+    Bbtc,  ///< block-based trace cache (section 2.4)
+    Xbc,
+};
+
+struct SimConfig
+{
+    FrontendKind kind = FrontendKind::Xbc;
+    FrontendParams frontend;
+    TcParams tc;
+    XbcParams xbc;
+    DecodedCacheParams dc;
+    BbtcParams bbtc;
+
+    /** Paper defaults: a 32K-uop structure. */
+    static SimConfig icBaseline();
+    static SimConfig dcBaseline(unsigned capacity_uops = 32768);
+    static SimConfig tcBaseline(unsigned capacity_uops = 32768,
+                                unsigned ways = 4);
+    static SimConfig bbtcBaseline(unsigned capacity_uops = 32768);
+    static SimConfig xbcBaseline(unsigned capacity_uops = 32768,
+                                 unsigned ways = 2);
+};
+
+/** Instantiate the configured frontend. */
+std::unique_ptr<Frontend> makeFrontend(const SimConfig &config);
+
+const char *frontendKindName(FrontendKind kind);
+
+} // namespace xbs
+
+#endif // XBS_SIM_CONFIG_HH

@@ -1,0 +1,51 @@
+#include "tc/fill_unit.hh"
+
+#include "common/logging.hh"
+
+namespace xbs
+{
+
+void
+TcFillUnit::restart()
+{
+    line_.clear();
+}
+
+bool
+TcFillUnit::feed(const Trace &trace, std::size_t rec,
+                 const std::function<void(const TraceLine &)> &sink)
+{
+    const StaticInst &si = trace.inst(rec);
+
+    // An instruction that does not fit the uop quota finishes the
+    // pending trace first; the instruction starts the next trace.
+    if (line_.valid && line_.numUops + si.numUops > limits_.maxUops) {
+        sink(line_);
+        line_.clear();
+    }
+
+    if (!line_.valid) {
+        line_.valid = true;
+        line_.startIp = si.ip;
+    }
+
+    EmbeddedInst e;
+    e.staticIdx = trace.record(rec).staticIdx;
+    e.taken = trace.record(rec).taken;
+    line_.insts.push_back(e);
+    line_.numUops += si.numUops;
+    if (si.cls == InstClass::CondBranch)
+        ++line_.numCondBranches;
+
+    bool ends = si.endsTrace() ||
+                line_.numCondBranches >= limits_.maxCondBranches ||
+                line_.numUops >= limits_.maxUops;
+    if (ends) {
+        sink(line_);
+        line_.clear();
+        return true;
+    }
+    return false;
+}
+
+} // namespace xbs

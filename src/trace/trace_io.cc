@@ -1,0 +1,121 @@
+#include "trace/trace_io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace xbs
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'X', 'B', 'T', '1'};
+
+struct FileCloser
+{
+    void operator()(FILE *f) const { if (f) std::fclose(f); }
+};
+
+using FilePtr = std::unique_ptr<FILE, FileCloser>;
+
+template <typename T>
+void
+put(FILE *f, const T &v)
+{
+    if (std::fwrite(&v, sizeof(T), 1, f) != 1)
+        xbs_fatal("trace write failed");
+}
+
+template <typename T>
+T
+get(FILE *f)
+{
+    T v;
+    if (std::fread(&v, sizeof(T), 1, f) != 1)
+        xbs_fatal("trace read failed (truncated file?)");
+    return v;
+}
+
+} // anonymous namespace
+
+void
+writeTrace(const Trace &trace, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        xbs_fatal("cannot open '%s' for writing", path.c_str());
+
+    std::fwrite(kMagic, 1, 4, f.get());
+    put<uint32_t>(f.get(), (uint32_t)trace.name().size());
+    std::fwrite(trace.name().data(), 1, trace.name().size(), f.get());
+
+    const auto &code = trace.code();
+    put<uint64_t>(f.get(), code.size());
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const auto &si = code.inst((int32_t)i);
+        put<uint64_t>(f.get(), si.ip);
+        put<uint8_t>(f.get(), si.length);
+        put<uint8_t>(f.get(), si.numUops);
+        put<uint8_t>(f.get(), (uint8_t)si.cls);
+        put<int32_t>(f.get(), si.takenIdx);
+        put<int32_t>(f.get(), si.behaviorId);
+    }
+
+    put<uint64_t>(f.get(), trace.numRecords());
+    for (std::size_t i = 0; i < trace.numRecords(); ++i) {
+        put<int32_t>(f.get(), trace.record(i).staticIdx);
+        put<uint8_t>(f.get(), trace.record(i).taken);
+    }
+}
+
+Trace
+readTrace(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        xbs_fatal("cannot open '%s' for reading", path.c_str());
+
+    char magic[4];
+    if (std::fread(magic, 1, 4, f.get()) != 4 ||
+        std::memcmp(magic, kMagic, 4) != 0) {
+        xbs_fatal("'%s' is not an XBT1 trace file", path.c_str());
+    }
+
+    auto name_len = get<uint32_t>(f.get());
+    std::string name(name_len, '\0');
+    if (name_len &&
+        std::fread(name.data(), 1, name_len, f.get()) != name_len) {
+        xbs_fatal("trace read failed (name)");
+    }
+
+    auto code = std::make_shared<StaticCode>();
+    auto num_insts = get<uint64_t>(f.get());
+    for (uint64_t i = 0; i < num_insts; ++i) {
+        StaticInst si;
+        si.ip = get<uint64_t>(f.get());
+        si.length = get<uint8_t>(f.get());
+        si.numUops = get<uint8_t>(f.get());
+        si.cls = (InstClass)get<uint8_t>(f.get());
+        si.takenIdx = get<int32_t>(f.get());
+        si.behaviorId = get<int32_t>(f.get());
+        code->append(si);
+    }
+    code->finalize();
+
+    auto num_records = get<uint64_t>(f.get());
+    std::vector<TraceRecord> records;
+    records.reserve(num_records);
+    for (uint64_t i = 0; i < num_records; ++i) {
+        TraceRecord r;
+        r.staticIdx = get<int32_t>(f.get());
+        r.taken = get<uint8_t>(f.get());
+        records.push_back(r);
+    }
+
+    return Trace(std::move(code), std::move(records), std::move(name));
+}
+
+} // namespace xbs

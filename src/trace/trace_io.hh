@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Binary trace file format (".xbt").
+ *
+ * Layout (little endian):
+ *   magic  'X','B','T','1'
+ *   u32    name length, bytes
+ *   u64    instruction count
+ *   per instruction: u64 ip, u8 len, u8 uops, u8 cls, i32 takenIdx,
+ *                    i32 behaviorId
+ *   u64    record count
+ *   per record: i32 staticIdx, u8 taken
+ *
+ * Behaviors are not serialized: a written trace replays exactly, it
+ * is not re-executable.
+ */
+
+#ifndef XBS_TRACE_TRACE_IO_HH
+#define XBS_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace xbs
+{
+
+/** Write @p trace to @p path; fatal() on I/O failure. */
+void writeTrace(const Trace &trace, const std::string &path);
+
+/** Read a trace previously written by writeTrace(). */
+Trace readTrace(const std::string &path);
+
+} // namespace xbs
+
+#endif // XBS_TRACE_TRACE_IO_HH

@@ -1,0 +1,181 @@
+#include "trace/trace_stats.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace xbs
+{
+
+void
+BranchBiasTable::observe(int32_t static_idx, bool taken)
+{
+    auto &c = table_[static_idx];
+    c.total += 1;
+    if (taken)
+        c.taken += 1;
+}
+
+uint64_t
+BranchBiasTable::count(int32_t static_idx) const
+{
+    auto it = table_.find(static_idx);
+    return it == table_.end() ? 0 : it->second.total;
+}
+
+double
+BranchBiasTable::bias(int32_t static_idx) const
+{
+    auto it = table_.find(static_idx);
+    if (it == table_.end() || it->second.total == 0)
+        return 0.0;
+    uint64_t t = it->second.taken;
+    uint64_t n = it->second.total - t;
+    return (double)std::max(t, n) / (double)it->second.total;
+}
+
+bool
+BranchBiasTable::monotonic(int32_t static_idx, double threshold) const
+{
+    return bias(static_idx) >= threshold;
+}
+
+void
+BlockLengthStats::merge(const BlockLengthStats &other)
+{
+    basicBlock.merge(other.basicBlock);
+    xb.merge(other.xb);
+    xbPromoted.merge(other.xbPromoted);
+    dualXb.merge(other.dualXb);
+}
+
+BranchBiasTable
+computeBranchBias(const Trace &trace)
+{
+    BranchBiasTable bias;
+    for (std::size_t i = 0; i < trace.numRecords(); ++i) {
+        const auto &si = trace.inst(i);
+        if (si.cls == InstClass::CondBranch)
+            bias.observe(trace.record(i).staticIdx,
+                         trace.record(i).taken != 0);
+    }
+    return bias;
+}
+
+namespace
+{
+
+/**
+ * Streaming block accumulator: feeds instructions, emits block
+ * lengths into a histogram honoring the uop quota.
+ */
+class BlockAccumulator
+{
+  public:
+    BlockAccumulator(Histogram &hist, unsigned quota)
+        : hist_(hist), quota_(quota)
+    {
+    }
+
+    void
+    feed(unsigned uops, bool ends_block)
+    {
+        // The quota splits an over-long run into quota-sized blocks,
+        // mirroring the fill buffer filling up mid-sequence.
+        if (len_ + uops > quota_) {
+            hist_.add(len_);
+            len_ = 0;
+        }
+        len_ += uops;
+        if (ends_block) {
+            hist_.add(std::min(len_, quota_));
+            len_ = 0;
+        }
+    }
+
+    void
+    flush()
+    {
+        if (len_ > 0) {
+            hist_.add(std::min(len_, quota_));
+            len_ = 0;
+        }
+    }
+
+  private:
+    Histogram &hist_;
+    unsigned quota_;
+    unsigned len_ = 0;
+};
+
+} // anonymous namespace
+
+BlockLengthStats
+computeBlockLengthStats(const Trace &trace, double promote_threshold,
+                        unsigned quota)
+{
+    BlockLengthStats out;
+    BranchBiasTable bias = computeBranchBias(trace);
+
+    BlockAccumulator bb(out.basicBlock, quota);
+    BlockAccumulator xb(out.xb, quota);
+    BlockAccumulator xbp(out.xbPromoted, quota);
+
+    // Dual-XB pairing state: remember the previous XB length.
+    unsigned dual_pending = 0;
+    bool dual_have = false;
+    unsigned dual_len = 0;
+
+    auto feedDual = [&](unsigned xb_len) {
+        if (!dual_have) {
+            dual_pending = xb_len;
+            dual_have = true;
+        } else {
+            out.dualXb.add(std::min(dual_pending + xb_len, quota));
+            dual_have = false;
+        }
+    };
+
+    for (std::size_t i = 0; i < trace.numRecords(); ++i) {
+        const auto &si = trace.inst(i);
+        const unsigned uops = si.numUops;
+
+        bb.feed(uops, si.endsBasicBlock());
+
+        // Extended blocks, with a parallel copy feeding the dual-XB
+        // pairing (needs explicit lengths, so re-derive them here).
+        bool xb_end = si.endsXb();
+        xb.feed(uops, xb_end);
+
+        if (dual_len + uops > quota) {
+            feedDual(dual_len);
+            dual_len = 0;
+        }
+        dual_len += uops;
+        if (xb_end) {
+            feedDual(std::min(dual_len, quota));
+            dual_len = 0;
+        }
+
+        // Promotion view: monotonic conditional branches are absorbed.
+        bool xbp_end = xb_end;
+        if (si.cls == InstClass::CondBranch &&
+            bias.monotonic(trace.record(i).staticIdx,
+                           promote_threshold)) {
+            xbp_end = false;
+        }
+        xbp.feed(uops, xbp_end);
+    }
+
+    bb.flush();
+    xb.flush();
+    xbp.flush();
+    if (dual_len > 0)
+        feedDual(std::min(dual_len, quota));
+    if (dual_have)
+        out.dualXb.add(std::min(dual_pending, quota));
+
+    return out;
+}
+
+} // namespace xbs

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Dynamic block-length statistics over a trace (paper Figure 1).
+ *
+ * Four block types, all capped at 16 uops:
+ *  - basic block:      ends on any control instruction;
+ *  - extended block:   ends on conditional/indirect branches, calls,
+ *                      and returns (direct jumps are absorbed);
+ *  - XB w/ promotion:  like XB, but conditional branches whose
+ *                      observed bias is >= the promotion threshold do
+ *                      not end a block;
+ *  - dual XB:          two consecutive XBs fused (capped at 16).
+ */
+
+#ifndef XBS_TRACE_TRACE_STATS_HH
+#define XBS_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/histogram.hh"
+#include "trace/trace.hh"
+
+namespace xbs
+{
+
+/** Per-static-branch dynamic bias, gathered in a first pass. */
+class BranchBiasTable
+{
+  public:
+    void observe(int32_t static_idx, bool taken);
+
+    /** Executions of the branch. */
+    uint64_t count(int32_t static_idx) const;
+
+    /** max(taken, not-taken) / total, or 0 if never seen. */
+    double bias(int32_t static_idx) const;
+
+    /** True if the branch is at least @p threshold biased. */
+    bool monotonic(int32_t static_idx, double threshold) const;
+
+  private:
+    struct Counts { uint64_t taken = 0; uint64_t total = 0; };
+    std::unordered_map<int32_t, Counts> table_;
+};
+
+/** Result bundle for Figure 1. */
+struct BlockLengthStats
+{
+    Histogram basicBlock{16};
+    Histogram xb{16};
+    Histogram xbPromoted{16};
+    Histogram dualXb{16};
+
+    /** Merge another trace's stats into this aggregate. */
+    void merge(const BlockLengthStats &other);
+};
+
+/**
+ * Compute block-length statistics for @p trace.
+ *
+ * @param trace              the dynamic trace to analyze
+ * @param promote_threshold  bias above which a conditional branch is
+ *                           treated as promoted (paper: 99.2%)
+ * @param quota              maximum block length in uops (paper: 16)
+ */
+BlockLengthStats computeBlockLengthStats(const Trace &trace,
+                                         double promote_threshold = 0.992,
+                                         unsigned quota = 16);
+
+/** First-pass bias computation, exposed for tests and the XFU. */
+BranchBiasTable computeBranchBias(const Trace &trace);
+
+} // namespace xbs
+
+#endif // XBS_TRACE_TRACE_STATS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Dynamic branch behavior specifications.
+ *
+ * A synthetic program attaches a behavior to every conditional branch
+ * and every indirect transfer. Behaviors are immutable specs; the
+ * Executor keeps the mutable runtime state (loop counters, pattern
+ * positions, RNG streams), so a Program can be shared by many
+ * executors.
+ */
+
+#ifndef XBS_WORKLOAD_BEHAVIOR_HH
+#define XBS_WORKLOAD_BEHAVIOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace xbs
+{
+
+/** Behavior of a conditional branch. */
+struct CondBehavior
+{
+    enum class Kind : uint8_t
+    {
+        /**
+         * Loop latch: taken while iterating, not-taken on exit.
+         * The trip count is fixed per branch (tripCount) with a
+         * small per-entry jitter probability, which is what makes
+         * GSHARE's history useful.
+         */
+        Loop,
+
+        /** Independent Bernoulli draws with P(taken) = biasTaken. */
+        Biased,
+
+        /** Fixed repeating taken/not-taken pattern. */
+        Pattern,
+    };
+
+    Kind kind = Kind::Biased;
+
+    double biasTaken = 0.5;      ///< Biased: probability of taken
+    uint32_t tripCount = 8;      ///< Loop: iterations per entry
+    double tripJitter = 0.05;    ///< Loop: P(trip varies by +/-1)
+    uint32_t patternBits = 0x2;  ///< Pattern: LSB-first directions
+    uint8_t patternLen = 2;      ///< Pattern: length in bits (<=32)
+    uint64_t seed = 1;           ///< per-branch RNG stream seed
+};
+
+/** Behavior of an indirect jump/call: a weighted target set. */
+struct IndirectBehavior
+{
+    /** Static instruction indices of the possible targets. */
+    std::vector<int32_t> targets;
+
+    /** Relative weights (same arity as targets). */
+    std::vector<double> weights;
+
+    /**
+     * Temporal locality: probability that an execution repeats the
+     * previously chosen target instead of drawing fresh. High values
+     * make a last-target indirect predictor effective, mirroring
+     * phase behavior in real dispatch loops.
+     */
+    double repeatProb = 0.6;
+
+    uint64_t seed = 1;
+};
+
+} // namespace xbs
+
+#endif // XBS_WORKLOAD_BEHAVIOR_HH

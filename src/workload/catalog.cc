@@ -1,0 +1,144 @@
+#include "workload/catalog.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "workload/builder.hh"
+#include "workload/executor.hh"
+
+namespace xbs
+{
+
+namespace
+{
+
+uint64_t
+nameSeed(const std::string &name)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= (unsigned char)c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+CatalogEntry
+entry(const std::string &name, WorkloadProfile base,
+      double size_scale, double loop_scale, double indirect_scale)
+{
+    base.name = name;
+    base.seed = nameSeed(name);
+    base.numFunctions =
+        (unsigned)((double)base.numFunctions * size_scale);
+    base.mainIterationBudget *= size_scale;
+    base.shortTripMean *= loop_scale;
+    base.wLoop *= loop_scale;
+    base.indirectCallFraction *= indirect_scale;
+    base.wSwitch *= indirect_scale;
+    CatalogEntry e;
+    e.name = name;
+    e.suite = base.suite;
+    e.profile = base;
+    return e;
+}
+
+std::vector<CatalogEntry>
+makeCatalog()
+{
+    std::vector<CatalogEntry> cat;
+
+    // SPECint95-like: the 8 integer benchmarks the paper traced.
+    const auto spec = specIntProfile();
+    cat.push_back(entry("go",       spec, 1.5, 0.8, 0.6));
+    cat.push_back(entry("m88ksim",  spec, 0.8, 1.3, 0.7));
+    cat.push_back(entry("gcc",      spec, 2.4, 0.7, 1.2));
+    cat.push_back(entry("compress", spec, 0.3, 1.8, 0.4));
+    cat.push_back(entry("li",       spec, 0.6, 1.1, 1.5));
+    cat.push_back(entry("ijpeg",    spec, 0.5, 1.7, 0.5));
+    cat.push_back(entry("perl",     spec, 1.3, 0.9, 1.6));
+    cat.push_back(entry("vortex",   spec, 1.9, 0.8, 1.0));
+
+    // SYSmark32-for-Windows-95-like: large office applications.
+    const auto sys = sysmarkProfile();
+    cat.push_back(entry("word",     sys, 1.0, 1.0, 1.0));
+    cat.push_back(entry("excel",    sys, 1.1, 1.0, 1.1));
+    cat.push_back(entry("powerpnt", sys, 0.9, 0.9, 1.0));
+    cat.push_back(entry("access",   sys, 1.2, 0.8, 1.2));
+    cat.push_back(entry("corel",    sys, 0.8, 1.2, 0.9));
+    cat.push_back(entry("photoshp", sys, 0.9, 1.5, 0.8));
+    cat.push_back(entry("premiere", sys, 1.0, 1.3, 0.9));
+    cat.push_back(entry("netscape", sys, 1.3, 0.8, 1.3));
+
+    // Games-like: engine loops with heavy dispatch.
+    const auto games = gamesProfile();
+    cat.push_back(entry("quake2",   games, 1.0, 1.2, 1.0));
+    cat.push_back(entry("unreal",   games, 1.2, 1.0, 1.2));
+    cat.push_back(entry("halflife", games, 1.1, 1.0, 1.1));
+    cat.push_back(entry("descent3", games, 0.9, 1.3, 0.9));
+    cat.push_back(entry("falcon4",  games, 1.0, 0.9, 1.3));
+
+    return cat;
+}
+
+} // anonymous namespace
+
+const std::vector<CatalogEntry> &
+workloadCatalog()
+{
+    static const std::vector<CatalogEntry> cat = makeCatalog();
+    return cat;
+}
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = {
+        "SPECint95", "SYSmark32", "Games",
+    };
+    return names;
+}
+
+const CatalogEntry &
+findWorkload(const std::string &name)
+{
+    for (const auto &e : workloadCatalog()) {
+        if (e.name == name)
+            return e;
+    }
+    xbs_fatal("unknown workload '%s'", name.c_str());
+}
+
+std::shared_ptr<const Program>
+buildCatalogProgram(const CatalogEntry &e)
+{
+    return buildProgram(e.profile);
+}
+
+uint64_t
+defaultTraceLength()
+{
+    if (const char *env = std::getenv("XBS_TRACE_LEN")) {
+        uint64_t v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    if (const char *fast = std::getenv("XBS_FAST")) {
+        if (fast[0] == '1')
+            return 300000;
+    }
+    return 2000000;
+}
+
+Trace
+makeCatalogTrace(const std::string &name, uint64_t num_instructions)
+{
+    const auto &e = findWorkload(name);
+    if (num_instructions == 0)
+        num_instructions = defaultTraceLength();
+    auto program = buildCatalogProgram(e);
+    Executor ex(program, e.profile.seed);
+    return ex.run(num_instructions);
+}
+
+} // namespace xbs

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The workload catalog: 21 named synthetic traces grouped into three
+ * suites, standing in for the paper's SPECint95 (8), SYSmark32 for
+ * Windows 95 (8), and Games (5) trace sets.
+ *
+ * Each entry pairs a suite preset with per-workload parameter
+ * deviations (code footprint, loopiness, indirection) so the traces
+ * differ the way real applications do, and a fixed seed so every run
+ * of every bench sees identical traces.
+ */
+
+#ifndef XBS_WORKLOAD_CATALOG_HH
+#define XBS_WORKLOAD_CATALOG_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "workload/profile.hh"
+#include "workload/program.hh"
+
+namespace xbs
+{
+
+/** One catalog entry. */
+struct CatalogEntry
+{
+    std::string name;
+    std::string suite;
+    WorkloadProfile profile;
+};
+
+/** All 21 workloads in suite order (SPECint95, SYSmark32, Games). */
+const std::vector<CatalogEntry> &workloadCatalog();
+
+/** Names of the three suites in catalog order. */
+const std::vector<std::string> &suiteNames();
+
+/** Find an entry by name; fatal() if unknown. */
+const CatalogEntry &findWorkload(const std::string &name);
+
+/** Build (and memoize per call site) the program for an entry. */
+std::shared_ptr<const Program> buildCatalogProgram(
+    const CatalogEntry &entry);
+
+/**
+ * Produce the dynamic trace for a workload.
+ *
+ * @param name  catalog entry name
+ * @param num_instructions  trace length; 0 selects the default
+ *        (XBS_TRACE_LEN env var, or 2,000,000; XBS_FAST=1 shrinks the
+ *        default to 300,000 for quick runs)
+ */
+Trace makeCatalogTrace(const std::string &name,
+                       uint64_t num_instructions = 0);
+
+/** The default trace length after env overrides. */
+uint64_t defaultTraceLength();
+
+} // namespace xbs
+
+#endif // XBS_WORKLOAD_CATALOG_HH

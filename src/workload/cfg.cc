@@ -1,0 +1,217 @@
+#include "workload/cfg.hh"
+
+#include "common/logging.hh"
+
+namespace xbs
+{
+
+int
+CfgProgram::addFunction(std::string name)
+{
+    functions_.push_back(CfgFunction{std::move(name), {}});
+    return (int)functions_.size() - 1;
+}
+
+namespace
+{
+
+unsigned
+blockInstCount(const CfgBlock &b)
+{
+    return (unsigned)b.body.size() +
+           (b.term.kind == TermKind::FallThrough ? 0 : 1);
+}
+
+bool
+validLastBlock(TermKind kind)
+{
+    return kind == TermKind::Return || kind == TermKind::Jump ||
+           kind == TermKind::IndirectJump;
+}
+
+} // anonymous namespace
+
+std::shared_ptr<const Program>
+CfgProgram::link(uint64_t base_ip) const
+{
+    if (functions_.empty())
+        xbs_fatal("program '%s' has no functions", name_.c_str());
+    if (entryFunction_ < 0 ||
+        (std::size_t)entryFunction_ >= functions_.size()) {
+        xbs_fatal("entry function %d out of range", entryFunction_);
+    }
+
+    // Pass 1: compute the static index of the first instruction of
+    // every block. Empty fall-through blocks resolve to the next
+    // block's first instruction.
+    std::vector<std::vector<int32_t>> blockFirst(functions_.size());
+    int32_t counter = 0;
+    for (std::size_t f = 0; f < functions_.size(); ++f) {
+        const auto &fn = functions_[f];
+        if (fn.blocks.empty())
+            xbs_fatal("function '%s' has no blocks", fn.name.c_str());
+        if (!validLastBlock(fn.blocks.back().term.kind)) {
+            xbs_fatal("function '%s': last block must end in a "
+                      "return/jump/indirect jump", fn.name.c_str());
+        }
+        blockFirst[f].resize(fn.blocks.size());
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            blockFirst[f][b] = counter;
+            counter += (int32_t)blockInstCount(fn.blocks[b]);
+        }
+        // Fix up empty blocks (they alias the next block's start).
+        for (std::size_t b = fn.blocks.size(); b-- > 0;) {
+            if (blockInstCount(fn.blocks[b]) == 0) {
+                if (b + 1 >= fn.blocks.size()) {
+                    xbs_fatal("function '%s': empty final block",
+                              fn.name.c_str());
+                }
+                blockFirst[f][b] = blockFirst[f][b + 1];
+            }
+        }
+    }
+
+    // Pass 2: emit instructions.
+    auto code = std::make_shared<StaticCode>();
+    std::vector<CondBehavior> conds;
+    std::vector<IndirectBehavior> indirects;
+    std::vector<FunctionInfo> infos;
+
+    uint64_t cursor = base_ip;
+    for (std::size_t f = 0; f < functions_.size(); ++f) {
+        const auto &fn = functions_[f];
+        // Align function starts, as a linker would.
+        cursor = (cursor + 15) & ~uint64_t(15);
+
+        FunctionInfo info;
+        info.name = fn.name;
+        info.firstIdx = blockFirst[f][0];
+        info.entryIp = cursor;
+
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            const auto &blk = fn.blocks[b];
+            for (const auto &ci : blk.body) {
+                StaticInst si;
+                si.ip = cursor;
+                si.length = ci.length;
+                si.numUops = ci.numUops;
+                si.cls = InstClass::Seq;
+                cursor += si.length;
+                code->append(si);
+            }
+
+            const auto &t = blk.term;
+            if (t.kind == TermKind::FallThrough) {
+                if (b + 1 >= fn.blocks.size()) {
+                    xbs_fatal("function '%s': block %zu falls off "
+                              "the end", fn.name.c_str(), b);
+                }
+                continue;
+            }
+
+            StaticInst si;
+            si.ip = cursor;
+            si.length = t.length;
+            si.numUops = t.numUops;
+            cursor += si.length;
+
+            auto blockTarget = [&](int blockId) -> int32_t {
+                if (blockId < 0 ||
+                    (std::size_t)blockId >= fn.blocks.size()) {
+                    xbs_fatal("function '%s': bad target block %d",
+                              fn.name.c_str(), blockId);
+                }
+                return blockFirst[f][blockId];
+            };
+            auto funcEntry = [&](int funcId) -> int32_t {
+                if (funcId < 0 ||
+                    (std::size_t)funcId >= functions_.size()) {
+                    xbs_fatal("function '%s': bad callee %d",
+                              fn.name.c_str(), funcId);
+                }
+                return blockFirst[funcId][0];
+            };
+
+            switch (t.kind) {
+              case TermKind::CondBranch:
+                si.cls = InstClass::CondBranch;
+                si.takenIdx = blockTarget(t.targetBlock);
+                si.behaviorId = (int32_t)conds.size();
+                conds.push_back(t.cond);
+                if (b + 1 >= fn.blocks.size()) {
+                    xbs_fatal("function '%s': conditional branch in "
+                              "final block", fn.name.c_str());
+                }
+                break;
+              case TermKind::Jump:
+                si.cls = InstClass::DirectJump;
+                si.takenIdx = blockTarget(t.targetBlock);
+                break;
+              case TermKind::Call: {
+                si.cls = InstClass::DirectCall;
+                if (t.calleeFunctions.size() != 1) {
+                    xbs_fatal("function '%s': direct call needs "
+                              "exactly one callee", fn.name.c_str());
+                }
+                si.takenIdx = funcEntry(t.calleeFunctions[0]);
+                if (b + 1 >= fn.blocks.size()) {
+                    xbs_fatal("function '%s': call in final block",
+                              fn.name.c_str());
+                }
+                break;
+              }
+              case TermKind::IndirectJump: {
+                si.cls = InstClass::IndirectJump;
+                IndirectBehavior ib;
+                for (int tb : t.targetBlocks)
+                    ib.targets.push_back(blockTarget(tb));
+                ib.weights = t.weights;
+                if (ib.weights.empty())
+                    ib.weights.assign(ib.targets.size(), 1.0);
+                ib.repeatProb = t.repeatProb;
+                ib.seed = 0x9E37 + (uint64_t)code->size() * 0x85EB;
+                si.behaviorId = (int32_t)indirects.size();
+                indirects.push_back(std::move(ib));
+                break;
+              }
+              case TermKind::IndirectCall: {
+                si.cls = InstClass::IndirectCall;
+                IndirectBehavior ib;
+                for (int cf : t.calleeFunctions)
+                    ib.targets.push_back(funcEntry(cf));
+                ib.weights = t.weights;
+                if (ib.weights.empty())
+                    ib.weights.assign(ib.targets.size(), 1.0);
+                ib.repeatProb = t.repeatProb;
+                ib.seed = 0x9E37 + (uint64_t)code->size() * 0x85EB;
+                si.behaviorId = (int32_t)indirects.size();
+                indirects.push_back(std::move(ib));
+                if (b + 1 >= fn.blocks.size()) {
+                    xbs_fatal("function '%s': indirect call in final "
+                              "block", fn.name.c_str());
+                }
+                break;
+              }
+              case TermKind::Return:
+                si.cls = InstClass::Return;
+                break;
+              default:
+                xbs_panic("unhandled terminator kind");
+            }
+
+            code->append(si);
+        }
+
+        info.lastIdx = (int32_t)code->size() - 1;
+        infos.push_back(std::move(info));
+    }
+
+    code->finalize();
+
+    int32_t entry = blockFirst[entryFunction_][0];
+    return std::make_shared<Program>(code, std::move(conds),
+                                     std::move(indirects), entry,
+                                     std::move(infos), name_);
+}
+
+} // namespace xbs

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Block-level control-flow-graph IR for synthetic programs.
+ *
+ * CfgProgram is the public construction API: build functions out of
+ * basic blocks, attach terminators and behaviors, then link() to get
+ * an executable, flattened Program. Layout rules:
+ *
+ *  - blocks are laid out in vector order; a block without a
+ *    terminator (TermKind::FallThrough) falls into the next block;
+ *  - a conditional branch falls through to the next block when
+ *    not taken and goes to its target block when taken;
+ *  - the last block of a function must end in a definite transfer
+ *    (return, jump, or indirect jump).
+ */
+
+#ifndef XBS_WORKLOAD_CFG_HH
+#define XBS_WORKLOAD_CFG_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/static_inst.hh"
+#include "workload/behavior.hh"
+#include "workload/program.hh"
+
+namespace xbs
+{
+
+/** A body (non-control) instruction under construction. */
+struct CfgInst
+{
+    uint8_t length = 3;
+    uint8_t numUops = 1;
+};
+
+/** How a basic block ends. */
+enum class TermKind : uint8_t
+{
+    FallThrough,   ///< no terminator instruction; run into next block
+    CondBranch,
+    Jump,
+    Call,
+    IndirectJump,
+    IndirectCall,
+    Return,
+};
+
+/** Terminator of a basic block. */
+struct CfgTerminator
+{
+    TermKind kind = TermKind::FallThrough;
+
+    /** Encoded size of the terminator instruction itself. */
+    uint8_t length = 2;
+    uint8_t numUops = 1;
+
+    /** CondBranch taken target / Jump target: block id in the same
+     *  function. */
+    int targetBlock = -1;
+
+    /** Call / one entry per possible callee for IndirectCall. */
+    std::vector<int> calleeFunctions;
+
+    /** IndirectJump targets: block ids in the same function. */
+    std::vector<int> targetBlocks;
+
+    /** Weights for indirect target selection (optional). */
+    std::vector<double> weights;
+    double repeatProb = 0.6;
+
+    /** Behavior of a conditional branch. */
+    CondBehavior cond;
+};
+
+/** A basic block under construction. */
+struct CfgBlock
+{
+    std::vector<CfgInst> body;
+    CfgTerminator term;
+};
+
+/** A function under construction. */
+struct CfgFunction
+{
+    std::string name;
+    std::vector<CfgBlock> blocks;
+
+    /** Append an empty block; returns its id. */
+    int
+    addBlock()
+    {
+        blocks.emplace_back();
+        return (int)blocks.size() - 1;
+    }
+};
+
+/**
+ * A whole program under construction. Function 0 is the entry unless
+ * overridden. Instruction addresses are assigned at link time:
+ * functions are placed sequentially starting at baseIp with small
+ * alignment gaps, mimicking a linker.
+ */
+class CfgProgram
+{
+  public:
+    explicit CfgProgram(std::string name = "program")
+        : name_(std::move(name))
+    {
+    }
+
+    /** Append an empty function; returns its id. */
+    int addFunction(std::string name);
+
+    CfgFunction &function(int id) { return functions_[id]; }
+    const CfgFunction &function(int id) const { return functions_[id]; }
+    std::size_t numFunctions() const { return functions_.size(); }
+
+    void setEntry(int function_id) { entryFunction_ = function_id; }
+
+    /**
+     * Flatten to an executable Program. Validates structural rules
+     * (fatal() on user errors such as dangling targets).
+     *
+     * @param base_ip address of the first function
+     */
+    std::shared_ptr<const Program> link(uint64_t base_ip = 0x1000) const;
+
+  private:
+    std::string name_;
+    std::vector<CfgFunction> functions_;
+    int entryFunction_ = 0;
+};
+
+} // namespace xbs
+
+#endif // XBS_WORKLOAD_CFG_HH

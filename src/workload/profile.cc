@@ -1,0 +1,69 @@
+#include "workload/profile.hh"
+
+namespace xbs
+{
+
+WorkloadProfile
+specIntProfile()
+{
+    WorkloadProfile p;
+    p.suite = "SPECint95";
+    p.numFunctions = 150;
+    p.itemsPerFunctionMean = 10.0;
+    p.wLoop = 1.1;
+    p.wCall = 0.8;
+    p.wSwitch = 0.10;
+    p.monotonicFraction = 0.42;
+    p.shortTripMean = 7.0;
+    p.longLoopFraction = 0.18;
+    p.indirectCallFraction = 0.08;
+    p.indirectRepeatProb = 0.72;
+    p.mainIterationBudget = 60000.0;
+    p.budgetDecay = 0.70;
+    return p;
+}
+
+WorkloadProfile
+sysmarkProfile()
+{
+    WorkloadProfile p;
+    p.suite = "SYSmark32";
+    p.numFunctions = 620;
+    p.itemsPerFunctionMean = 11.0;
+    p.wLoop = 0.6;
+    p.wCall = 1.5;
+    p.wIfElse = 1.9;
+    p.wSwitch = 0.14;
+    p.monotonicFraction = 0.34;
+    p.shortTripMean = 4.0;
+    p.longLoopFraction = 0.08;
+    p.indirectCallFraction = 0.14;
+    p.indirectRepeatProb = 0.72;
+    p.calleeZipfS = 0.8;
+    p.mainIterationBudget = 260000.0;
+    p.budgetDecay = 0.60;
+    return p;
+}
+
+WorkloadProfile
+gamesProfile()
+{
+    WorkloadProfile p;
+    p.suite = "Games";
+    p.numFunctions = 320;
+    p.itemsPerFunctionMean = 10.0;
+    p.wLoop = 0.9;
+    p.wCall = 1.1;
+    p.wSwitch = 0.20;
+    p.switchFanoutMax = 8;
+    p.monotonicFraction = 0.36;
+    p.shortTripMean = 8.0;
+    p.longLoopFraction = 0.14;
+    p.indirectCallFraction = 0.12;
+    p.indirectRepeatProb = 0.76;
+    p.mainIterationBudget = 130000.0;
+    p.budgetDecay = 0.70;
+    return p;
+}
+
+} // namespace xbs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tunable parameters of synthetic workload generation.
+ *
+ * A WorkloadProfile drives ProgramBuilder. The suite presets are
+ * calibrated so aggregate properties match what the paper reports for
+ * its trace sets: average basic block length ~7.7 uops, XB ~8.0,
+ * promoted XB ~10.0, dual XB ~12.7 (Figure 1), with suite-dependent
+ * code footprints (SYSmark32-like being the largest, SPECint95-like
+ * the loopiest, Games-like the most indirect-branch heavy).
+ */
+
+#ifndef XBS_WORKLOAD_PROFILE_HH
+#define XBS_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xbs
+{
+
+struct WorkloadProfile
+{
+    std::string name = "default";
+    std::string suite = "misc";
+    uint64_t seed = 1;
+
+    /// @{ Static code size knobs.
+    unsigned numFunctions = 120;
+    double itemsPerFunctionMean = 10.0;  ///< structured items/function
+    double bodyInstMean = 2.4;           ///< body insts per block
+    /// @}
+
+    /// @{ Instruction encoding.
+    double uopsPerInstMean = 1.55;  ///< expansion, capped at 4
+    double instLenMean = 3.4;       ///< bytes, capped at 15
+    /// @}
+
+    /// @{ Structured-item mix (relative weights).
+    double wStraight = 1.0;
+    double wIfElse = 1.6;
+    double wLoop = 0.8;
+    double wSwitch = 0.15;
+    double wCall = 0.9;
+    /// @}
+
+    /// @{ Conditional branch behavior.
+    double monotonicFraction = 0.40;  ///< >=99.2% biased (promotable)
+    double patternFraction = 0.15;    ///< short repeating patterns
+    double biasLow = 0.10;            ///< ordinary bias range low
+    double biasHigh = 0.90;           ///< ordinary bias range high
+    double shortTripMean = 6.0;       ///< short loop trip count mean
+    double longLoopFraction = 0.15;   ///< loops with promotable trips
+    uint32_t longTripMin = 128;
+    uint32_t longTripMax = 1024;
+    double tripJitter = 0.05;
+    /// @}
+
+    /// @{ Indirect control flow.
+    unsigned switchFanoutMax = 6;
+    double indirectCallFraction = 0.12;  ///< of call sites
+    unsigned icallFanoutMax = 4;
+    double indirectRepeatProb = 0.65;
+    /// @}
+
+    /// @{ Call-graph / dynamic-cost shape.
+    double calleeZipfS = 1.0;      ///< skew of callee popularity
+    unsigned maxNestDepth = 3;     ///< if/loop nesting limit
+    double armItemMean = 1.2;      ///< items per if/loop arm
+    double nestedCallScale = 0.35; ///< call weight damping inside loops
+
+    /**
+     * Estimated dynamic instructions per iteration of the entry
+     * function's outer loop. Call sites whose callee would blow the
+     * caller's share of this budget are downgraded to cheaper callees
+     * (or dropped), bounding the cost of the whole call tree. This is
+     * the main lever on the dynamic code footprint: a large budget
+     * lets one outer iteration walk a large fraction of the program.
+     */
+    double mainIterationBudget = 40000.0;
+
+    /** Exponent of the per-function budget decay: budget(f) =
+     *  mainIterationBudget / (1+f)^budgetDecay. */
+    double budgetDecay = 0.85;
+    /// @}
+};
+
+/** Suite presets. @p name and @p seed are filled in by the catalog. */
+WorkloadProfile specIntProfile();
+WorkloadProfile sysmarkProfile();
+WorkloadProfile gamesProfile();
+
+} // namespace xbs
+
+#endif // XBS_WORKLOAD_PROFILE_HH

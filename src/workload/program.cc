@@ -1,0 +1,63 @@
+#include "workload/program.hh"
+
+#include "common/logging.hh"
+
+namespace xbs
+{
+
+Program::Program(std::shared_ptr<const StaticCode> code,
+                 std::vector<CondBehavior> cond_behaviors,
+                 std::vector<IndirectBehavior> indirect_behaviors,
+                 int32_t entry_idx,
+                 std::vector<FunctionInfo> functions,
+                 std::string name)
+    : code_(std::move(code)),
+      condBehaviors_(std::move(cond_behaviors)),
+      indirectBehaviors_(std::move(indirect_behaviors)),
+      entryIdx_(entry_idx),
+      functions_(std::move(functions)),
+      name_(std::move(name))
+{
+    validate();
+}
+
+void
+Program::validate() const
+{
+    xbs_assert(code_ && code_->finalized(), "program needs code");
+    xbs_assert(entryIdx_ >= 0 && (std::size_t)entryIdx_ < code_->size(),
+               "entry index out of range");
+
+    for (std::size_t i = 0; i < code_->size(); ++i) {
+        const auto &si = code_->inst((int32_t)i);
+        switch (si.cls) {
+          case InstClass::CondBranch:
+            xbs_assert(si.behaviorId >= 0 &&
+                       (std::size_t)si.behaviorId <
+                           condBehaviors_.size(),
+                       "cond branch %zu lacks behavior", i);
+            xbs_assert(si.takenIdx != kNoTarget,
+                       "cond branch %zu lacks target", i);
+            break;
+          case InstClass::IndirectJump:
+          case InstClass::IndirectCall:
+            xbs_assert(si.behaviorId >= 0 &&
+                       (std::size_t)si.behaviorId <
+                           indirectBehaviors_.size(),
+                       "indirect %zu lacks behavior", i);
+            xbs_assert(!indirectBehaviors_[si.behaviorId]
+                            .targets.empty(),
+                       "indirect %zu has no targets", i);
+            break;
+          case InstClass::DirectJump:
+          case InstClass::DirectCall:
+            xbs_assert(si.takenIdx != kNoTarget,
+                       "direct transfer %zu lacks target", i);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace xbs

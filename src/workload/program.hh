@@ -1,0 +1,80 @@
+/**
+ * @file
+ * An executable synthetic program: flattened static code plus the
+ * behavior tables that drive its dynamic control flow.
+ */
+
+#ifndef XBS_WORKLOAD_PROGRAM_HH
+#define XBS_WORKLOAD_PROGRAM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/static_inst.hh"
+#include "workload/behavior.hh"
+
+namespace xbs
+{
+
+/** Span of one function within the flattened code, for diagnostics. */
+struct FunctionInfo
+{
+    std::string name;
+    int32_t firstIdx = 0;  ///< first instruction index
+    int32_t lastIdx = 0;   ///< last instruction index (inclusive)
+    uint64_t entryIp = 0;
+};
+
+/**
+ * Immutable program image. CondBranch instructions carry a behaviorId
+ * into condBehaviors; IndirectJump/IndirectCall into
+ * indirectBehaviors.
+ */
+class Program
+{
+  public:
+    Program(std::shared_ptr<const StaticCode> code,
+            std::vector<CondBehavior> cond_behaviors,
+            std::vector<IndirectBehavior> indirect_behaviors,
+            int32_t entry_idx,
+            std::vector<FunctionInfo> functions,
+            std::string name);
+
+    const StaticCode &code() const { return *code_; }
+    std::shared_ptr<const StaticCode> codePtr() const { return code_; }
+
+    const std::vector<CondBehavior> &condBehaviors() const
+    {
+        return condBehaviors_;
+    }
+
+    const std::vector<IndirectBehavior> &indirectBehaviors() const
+    {
+        return indirectBehaviors_;
+    }
+
+    int32_t entryIdx() const { return entryIdx_; }
+
+    const std::vector<FunctionInfo> &functions() const
+    {
+        return functions_;
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Sanity-check behavior ids and entry point; panics on error. */
+    void validate() const;
+
+  private:
+    std::shared_ptr<const StaticCode> code_;
+    std::vector<CondBehavior> condBehaviors_;
+    std::vector<IndirectBehavior> indirectBehaviors_;
+    int32_t entryIdx_;
+    std::vector<FunctionInfo> functions_;
+    std::string name_;
+};
+
+} // namespace xbs
+
+#endif // XBS_WORKLOAD_PROGRAM_HH

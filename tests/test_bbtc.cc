@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the block-based trace cache (paper section 2.4):
+ * block cache behavior, pointer-trace filling, conservation, and the
+ * redundancy-moves-to-pointers property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bbtc/bbtc_frontend.hh"
+#include "bbtc/block_cache.hh"
+#include "tc/tc_frontend.hh"
+#include "test_helpers.hh"
+#include "workload/catalog.hh"
+
+namespace xbs
+{
+namespace
+{
+
+CachedBlock
+makeBlock(uint64_t ip, std::initializer_list<int32_t> insts,
+          unsigned uops)
+{
+    CachedBlock b;
+    b.valid = true;
+    b.startIp = ip;
+    b.insts = insts;
+    b.numUops = uops;
+    return b;
+}
+
+struct BlockCacheFixture : public testing::Test
+{
+    BlockCacheFixture() : root("test"), bc(params(), &root) {}
+
+    static BlockCacheParams
+    params()
+    {
+        BlockCacheParams p;
+        p.capacityUops = 256;
+        p.blockUops = 8;
+        p.ways = 2;
+        return p;
+    }
+
+    StatGroup root;
+    BlockCache bc;
+};
+
+TEST_F(BlockCacheFixture, InsertLookup)
+{
+    EXPECT_EQ(bc.lookup(0x100), nullptr);
+    bc.insert(makeBlock(0x100, {1, 2}, 5));
+    const CachedBlock *b = bc.lookup(0x100);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->numUops, 5u);
+    EXPECT_EQ(bc.hits.value(), 1u);
+}
+
+TEST_F(BlockCacheFixture, SameIpReplaces)
+{
+    bc.insert(makeBlock(0x100, {1, 2}, 5));
+    bc.insert(makeBlock(0x100, {1, 2, 3}, 7));
+    const CachedBlock *b = bc.lookup(0x100);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->insts.size(), 3u);
+    EXPECT_EQ(bc.inserts.value(), 1u);  // replace is not an insert
+}
+
+TEST_F(BlockCacheFixture, ProbeDoesNotTouch)
+{
+    bc.insert(makeBlock(0x100, {1}, 2));
+    EXPECT_NE(bc.probe(0x100), nullptr);
+    EXPECT_EQ(bc.probe(0x999), nullptr);
+    EXPECT_EQ(bc.hits.value(), 0u);
+}
+
+TEST_F(BlockCacheFixture, FillFactor)
+{
+    bc.insert(makeBlock(0x100, {1}, 2));
+    EXPECT_NEAR(bc.fillFactor(), 2.0 / 8.0, 1e-9);
+}
+
+TEST(BbtcFrontend, Conservation)
+{
+    Trace trace = makeCatalogTrace("perl", 30000);
+    FrontendParams fp;
+    BbtcFrontend fe(fp, BbtcParams{});
+    fe.run(trace);
+    EXPECT_EQ(fe.metrics().deliveryUops.value() +
+                  fe.metrics().buildUops.value(),
+              trace.totalUops());
+}
+
+TEST(BbtcFrontend, BandwidthBoundedByRenamer)
+{
+    Trace trace = makeCatalogTrace("go", 30000);
+    FrontendParams fp;
+    BbtcFrontend fe(fp, BbtcParams{});
+    fe.run(trace);
+    EXPECT_LE(fe.metrics().bandwidth(),
+              (double)fp.renamerWidth + 1e-9);
+    EXPECT_GT(fe.metrics().bandwidth(), 4.0);
+}
+
+TEST(BbtcFrontend, RedundancyMovesToPointers)
+{
+    // Section 2.4: "the BBTC shifts the redundancy from instructions
+    // to block pointers". Blocks live once in the block cache, but
+    // the trace table holds repeated pointers.
+    Trace trace = makeCatalogTrace("word", 50000);
+    FrontendParams fp;
+    BbtcFrontend bbtc(fp, BbtcParams{});
+    TcFrontend tc(fp, TcParams{});
+    bbtc.run(trace);
+    tc.run(trace);
+    EXPECT_GT(bbtc.pointerRedundancy(), 1.0);
+    // Uop-level effective capacity is better than the TC's.
+    EXPECT_LT(bbtc.metrics().missRate(),
+              tc.metrics().missRate() + 0.02);
+}
+
+TEST(BbtcFrontend, DeterministicRuns)
+{
+    Trace trace = makeCatalogTrace("falcon4", 20000);
+    FrontendParams fp;
+    BbtcFrontend a(fp, BbtcParams{}), b(fp, BbtcParams{});
+    a.run(trace);
+    b.run(trace);
+    EXPECT_EQ(a.metrics().cycles.value(), b.metrics().cycles.value());
+    EXPECT_EQ(a.metrics().deliveryUops.value(),
+              b.metrics().deliveryUops.value());
+}
+
+TEST(BbtcFrontend, SmallerBlockCacheMissesMore)
+{
+    Trace trace = makeCatalogTrace("excel", 50000);
+    FrontendParams fp;
+    BbtcParams small, large;
+    small.blocks.capacityUops = 4096;
+    large.blocks.capacityUops = 65536;
+    BbtcFrontend fs(fp, small), fl(fp, large);
+    fs.run(trace);
+    fl.run(trace);
+    EXPECT_GT(fs.metrics().missRate(), fl.metrics().missRate());
+}
+
+} // anonymous namespace
+} // namespace xbs

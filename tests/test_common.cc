@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Unit tests for the common utility library: bit operations, the
+ * deterministic RNG, statistics, histograms, and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/histogram.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace xbs
+{
+namespace
+{
+
+TEST(Bitops, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(12));
+}
+
+TEST(Bitops, Logarithms)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bitops, MaskAndBits)
+{
+    EXPECT_EQ(mask(0), 0ULL);
+    EXPECT_EQ(mask(4), 0xfULL);
+    EXPECT_EQ(mask(64), ~0ULL);
+    EXPECT_EQ(bits(0xabcdULL, 4, 8), 0xbcULL);
+}
+
+TEST(Bitops, FoldedIndexInRange)
+{
+    for (uint64_t ip : {0ULL, 1ULL, 0x400000ULL, 0xdeadbeefULL}) {
+        EXPECT_LT(foldedIndex(ip, 1024), 1024ULL);
+        EXPECT_EQ(foldedIndex(ip, 1), 0ULL);
+    }
+}
+
+TEST(Bitops, FoldedIndexSpreads)
+{
+    // Consecutive hot addresses must not collapse to few sets.
+    std::set<uint64_t> seen;
+    for (uint64_t ip = 0x400000; ip < 0x400000 + 4096; ip += 4)
+        seen.insert(foldedIndex(ip, 256));
+    EXPECT_GE(seen.size(), 200u);
+}
+
+TEST(Bitops, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0xf), 4u);
+    EXPECT_EQ(popCount(~0ULL), 64u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    bool differs = false;
+    for (int i = 0; i < 100; ++i) {
+        uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next())
+            differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17ULL);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(7);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo |= v == -3;
+        hit_hi |= v == 3;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformMean)
+{
+    Rng rng(99);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng rng(5);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR((double)hits / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedRespectWeights)
+{
+    Rng rng(11);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.weighted(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR((double)counts[2] / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, BoundedGeometricMeanAndCap)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        uint32_t v = rng.boundedGeometric(4.0, 100);
+        EXPECT_GE(v, 1u);
+        EXPECT_LE(v, 100u);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 4.0, 0.25);
+}
+
+TEST(Rng, BoundedGeometricCapBinds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LE(rng.boundedGeometric(50.0, 8), 8u);
+}
+
+TEST(Zipf, SkewedTowardLowRanks)
+{
+    Rng rng(3);
+    ZipfTable table(100, 1.0);
+    int low = 0, high = 0;
+    for (int i = 0; i < 10000; ++i) {
+        std::size_t r = table.sample(rng);
+        EXPECT_LT(r, 100u);
+        if (r < 10)
+            ++low;
+        if (r >= 90)
+            ++high;
+    }
+    EXPECT_GT(low, high * 5);
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    StatGroup root("root");
+    ScalarStat s(&root, "s", "test");
+    ++s;
+    s += 4;
+    EXPECT_EQ(s.value(), 5u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, AverageMean)
+{
+    StatGroup root("root");
+    AverageStat a(&root, "a", "test");
+    a.sample(1.0);
+    a.sample(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    StatGroup root("root");
+    DistributionStat d(&root, "d", "test", 0.0, 10.0, 1.0);
+    d.sample(0.5);
+    d.sample(1.5);
+    d.sample(1.6);
+    d.sample(-1.0);   // underflow
+    d.sample(100.0);  // overflow
+    EXPECT_EQ(d.samples(), 5u);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(1), 2u);
+}
+
+TEST(Stats, GroupDumpAndFind)
+{
+    StatGroup root("root");
+    StatGroup child("child", &root);
+    ScalarStat s(&child, "hits", "hits");
+    s += 7;
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("root.child.hits"), std::string::npos);
+
+    const StatBase *found = root.find("child.hits");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(dynamic_cast<const ScalarStat *>(found)->value(), 7u);
+    EXPECT_EQ(root.find("child.nope"), nullptr);
+    EXPECT_EQ(root.find("nope.hits"), nullptr);
+}
+
+TEST(Stats, GroupReset)
+{
+    StatGroup root("root");
+    ScalarStat s(&root, "s", "test");
+    s += 3;
+    root.resetStats();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Histogram, MeanAndFraction)
+{
+    Histogram h(16);
+    h.add(4, 2);
+    h.add(8);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_NEAR(h.mean(), (4 * 2 + 8) / 3.0, 1e-9);
+    EXPECT_NEAR(h.fraction(4), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Histogram, ClampsToDomain)
+{
+    Histogram h(16);
+    h.add(100);
+    EXPECT_EQ(h.count(16), 1u);
+}
+
+TEST(Histogram, Merge)
+{
+    Histogram a(16), b(16);
+    a.add(2);
+    b.add(2);
+    b.add(6);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.count(2), 2u);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(16);
+    for (uint32_t v = 1; v <= 10; ++v)
+        h.add(v);
+    EXPECT_EQ(h.percentile(0.5), 5u);
+    EXPECT_EQ(h.percentile(1.0), 10u);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(16);
+    h.add(3, 10);
+    h.add(7, 5);
+    std::string r = h.render("test");
+    EXPECT_NE(r.find("test"), std::string::npos);
+    EXPECT_NE(r.find('#'), std::string::npos);
+    EXPECT_NE(r.find("3 |"), std::string::npos);
+}
+
+TEST(Histogram, RenderEmpty)
+{
+    Histogram h(4);
+    EXPECT_NE(h.render("empty").find("<empty>"), std::string::npos);
+}
+
+TEST(Logging, QuietSuppressesInform)
+{
+    setLogQuiet(true);
+    EXPECT_TRUE(logQuiet());
+    xbs_inform("this should not appear");
+    setLogQuiet(false);
+    EXPECT_FALSE(logQuiet());
+}
+
+TEST(Table, RenderAligned)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvQuoting)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"x,y", "he said \"hi\""});
+    std::string csv = t.csv();
+    EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(csv.find("\"\"hi\"\""), std::string::npos);
+}
+
+TEST(Table, Formatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::pct(0.295, 1), "29.5%");
+}
+
+} // anonymous namespace
+} // namespace xbs

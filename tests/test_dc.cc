@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the decoded-cache frontend (paper section 2.2):
+ * window indexing, fragmentation drops, and the frontend's
+ * IC-like-bandwidth / decode-free behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dc/dc_frontend.hh"
+#include "dc/decoded_cache.hh"
+#include "ic/ic_frontend.hh"
+#include "test_helpers.hh"
+#include "workload/catalog.hh"
+
+namespace xbs
+{
+namespace
+{
+
+StaticInst
+inst(uint64_t ip, uint8_t len, uint8_t uops)
+{
+    StaticInst si;
+    si.ip = ip;
+    si.length = len;
+    si.numUops = uops;
+    return si;
+}
+
+struct DcFixture : public testing::Test
+{
+    DcFixture() : root("test"), dc(params(), &root) {}
+
+    static DecodedCacheParams
+    params()
+    {
+        DecodedCacheParams p;
+        p.capacityUops = 1024;
+        p.windowBytes = 16;
+        p.lineUops = 8;
+        p.ways = 2;
+        return p;
+    }
+
+    StatGroup root;
+    DecodedCache dc;
+};
+
+TEST_F(DcFixture, WindowAlignment)
+{
+    EXPECT_EQ(dc.windowOf(0x1000), 0x1000u);
+    EXPECT_EQ(dc.windowOf(0x100f), 0x1000u);
+    EXPECT_EQ(dc.windowOf(0x1010), 0x1010u);
+}
+
+TEST_F(DcFixture, FillThenHit)
+{
+    EXPECT_EQ(dc.lookup(0x1000, 5).first, nullptr);
+    dc.fill(inst(0x1000, 4, 2), 5);
+    auto [line, pos] = dc.lookup(0x1000, 5);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(pos, 0u);
+    EXPECT_EQ(line->usedUops, 2u);
+}
+
+TEST_F(DcFixture, SameWindowSharesLine)
+{
+    dc.fill(inst(0x1000, 4, 2), 1);
+    dc.fill(inst(0x1004, 4, 3), 2);
+    auto [line, pos] = dc.lookup(0x1004, 2);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(pos, 1u);
+    EXPECT_EQ(line->usedUops, 5u);
+}
+
+TEST_F(DcFixture, FragmentationDropsOverflow)
+{
+    // 3 + 3 + 3 uops exceed the 8-slot line: the third inst drops.
+    dc.fill(inst(0x1000, 4, 3), 1);
+    dc.fill(inst(0x1004, 4, 3), 2);
+    dc.fill(inst(0x1008, 4, 3), 3);
+    EXPECT_EQ(dc.fragDrops.value(), 1u);
+    EXPECT_EQ(dc.lookup(0x1008, 3).first, nullptr);
+    // Refilling the same instruction later still drops (hole).
+    dc.fill(inst(0x1008, 4, 3), 3);
+    EXPECT_EQ(dc.fragDrops.value(), 2u);
+}
+
+TEST_F(DcFixture, DuplicateFillIsIdempotent)
+{
+    dc.fill(inst(0x1000, 4, 2), 1);
+    dc.fill(inst(0x1000, 4, 2), 1);
+    auto [line, pos] = dc.lookup(0x1000, 1);
+    (void)pos;
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->usedUops, 2u);
+    EXPECT_EQ(line->insts.size(), 1u);
+}
+
+TEST_F(DcFixture, FillFactorReflectsWaste)
+{
+    dc.fill(inst(0x1000, 4, 2), 1);
+    EXPECT_NEAR(dc.fillFactor(), 2.0 / 8.0, 1e-9);
+}
+
+TEST(DcFrontend, Conservation)
+{
+    Trace trace = makeCatalogTrace("li", 30000);
+    FrontendParams fp;
+    DcFrontend fe(fp, DecodedCacheParams{});
+    fe.run(trace);
+    EXPECT_EQ(fe.metrics().deliveryUops.value() +
+                  fe.metrics().buildUops.value(),
+              trace.totalUops());
+}
+
+TEST(DcFrontend, BandwidthIsIcLike)
+{
+    // Section 2.2: the decoded cache removes decode latency but
+    // keeps the IC's one-run-per-cycle bandwidth ceiling.
+    Trace trace = makeCatalogTrace("word", 40000);
+    FrontendParams fp;
+    DcFrontend dcfe(fp, DecodedCacheParams{});
+    IcFrontend icfe(fp);
+    dcfe.run(trace);
+    icfe.run(trace);
+    EXPECT_LT(dcfe.metrics().bandwidth(), 6.0);
+    EXPECT_NEAR(dcfe.metrics().bandwidth(),
+                icfe.metrics().bandwidth(), 1.5);
+}
+
+TEST(DcFrontend, FragmentationCostsHitRate)
+{
+    Trace trace = makeCatalogTrace("gcc", 40000);
+    FrontendParams fp;
+    DecodedCacheParams small, roomy;
+    small.lineUops = 6;
+    roomy.lineUops = 16;
+    DcFrontend fs(fp, small), fr(fp, roomy);
+    fs.run(trace);
+    fr.run(trace);
+    // Tighter lines drop more instructions -> more build-mode uops.
+    EXPECT_GT(fs.metrics().missRate(), fr.metrics().missRate());
+}
+
+} // anonymous namespace
+} // namespace xbs

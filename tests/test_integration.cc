@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's headline relationships
+ * must hold end-to-end on catalog workloads for all three frontends,
+ * across a parameterized sample of the catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bbtc/bbtc_frontend.hh"
+#include "core/xbc_frontend.hh"
+#include "dc/dc_frontend.hh"
+#include "ic/ic_frontend.hh"
+#include "sim/runner.hh"
+#include "tc/tc_frontend.hh"
+#include "workload/catalog.hh"
+
+namespace xbs
+{
+namespace
+{
+
+constexpr uint64_t kLen = 60000;
+
+struct Fixture
+{
+    explicit Fixture(const std::string &name)
+        : trace(makeCatalogTrace(name, kLen)), ic(fp), tc(fp, {}),
+          xbc(fp, {})
+    {
+        ic.run(trace);
+        tc.run(trace);
+        xbc.run(trace);
+    }
+
+    FrontendParams fp;
+    Trace trace;
+    IcFrontend ic;
+    TcFrontend tc;
+    XbcFrontend xbc;
+};
+
+class CrossFrontend : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CrossFrontend, AllFrontendsConserveUops)
+{
+    Fixture f(GetParam());
+    uint64_t total = f.trace.totalUops();
+    EXPECT_EQ(f.ic.metrics().deliveryUops.value(), total);
+    EXPECT_EQ(f.tc.metrics().deliveryUops.value() +
+                  f.tc.metrics().buildUops.value(),
+              total);
+    EXPECT_EQ(f.xbc.metrics().deliveryUops.value() +
+                  f.xbc.metrics().buildUops.value(),
+              total);
+}
+
+TEST_P(CrossFrontend, DecodedStructuresBeatIcBandwidth)
+{
+    Fixture f(GetParam());
+    EXPECT_GT(f.tc.metrics().bandwidth(),
+              f.ic.metrics().bandwidth());
+    EXPECT_GT(f.xbc.metrics().bandwidth(),
+              f.ic.metrics().bandwidth());
+}
+
+TEST_P(CrossFrontend, XbcRedundancyBelowTc)
+{
+    Fixture f(GetParam());
+    EXPECT_LT(f.xbc.dataArray().redundancy(),
+              f.tc.cache().redundancy());
+}
+
+TEST_P(CrossFrontend, BandwidthParityBetweenTcAndXbc)
+{
+    // Figure 8: "the difference between the XBC and TC bandwidth is
+    // negligible". Allow a generous band per workload.
+    Fixture f(GetParam());
+    double tc_bw = f.tc.metrics().bandwidth();
+    double xbc_bw = f.xbc.metrics().bandwidth();
+    EXPECT_NEAR(tc_bw, xbc_bw, 0.30 * std::max(tc_bw, xbc_bw));
+}
+
+TEST_P(CrossFrontend, XbcInvariantsAfterFullRun)
+{
+    Fixture f(GetParam());
+    f.xbc.dataArray().checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SampledWorkloads, CrossFrontend,
+    testing::Values("gcc", "compress", "vortex", "word", "netscape",
+                    "quake2", "falcon4"));
+
+TEST(HeadlineResult, XbcMissRateBelowTcOnSuiteAverage)
+{
+    // Figure 9 at 32K uops: the XBC reduces misses versus the TC.
+    // Evaluated on a 6-workload sample for test-time reasons; the
+    // full 21-trace version lives in bench/fig9_missrate_size.
+    SuiteRunner runner(kLen, {"gcc", "li", "word", "excel", "quake2",
+                              "unreal"});
+    auto results = runner.sweep({
+        {"tc", SimConfig::tcBaseline(32768)},
+        {"xbc", SimConfig::xbcBaseline(32768)},
+    });
+    double tc_mr = SuiteRunner::meanMissRate(results, "tc");
+    double xbc_mr = SuiteRunner::meanMissRate(results, "xbc");
+    EXPECT_LT(xbc_mr, tc_mr);
+}
+
+TEST(HeadlineResult, AssociativityReducesMisses)
+{
+    // Figure 10 shape: direct-mapped -> 2-way must cut misses.
+    SuiteRunner runner(kLen, {"word", "gcc", "quake2"});
+    auto results = runner.sweep({
+        {"xbc1", SimConfig::xbcBaseline(32768, 1)},
+        {"xbc2", SimConfig::xbcBaseline(32768, 2)},
+    });
+    EXPECT_GT(SuiteRunner::meanMissRate(results, "xbc1"),
+              SuiteRunner::meanMissRate(results, "xbc2"));
+}
+
+TEST(HeadlineResult, MissRateFallsWithCapacity)
+{
+    SuiteRunner runner(kLen, {"word", "excel"});
+    auto results = runner.sweep({
+        {"s8", SimConfig::xbcBaseline(8192)},
+        {"s64", SimConfig::xbcBaseline(65536)},
+        {"t8", SimConfig::tcBaseline(8192)},
+        {"t64", SimConfig::tcBaseline(65536)},
+    });
+    EXPECT_GT(SuiteRunner::meanMissRate(results, "s8"),
+              SuiteRunner::meanMissRate(results, "s64"));
+    EXPECT_GT(SuiteRunner::meanMissRate(results, "t8"),
+              SuiteRunner::meanMissRate(results, "t64"));
+}
+
+/** All five structures, conservation and sane ranges. */
+struct FiveWay
+{
+    std::string workload;
+    FrontendKind kind;
+};
+
+class AllFrontends : public testing::TestWithParam<FiveWay>
+{
+};
+
+TEST_P(AllFrontends, ConservesAndStaysInRange)
+{
+    const auto p = GetParam();
+    SimConfig config;
+    config.kind = p.kind;
+    auto fe = makeFrontend(config);
+    Trace trace = makeCatalogTrace(p.workload, 40000);
+    fe->run(trace);
+    const auto &m = fe->metrics();
+    EXPECT_EQ(m.deliveryUops.value() + m.buildUops.value(),
+              trace.totalUops())
+        << frontendKindName(p.kind);
+    EXPECT_LE(m.bandwidth(), 8.0 + 1e-9);
+    EXPECT_GE(m.missRate(), 0.0);
+    EXPECT_LE(m.missRate(), 1.0);
+    EXPECT_GT(m.cycles.value(), trace.totalUops() / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllFrontends,
+    testing::Values(FiveWay{"gcc", FrontendKind::Ic},
+                    FiveWay{"gcc", FrontendKind::Dc},
+                    FiveWay{"gcc", FrontendKind::Tc},
+                    FiveWay{"gcc", FrontendKind::Bbtc},
+                    FiveWay{"gcc", FrontendKind::Xbc},
+                    FiveWay{"word", FrontendKind::Dc},
+                    FiveWay{"word", FrontendKind::Bbtc},
+                    FiveWay{"word", FrontendKind::Xbc},
+                    FiveWay{"quake2", FrontendKind::Tc},
+                    FiveWay{"quake2", FrontendKind::Bbtc},
+                    FiveWay{"quake2", FrontendKind::Xbc}),
+    [](const testing::TestParamInfo<FiveWay> &info) {
+        return info.param.workload +
+               std::string(frontendKindName(info.param.kind));
+    });
+
+TEST(SurveyOrdering, DecodedStructuresBeatAddressIndexed)
+{
+    // Section 2 taxonomy on one mid-size workload: TC-family
+    // bandwidth >> IC/DC bandwidth; DC misses most (fragmentation).
+    Trace trace = makeCatalogTrace("excel", kLen);
+    FrontendParams fp;
+    DcFrontend dc(fp, DecodedCacheParams{});
+    TcFrontend tc(fp, TcParams{});
+    BbtcFrontend bbtc(fp, BbtcParams{});
+    XbcFrontend xbc(fp, XbcParams{});
+    dc.run(trace);
+    tc.run(trace);
+    bbtc.run(trace);
+    xbc.run(trace);
+
+    EXPECT_GT(tc.metrics().bandwidth(),
+              dc.metrics().bandwidth() + 2.0);
+    EXPECT_GT(bbtc.metrics().bandwidth(),
+              dc.metrics().bandwidth() + 2.0);
+    EXPECT_GT(dc.metrics().missRate(), tc.metrics().missRate());
+    EXPECT_GT(dc.metrics().missRate(), xbc.metrics().missRate());
+}
+
+TEST(Determinism, IdenticalTracesAcrossProcessRuns)
+{
+    // Catalog traces must be bit-identical between constructions.
+    Trace a = makeCatalogTrace("descent3", 5000);
+    Trace b = makeCatalogTrace("descent3", 5000);
+    ASSERT_EQ(a.numRecords(), b.numRecords());
+    for (std::size_t i = 0; i < a.numRecords(); ++i) {
+        ASSERT_EQ(a.record(i).staticIdx, b.record(i).staticIdx);
+        ASSERT_EQ(a.record(i).taken, b.record(i).taken);
+    }
+}
+
+} // anonymous namespace
+} // namespace xbs

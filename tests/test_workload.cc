@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload layer: CFG linking, dynamic
+ * behaviors, the executor, the structured program builder, and the
+ * 21-entry catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/trace_stats.hh"
+#include "workload/builder.hh"
+#include "workload/catalog.hh"
+#include "workload/cfg.hh"
+#include "workload/executor.hh"
+
+namespace xbs
+{
+namespace
+{
+
+/** A two-function program: main calls f1 in a loop of 3. */
+std::shared_ptr<const Program>
+makeCallLoopProgram(uint32_t trips = 3)
+{
+    CfgProgram cfg("callloop");
+    int main_id = cfg.addFunction("main");
+    int f1_id = cfg.addFunction("f1");
+
+    auto &main_fn = cfg.function(main_id);
+    int header = main_fn.addBlock();
+    main_fn.blocks[header].body.push_back({4, 2});
+    main_fn.blocks[header].term.kind = TermKind::Call;
+    main_fn.blocks[header].term.calleeFunctions = {f1_id};
+    main_fn.blocks[header].term.length = 5;
+    main_fn.blocks[header].term.numUops = 2;
+
+    int latch = main_fn.addBlock();
+    main_fn.blocks[latch].body.push_back({3, 1});
+    CondBehavior loop;
+    loop.kind = CondBehavior::Kind::Loop;
+    loop.tripCount = trips;
+    loop.tripJitter = 0.0;
+    main_fn.blocks[latch].term.kind = TermKind::CondBranch;
+    main_fn.blocks[latch].term.targetBlock = header;
+    main_fn.blocks[latch].term.cond = loop;
+    main_fn.blocks[latch].term.length = 2;
+    main_fn.blocks[latch].term.numUops = 1;
+
+    int exit_blk = main_fn.addBlock();
+    main_fn.blocks[exit_blk].term.kind = TermKind::Return;
+    main_fn.blocks[exit_blk].term.length = 1;
+    main_fn.blocks[exit_blk].term.numUops = 2;
+
+    auto &f1 = cfg.function(f1_id);
+    int body = f1.addBlock();
+    f1.blocks[body].body.push_back({4, 3});
+    f1.blocks[body].term.kind = TermKind::Return;
+    f1.blocks[body].term.length = 1;
+    f1.blocks[body].term.numUops = 2;
+
+    return cfg.link(0x1000);
+}
+
+TEST(CfgLink, AssignsSequentialIps)
+{
+    auto prog = makeCallLoopProgram();
+    const auto &code = prog->code();
+    for (std::size_t i = 1; i < code.size(); ++i) {
+        const auto &prev = code.inst((int32_t)i - 1);
+        const auto &cur = code.inst((int32_t)i);
+        EXPECT_GE(cur.ip, prev.ip + prev.length);
+    }
+    EXPECT_EQ(prog->functions().size(), 2u);
+    EXPECT_EQ(prog->functions()[0].name, "main");
+}
+
+TEST(CfgLink, ResolvesCallTargets)
+{
+    auto prog = makeCallLoopProgram();
+    const auto &code = prog->code();
+    // Find the call and check it targets f1's entry instruction.
+    const auto &f1 = prog->functions()[1];
+    bool found = false;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const auto &si = code.inst((int32_t)i);
+        if (si.cls == InstClass::DirectCall) {
+            EXPECT_EQ(si.takenIdx, f1.firstIdx);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(CfgLink, RejectsDanglingFallThrough)
+{
+    CfgProgram cfg("bad");
+    int f = cfg.addFunction("f");
+    cfg.function(f).addBlock();  // no terminator, falls off the end
+    EXPECT_EXIT(cfg.link(), testing::ExitedWithCode(1),
+                "last block");
+}
+
+TEST(CfgLink, RejectsBadTarget)
+{
+    CfgProgram cfg("bad");
+    int f = cfg.addFunction("f");
+    auto &fn = cfg.function(f);
+    int b = fn.addBlock();
+    fn.blocks[b].term.kind = TermKind::Jump;
+    fn.blocks[b].term.targetBlock = 99;
+    EXPECT_EXIT(cfg.link(), testing::ExitedWithCode(1),
+                "bad target block");
+}
+
+TEST(Executor, LoopTripCountExact)
+{
+    auto prog = makeCallLoopProgram(3);
+    Executor ex(prog, 1);
+    // Walk enough instructions to cover one outer activation:
+    // 3 iterations x (seq, call, f1 body, f1 ret, latch seq, latch).
+    Trace t = ex.run(60);
+    t.validate();
+
+    // Count latch executions and taken directions.
+    const auto &code = prog->code();
+    int latch_taken = 0, latch_total = 0;
+    for (std::size_t i = 0; i < t.numRecords(); ++i) {
+        const auto &si = t.inst(i);
+        if (si.cls == InstClass::CondBranch) {
+            ++latch_total;
+            latch_taken += t.record(i).taken;
+        }
+    }
+    (void)code;
+    ASSERT_GT(latch_total, 3);
+    // A 3-trip loop takes its latch twice then exits once: the taken
+    // fraction must be 2/3.
+    EXPECT_NEAR((double)latch_taken / latch_total, 2.0 / 3.0, 0.05);
+}
+
+TEST(Executor, CallReturnMatches)
+{
+    auto prog = makeCallLoopProgram();
+    Executor ex(prog, 1);
+    Trace t = ex.run(100);
+    t.validate();
+    // Every return's successor must be the instruction after a call.
+    for (std::size_t i = 0; i + 1 < t.numRecords(); ++i) {
+        if (t.inst(i).cls == InstClass::Return) {
+            uint64_t succ = t.inst(i + 1).ip;
+            // Either the call-site continuation or the entry restart.
+            bool ok = false;
+            for (std::size_t j = 0; j < t.code().size(); ++j) {
+                const auto &si = t.code().inst((int32_t)j);
+                if (isCall(si.cls) && si.fallThroughIp() == succ)
+                    ok = true;
+            }
+            ok = ok || succ == t.code()
+                               .inst(prog->entryIdx()).ip;
+            EXPECT_TRUE(ok) << "return at record " << i;
+        }
+    }
+}
+
+TEST(Executor, RestartsAfterMainReturns)
+{
+    auto prog = makeCallLoopProgram(2);
+    Executor ex(prog, 1);
+    Trace t = ex.run(400);
+    // The entry instruction must appear more than once (restart).
+    int entries = 0;
+    for (std::size_t i = 0; i < t.numRecords(); ++i) {
+        if (t.record(i).staticIdx == prog->entryIdx())
+            ++entries;
+    }
+    EXPECT_GT(entries, 1);
+}
+
+TEST(Executor, DeterministicAcrossRuns)
+{
+    auto prog = makeCallLoopProgram();
+    Trace a = Executor(prog, 7).run(200);
+    Trace b = Executor(prog, 7).run(200);
+    ASSERT_EQ(a.numRecords(), b.numRecords());
+    for (std::size_t i = 0; i < a.numRecords(); ++i) {
+        EXPECT_EQ(a.record(i).staticIdx, b.record(i).staticIdx);
+        EXPECT_EQ(a.record(i).taken, b.record(i).taken);
+    }
+}
+
+TEST(Executor, PatternBehaviorRepeats)
+{
+    CfgProgram cfg("pattern");
+    int f = cfg.addFunction("f");
+    auto &fn = cfg.function(f);
+    int b0 = fn.addBlock();
+    CondBehavior pb;
+    pb.kind = CondBehavior::Kind::Pattern;
+    pb.patternLen = 3;
+    pb.patternBits = 0b011;  // T, T, N repeating
+    fn.blocks[b0].term.kind = TermKind::CondBranch;
+    fn.blocks[b0].term.targetBlock = b0;
+    fn.blocks[b0].term.cond = pb;
+    int b1 = fn.addBlock();
+    fn.blocks[b1].term.kind = TermKind::Return;
+    auto prog = cfg.link();
+
+    Executor ex(prog, 1);
+    std::vector<bool> dirs;
+    for (int i = 0; i < 9; ++i) {
+        int32_t idx = ex.step();
+        if (prog->code().inst(idx).cls == InstClass::CondBranch)
+            dirs.push_back(ex.lastTaken());
+    }
+    ASSERT_GE(dirs.size(), 6u);
+    EXPECT_TRUE(dirs[0]);
+    EXPECT_TRUE(dirs[1]);
+    EXPECT_FALSE(dirs[2]);
+    EXPECT_TRUE(dirs[3]);
+    EXPECT_TRUE(dirs[4]);
+    EXPECT_FALSE(dirs[5]);
+}
+
+TEST(Builder, DeterministicFromSeed)
+{
+    WorkloadProfile p = specIntProfile();
+    p.name = "det";
+    p.seed = 1234;
+    p.numFunctions = 20;
+    auto a = buildProgram(p);
+    auto b = buildProgram(p);
+    ASSERT_EQ(a->code().size(), b->code().size());
+    for (std::size_t i = 0; i < a->code().size(); ++i) {
+        EXPECT_EQ(a->code().inst((int32_t)i).ip,
+                  b->code().inst((int32_t)i).ip);
+        EXPECT_EQ(a->code().inst((int32_t)i).cls,
+                  b->code().inst((int32_t)i).cls);
+    }
+}
+
+TEST(Builder, ProducesJoinPoints)
+{
+    // If/else diamonds must produce instructions that are both jump
+    // targets and fall-through successors (the paper's multi-entry /
+    // redundancy scenario).
+    WorkloadProfile p = sysmarkProfile();
+    p.name = "joins";
+    p.seed = 5;
+    p.numFunctions = 30;
+    auto prog = buildProgram(p);
+    const auto &code = prog->code();
+
+    std::set<int32_t> jump_targets;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const auto &si = code.inst((int32_t)i);
+        if (si.cls == InstClass::DirectJump &&
+            si.takenIdx != kNoTarget) {
+            jump_targets.insert(si.takenIdx);
+        }
+    }
+    // A jump target whose predecessor instruction is non-control is
+    // a fall-through join.
+    int joins = 0;
+    for (int32_t t : jump_targets) {
+        if (t > 0 && !code.inst(t - 1).isControl())
+            ++joins;
+    }
+    EXPECT_GT(joins, 0);
+}
+
+class ProfileSweep
+    : public testing::TestWithParam<std::pair<const char *, int>>
+{
+};
+
+TEST_P(ProfileSweep, StatisticalShape)
+{
+    auto [suite, seed] = GetParam();
+    WorkloadProfile p;
+    if (std::string(suite) == "spec")
+        p = specIntProfile();
+    else if (std::string(suite) == "sysmark")
+        p = sysmarkProfile();
+    else
+        p = gamesProfile();
+    p.name = std::string("sweep-") + suite;
+    p.seed = (uint64_t)seed;
+    p.numFunctions = std::max(30u, p.numFunctions / 4);
+
+    auto prog = buildProgram(p);
+    Trace t = Executor(prog, (uint64_t)seed).run(40000);
+    t.validate();
+
+    // x86-like aggregates must hold for any seed.
+    double uops_per_inst = (double)t.totalUops() / t.numRecords();
+    EXPECT_GT(uops_per_inst, 1.2);
+    EXPECT_LT(uops_per_inst, 2.2);
+
+    uint64_t branches = 0, taken = 0, controls = 0;
+    for (std::size_t i = 0; i < t.numRecords(); ++i) {
+        const auto &si = t.inst(i);
+        if (si.isControl())
+            ++controls;
+        if (si.cls == InstClass::CondBranch) {
+            ++branches;
+            taken += t.record(i).taken;
+        }
+    }
+    // Conditional branches: 8-25% of the stream; controls below 40%.
+    EXPECT_GT((double)branches / t.numRecords(), 0.05);
+    EXPECT_LT((double)branches / t.numRecords(), 0.25);
+    EXPECT_LT((double)controls / t.numRecords(), 0.40);
+    // Taken fraction within a plausible band.
+    EXPECT_GT((double)taken / branches, 0.35);
+    EXPECT_LT((double)taken / branches, 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ProfileSweep,
+    testing::Values(std::make_pair("spec", 1),
+                    std::make_pair("spec", 2),
+                    std::make_pair("sysmark", 1),
+                    std::make_pair("sysmark", 2),
+                    std::make_pair("games", 1),
+                    std::make_pair("games", 2)),
+    [](const auto &info) {
+        return std::string(info.param.first) +
+               std::to_string(info.param.second);
+    });
+
+TEST(Catalog, SuiteFootprintOrdering)
+{
+    // SYSmark32-like workloads must have the largest dynamic code
+    // footprints and SPECint95-like the smallest (DESIGN.md suite
+    // calibration); measured as unique uops touched in 150K insts.
+    auto dyn_uops = [](const std::string &name) {
+        Trace t = makeCatalogTrace(name, 150000);
+        std::vector<bool> seen(t.code().size(), false);
+        uint64_t uops = 0;
+        for (std::size_t i = 0; i < t.numRecords(); ++i) {
+            if (!seen[t.record(i).staticIdx]) {
+                seen[t.record(i).staticIdx] = true;
+                uops += t.inst(i).numUops;
+            }
+        }
+        return uops;
+    };
+    auto suite_mean = [&](std::initializer_list<const char *> names) {
+        uint64_t sum = 0;
+        for (const char *n : names)
+            sum += dyn_uops(n);
+        return (double)sum / (double)names.size();
+    };
+    double spec = suite_mean({"go", "li", "vortex"});
+    double sysm = suite_mean({"word", "excel", "netscape"});
+    double games = suite_mean({"quake2", "unreal", "halflife"});
+    EXPECT_GT(sysm, games);
+    EXPECT_GT(games, spec * 0.8);
+    EXPECT_GT(sysm, spec * 1.5);
+}
+
+TEST(Catalog, HasTwentyOneWorkloadsInThreeSuites)
+{
+    const auto &cat = workloadCatalog();
+    ASSERT_EQ(cat.size(), 21u);
+    int spec = 0, sys = 0, games = 0;
+    for (const auto &e : cat) {
+        if (e.suite == "SPECint95")
+            ++spec;
+        else if (e.suite == "SYSmark32")
+            ++sys;
+        else if (e.suite == "Games")
+            ++games;
+    }
+    EXPECT_EQ(spec, 8);
+    EXPECT_EQ(sys, 8);
+    EXPECT_EQ(games, 5);
+}
+
+TEST(Catalog, FindByName)
+{
+    EXPECT_EQ(findWorkload("gcc").suite, "SPECint95");
+    EXPECT_EQ(findWorkload("quake2").suite, "Games");
+    EXPECT_EXIT(findWorkload("nosuch"), testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+TEST(Catalog, TraceLengthHonored)
+{
+    Trace t = makeCatalogTrace("compress", 5000);
+    EXPECT_EQ(t.numRecords(), 5000u);
+    t.validate();
+}
+
+/** Every catalog workload must produce a valid, varied trace. */
+class CatalogParam : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CatalogParam, ShortTraceIsValid)
+{
+    Trace t = makeCatalogTrace(GetParam(), 20000);
+    t.validate();
+    EXPECT_EQ(t.numRecords(), 20000u);
+
+    auto s = computeBlockLengthStats(t);
+    // Block lengths must land in a plausible x86-like range.
+    EXPECT_GT(s.basicBlock.mean(), 3.0);
+    EXPECT_LT(s.basicBlock.mean(), 14.0);
+    EXPECT_GE(s.xb.mean(), s.basicBlock.mean() - 0.01);
+    EXPECT_GE(s.xbPromoted.mean(), s.xb.mean() - 0.01);
+    EXPECT_GE(s.dualXb.mean(), s.xb.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, CatalogParam,
+    testing::Values("go", "m88ksim", "gcc", "compress", "li", "ijpeg",
+                    "perl", "vortex", "word", "excel", "powerpnt",
+                    "access", "corel", "photoshp", "premiere",
+                    "netscape", "quake2", "unreal", "halflife",
+                    "descent3", "falcon4"));
+
+} // anonymous namespace
+} // namespace xbs

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * xbsim - the command-line driver: run any of the five frontends over
+ * any catalog workload (or a trace file) with the structure geometry
+ * set from flags, and dump results as text or JSON.
+ *
+ * Examples:
+ *   xbsim --frontend=xbc --workload=gcc --insts=2000000
+ *   xbsim --frontend=tc --capacity=65536 --ways=2 --json
+ *   xbsim --frontend=xbc --trace=run.xbt --stats
+ *   xbsim --list-workloads
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/args.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "sim/config.hh"
+#include "sim/runner.hh"
+#include "trace/trace_io.hh"
+#include "workload/catalog.hh"
+
+using namespace xbs;
+
+namespace
+{
+
+FrontendKind
+parseKind(const std::string &name)
+{
+    if (name == "ic")
+        return FrontendKind::Ic;
+    if (name == "dc")
+        return FrontendKind::Dc;
+    if (name == "tc")
+        return FrontendKind::Tc;
+    if (name == "bbtc")
+        return FrontendKind::Bbtc;
+    if (name == "xbc")
+        return FrontendKind::Xbc;
+    xbs_fatal("unknown frontend '%s' (ic|dc|tc|bbtc|xbc)",
+              name.c_str());
+}
+
+void
+listWorkloads()
+{
+    std::printf("%-10s %-10s\n", "workload", "suite");
+    std::printf("%-10s %-10s\n", "--------", "-----");
+    for (const auto &e : workloadCatalog())
+        std::printf("%-10s %-10s\n", e.name.c_str(), e.suite.c_str());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string frontend = "xbc";
+    std::string workload = "gcc";
+    std::string trace_path;
+    uint64_t insts = 0;
+    uint64_t capacity = 32768;
+    uint64_t ways = 0;
+    uint64_t xbtb_entries = 8192;
+    uint64_t fetch_xbs = 2;
+    bool promotion = true;
+    bool set_search = true;
+    bool path_assoc = false;
+    bool json = false;
+    bool stats = false;
+    bool list = false;
+
+    ArgParser args("xbsim",
+                   "trace-driven frontend simulator (XBC, HPCA 2000)");
+    args.addString("frontend", &frontend,
+                   "structure to simulate: ic|dc|tc|bbtc|xbc");
+    args.addString("workload", &workload,
+                   "catalog workload name (see --list-workloads)");
+    args.addString("trace", &trace_path,
+                   "replay a binary .xbt trace instead of a workload");
+    args.addUint("insts", &insts,
+                 "instructions to simulate (0 = XBS_TRACE_LEN or 2M)");
+    args.addUint("capacity", &capacity, "structure capacity in uops");
+    args.addUint("ways", &ways,
+                 "associativity (0 = structure default)");
+    args.addUint("xbtb-entries", &xbtb_entries, "XBTB entries (xbc)");
+    args.addUint("fetch-xbs", &fetch_xbs, "XB pointers/cycle (xbc)");
+    args.addBool("promotion", &promotion, "branch promotion (xbc)");
+    args.addBool("set-search", &set_search, "set search (xbc)");
+    args.addBool("path-assoc", &path_assoc,
+                 "path-associative trace cache (tc)");
+    args.addBool("json", &json, "emit results as JSON");
+    args.addBool("stats", &stats, "dump the full statistics tree");
+    args.addBool("list-workloads", &list, "list the catalog and exit");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    if (list) {
+        listWorkloads();
+        return 0;
+    }
+
+    SimConfig config;
+    config.kind = parseKind(frontend);
+    config.tc.capacityUops = (unsigned)capacity;
+    config.xbc.capacityUops = (unsigned)capacity;
+    config.dc.capacityUops = (unsigned)capacity;
+    config.bbtc.blocks.capacityUops = (unsigned)capacity;
+    if (ways) {
+        config.tc.ways = (unsigned)ways;
+        config.xbc.ways = (unsigned)ways;
+        config.dc.ways = (unsigned)ways;
+        config.bbtc.blocks.ways = (unsigned)ways;
+    }
+    config.xbc.xbtbEntries = (unsigned)xbtb_entries;
+    config.xbc.fetchXbsPerCycle = (unsigned)fetch_xbs;
+    config.xbc.promotionEnabled = promotion;
+    config.xbc.setSearchEnabled = set_search;
+    config.tc.pathAssociative = path_assoc;
+
+    setLogQuiet(json);
+
+    auto fe = makeFrontend(config);
+    uint64_t total_uops;
+    std::string trace_name;
+    if (!trace_path.empty()) {
+        Trace trace = readTrace(trace_path);
+        trace_name = trace.name();
+        total_uops = trace.totalUops();
+        fe->run(trace);
+    } else {
+        Trace trace = makeCatalogTrace(workload, insts);
+        trace_name = trace.name();
+        total_uops = trace.totalUops();
+        fe->run(trace);
+    }
+
+    const auto &m = fe->metrics();
+    if (json) {
+        JsonWriter jw(std::cout);
+        jw.beginObject();
+        jw.field("frontend", frontend);
+        jw.field("workload", trace_name);
+        jw.field("capacityUops", capacity);
+        jw.field("totalUops", total_uops);
+        jw.field("bandwidth", m.bandwidth());
+        jw.field("missRate", m.missRate());
+        jw.field("overallIpc", m.overallIpc());
+        jw.field("cycles", m.cycles.value());
+        jw.field("condMispredictRate", m.condMispredictRate());
+        if (stats)
+            fe->statRoot().dumpJson(jw, /*as_member=*/true);
+        jw.endObject();
+    } else {
+        std::printf("%s on '%s' (%llu uops, %llu cycles)\n",
+                    frontend.c_str(), trace_name.c_str(),
+                    (unsigned long long)total_uops,
+                    (unsigned long long)m.cycles.value());
+        std::printf("  bandwidth: %.2f uops/cycle   miss rate: "
+                    "%.2f%%   overall: %.2f uops/cycle\n",
+                    m.bandwidth(), 100.0 * m.missRate(),
+                    m.overallIpc());
+        if (stats)
+            fe->statRoot().dump(std::cout);
+    }
+    return 0;
+}

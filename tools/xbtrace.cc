@@ -1,0 +1,139 @@
+/**
+ * @file
+ * xbtrace - trace utility: generate catalog or ad-hoc synthetic
+ * traces, write them as binary .xbt files, and inspect existing
+ * files (instruction mix, block-length statistics, branch bias).
+ *
+ * Examples:
+ *   xbtrace --workload=gcc --insts=2000000 --out=gcc.xbt
+ *   xbtrace --suite=sysmark --seed=7 --functions=300 --out=adhoc.xbt
+ *   xbtrace --in=gcc.xbt                       # inspect
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "common/args.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+#include "workload/builder.hh"
+#include "workload/catalog.hh"
+#include "workload/executor.hh"
+
+using namespace xbs;
+
+namespace
+{
+
+void
+inspect(const Trace &trace)
+{
+    std::printf("trace '%s': %zu instructions, %llu uops "
+                "(%.2f uops/inst)\n",
+                trace.name().c_str(), trace.numRecords(),
+                (unsigned long long)trace.totalUops(),
+                (double)trace.totalUops() /
+                    (double)trace.numRecords());
+
+    std::map<InstClass, uint64_t> mix;
+    for (std::size_t i = 0; i < trace.numRecords(); ++i)
+        ++mix[trace.inst(i).cls];
+    TextTable t({"class", "count", "share"});
+    for (const auto &[cls, count] : mix) {
+        t.addRow({instClassName(cls), std::to_string(count),
+                  TextTable::pct((double)count /
+                                 (double)trace.numRecords())});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    auto s = computeBlockLengthStats(trace);
+    TextTable lt({"block type", "mean uops"});
+    lt.addRow({"basic block", TextTable::num(s.basicBlock.mean())});
+    lt.addRow({"extended block", TextTable::num(s.xb.mean())});
+    lt.addRow({"XB w/ promotion",
+               TextTable::num(s.xbPromoted.mean())});
+    lt.addRow({"dual XB", TextTable::num(s.dualXb.mean())});
+    std::printf("%s\n", lt.render().c_str());
+}
+
+WorkloadProfile
+adhocProfile(const std::string &suite, uint64_t seed,
+             uint64_t functions)
+{
+    WorkloadProfile p;
+    if (suite == "spec")
+        p = specIntProfile();
+    else if (suite == "sysmark")
+        p = sysmarkProfile();
+    else if (suite == "games")
+        p = gamesProfile();
+    else
+        xbs_fatal("unknown suite '%s' (spec|sysmark|games)",
+                  suite.c_str());
+    p.name = "adhoc-" + suite + "-" + std::to_string(seed);
+    p.seed = seed;
+    if (functions)
+        p.numFunctions = (unsigned)functions;
+    return p;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string suite;
+    std::string in_path;
+    std::string out_path;
+    uint64_t insts = 0;
+    uint64_t seed = 1;
+    uint64_t functions = 0;
+
+    ArgParser args("xbtrace", "synthetic trace generator/inspector");
+    args.addString("workload", &workload,
+                   "catalog workload to generate");
+    args.addString("suite", &suite,
+                   "ad-hoc workload from a suite preset: "
+                   "spec|sysmark|games");
+    args.addUint("seed", &seed, "ad-hoc generation seed");
+    args.addUint("functions", &functions,
+                 "ad-hoc function count (0 = preset default)");
+    args.addUint("insts", &insts,
+                 "instructions (0 = XBS_TRACE_LEN or 2M)");
+    args.addString("in", &in_path, "inspect an existing .xbt file");
+    args.addString("out", &out_path, "write the trace here (.xbt)");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    if (!in_path.empty()) {
+        Trace trace = readTrace(in_path);
+        trace.validate();
+        inspect(trace);
+        if (!out_path.empty())
+            writeTrace(trace, out_path);
+        return 0;
+    }
+
+    Trace trace = [&]() {
+        if (!suite.empty()) {
+            auto profile = adhocProfile(suite, seed, functions);
+            auto program = buildProgram(profile);
+            uint64_t n = insts ? insts : defaultTraceLength();
+            return Executor(program, seed).run(n);
+        }
+        if (workload.empty())
+            workload = "gcc";
+        return makeCatalogTrace(workload, insts);
+    }();
+    trace.validate();
+    inspect(trace);
+
+    if (!out_path.empty()) {
+        writeTrace(trace, out_path);
+        std::printf("written: %s\n", out_path.c_str());
+    }
+    return 0;
+}
