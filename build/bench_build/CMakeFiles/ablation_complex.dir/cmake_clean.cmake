@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_complex"
+  "../bench/ablation_complex.pdb"
+  "CMakeFiles/ablation_complex.dir/ablation_complex.cc.o"
+  "CMakeFiles/ablation_complex.dir/ablation_complex.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fetch"
+  "../bench/ablation_fetch.pdb"
+  "CMakeFiles/ablation_fetch.dir/ablation_fetch.cc.o"
+  "CMakeFiles/ablation_fetch.dir/ablation_fetch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_promotion"
+  "../bench/ablation_promotion.pdb"
+  "CMakeFiles/ablation_promotion.dir/ablation_promotion.cc.o"
+  "CMakeFiles/ablation_promotion.dir/ablation_promotion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tc_variants"
+  "../bench/ablation_tc_variants.pdb"
+  "CMakeFiles/ablation_tc_variants.dir/ablation_tc_variants.cc.o"
+  "CMakeFiles/ablation_tc_variants.dir/ablation_tc_variants.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tc_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_xbtb"
+  "../bench/ablation_xbtb.pdb"
+  "CMakeFiles/ablation_xbtb.dir/ablation_xbtb.cc.o"
+  "CMakeFiles/ablation_xbtb.dir/ablation_xbtb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_xbtb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_missrate_assoc"
+  "../bench/fig10_missrate_assoc.pdb"
+  "CMakeFiles/fig10_missrate_assoc.dir/fig10_missrate_assoc.cc.o"
+  "CMakeFiles/fig10_missrate_assoc.dir/fig10_missrate_assoc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_missrate_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_bandwidth"
+  "../bench/fig8_bandwidth.pdb"
+  "CMakeFiles/fig8_bandwidth.dir/fig8_bandwidth.cc.o"
+  "CMakeFiles/fig8_bandwidth.dir/fig8_bandwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

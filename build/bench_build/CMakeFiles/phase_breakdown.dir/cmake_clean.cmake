@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/phase_breakdown"
+  "../bench/phase_breakdown.pdb"
+  "CMakeFiles/phase_breakdown.dir/phase_breakdown.cc.o"
+  "CMakeFiles/phase_breakdown.dir/phase_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

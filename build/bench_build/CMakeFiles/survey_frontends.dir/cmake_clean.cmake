@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/survey_frontends"
+  "../bench/survey_frontends.pdb"
+  "CMakeFiles/survey_frontends.dir/survey_frontends.cc.o"
+  "CMakeFiles/survey_frontends.dir/survey_frontends.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_frontends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

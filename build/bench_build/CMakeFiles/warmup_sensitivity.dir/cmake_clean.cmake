@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/warmup_sensitivity"
+  "../bench/warmup_sensitivity.pdb"
+  "CMakeFiles/warmup_sensitivity.dir/warmup_sensitivity.cc.o"
+  "CMakeFiles/warmup_sensitivity.dir/warmup_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warmup_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

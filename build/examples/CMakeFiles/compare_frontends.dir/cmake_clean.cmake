@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_frontends.dir/compare_frontends.cpp.o"
+  "CMakeFiles/compare_frontends.dir/compare_frontends.cpp.o.d"
+  "compare_frontends"
+  "compare_frontends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_frontends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbs_bbtc.dir/bbtc_frontend.cc.o"
+  "CMakeFiles/xbs_bbtc.dir/bbtc_frontend.cc.o.d"
+  "CMakeFiles/xbs_bbtc.dir/block_cache.cc.o"
+  "CMakeFiles/xbs_bbtc.dir/block_cache.cc.o.d"
+  "libxbs_bbtc.a"
+  "libxbs_bbtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbs_bbtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

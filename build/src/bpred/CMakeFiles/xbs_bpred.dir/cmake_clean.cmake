@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbs_bpred.dir/btb.cc.o"
+  "CMakeFiles/xbs_bpred.dir/btb.cc.o.d"
+  "CMakeFiles/xbs_bpred.dir/direction.cc.o"
+  "CMakeFiles/xbs_bpred.dir/direction.cc.o.d"
+  "libxbs_bpred.a"
+  "libxbs_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbs_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbs_common.dir/args.cc.o"
+  "CMakeFiles/xbs_common.dir/args.cc.o.d"
+  "CMakeFiles/xbs_common.dir/histogram.cc.o"
+  "CMakeFiles/xbs_common.dir/histogram.cc.o.d"
+  "CMakeFiles/xbs_common.dir/json.cc.o"
+  "CMakeFiles/xbs_common.dir/json.cc.o.d"
+  "CMakeFiles/xbs_common.dir/logging.cc.o"
+  "CMakeFiles/xbs_common.dir/logging.cc.o.d"
+  "CMakeFiles/xbs_common.dir/random.cc.o"
+  "CMakeFiles/xbs_common.dir/random.cc.o.d"
+  "CMakeFiles/xbs_common.dir/stats.cc.o"
+  "CMakeFiles/xbs_common.dir/stats.cc.o.d"
+  "CMakeFiles/xbs_common.dir/table.cc.o"
+  "CMakeFiles/xbs_common.dir/table.cc.o.d"
+  "libxbs_common.a"
+  "libxbs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

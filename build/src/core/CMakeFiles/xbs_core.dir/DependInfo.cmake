@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/data_array.cc" "src/core/CMakeFiles/xbs_core.dir/data_array.cc.o" "gcc" "src/core/CMakeFiles/xbs_core.dir/data_array.cc.o.d"
+  "/root/repo/src/core/fill_unit.cc" "src/core/CMakeFiles/xbs_core.dir/fill_unit.cc.o" "gcc" "src/core/CMakeFiles/xbs_core.dir/fill_unit.cc.o.d"
+  "/root/repo/src/core/out_mux.cc" "src/core/CMakeFiles/xbs_core.dir/out_mux.cc.o" "gcc" "src/core/CMakeFiles/xbs_core.dir/out_mux.cc.o.d"
+  "/root/repo/src/core/priority_encoder.cc" "src/core/CMakeFiles/xbs_core.dir/priority_encoder.cc.o" "gcc" "src/core/CMakeFiles/xbs_core.dir/priority_encoder.cc.o.d"
+  "/root/repo/src/core/xbc_frontend.cc" "src/core/CMakeFiles/xbs_core.dir/xbc_frontend.cc.o" "gcc" "src/core/CMakeFiles/xbs_core.dir/xbc_frontend.cc.o.d"
+  "/root/repo/src/core/xbtb.cc" "src/core/CMakeFiles/xbs_core.dir/xbtb.cc.o" "gcc" "src/core/CMakeFiles/xbs_core.dir/xbtb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ic/CMakeFiles/xbs_ic.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/xbs_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/xbs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xbs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbs_core.dir/data_array.cc.o"
+  "CMakeFiles/xbs_core.dir/data_array.cc.o.d"
+  "CMakeFiles/xbs_core.dir/fill_unit.cc.o"
+  "CMakeFiles/xbs_core.dir/fill_unit.cc.o.d"
+  "CMakeFiles/xbs_core.dir/out_mux.cc.o"
+  "CMakeFiles/xbs_core.dir/out_mux.cc.o.d"
+  "CMakeFiles/xbs_core.dir/priority_encoder.cc.o"
+  "CMakeFiles/xbs_core.dir/priority_encoder.cc.o.d"
+  "CMakeFiles/xbs_core.dir/xbc_frontend.cc.o"
+  "CMakeFiles/xbs_core.dir/xbc_frontend.cc.o.d"
+  "CMakeFiles/xbs_core.dir/xbtb.cc.o"
+  "CMakeFiles/xbs_core.dir/xbtb.cc.o.d"
+  "libxbs_core.a"
+  "libxbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dc/dc_frontend.cc" "src/dc/CMakeFiles/xbs_dc.dir/dc_frontend.cc.o" "gcc" "src/dc/CMakeFiles/xbs_dc.dir/dc_frontend.cc.o.d"
+  "/root/repo/src/dc/decoded_cache.cc" "src/dc/CMakeFiles/xbs_dc.dir/decoded_cache.cc.o" "gcc" "src/dc/CMakeFiles/xbs_dc.dir/decoded_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ic/CMakeFiles/xbs_ic.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/xbs_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/xbs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xbs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

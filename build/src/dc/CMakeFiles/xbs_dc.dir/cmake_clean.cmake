@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbs_dc.dir/dc_frontend.cc.o"
+  "CMakeFiles/xbs_dc.dir/dc_frontend.cc.o.d"
+  "CMakeFiles/xbs_dc.dir/decoded_cache.cc.o"
+  "CMakeFiles/xbs_dc.dir/decoded_cache.cc.o.d"
+  "libxbs_dc.a"
+  "libxbs_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbs_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

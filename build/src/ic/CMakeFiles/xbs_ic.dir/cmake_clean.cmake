@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbs_ic.dir/ic_frontend.cc.o"
+  "CMakeFiles/xbs_ic.dir/ic_frontend.cc.o.d"
+  "CMakeFiles/xbs_ic.dir/inst_cache.cc.o"
+  "CMakeFiles/xbs_ic.dir/inst_cache.cc.o.d"
+  "CMakeFiles/xbs_ic.dir/legacy_pipe.cc.o"
+  "CMakeFiles/xbs_ic.dir/legacy_pipe.cc.o.d"
+  "libxbs_ic.a"
+  "libxbs_ic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbs_ic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

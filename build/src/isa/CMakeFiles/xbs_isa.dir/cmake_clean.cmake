@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbs_isa.dir/static_inst.cc.o"
+  "CMakeFiles/xbs_isa.dir/static_inst.cc.o.d"
+  "CMakeFiles/xbs_isa.dir/types.cc.o"
+  "CMakeFiles/xbs_isa.dir/types.cc.o.d"
+  "CMakeFiles/xbs_isa.dir/uop.cc.o"
+  "CMakeFiles/xbs_isa.dir/uop.cc.o.d"
+  "libxbs_isa.a"
+  "libxbs_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbs_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxbs_isa.a"
+)

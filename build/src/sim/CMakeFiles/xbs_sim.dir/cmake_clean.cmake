@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbs_sim.dir/config.cc.o"
+  "CMakeFiles/xbs_sim.dir/config.cc.o.d"
+  "CMakeFiles/xbs_sim.dir/runner.cc.o"
+  "CMakeFiles/xbs_sim.dir/runner.cc.o.d"
+  "libxbs_sim.a"
+  "libxbs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

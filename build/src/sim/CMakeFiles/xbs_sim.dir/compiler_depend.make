@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xbs_sim.
+# This may be replaced when dependencies are built.

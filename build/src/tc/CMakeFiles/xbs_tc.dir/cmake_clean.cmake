@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbs_tc.dir/fill_unit.cc.o"
+  "CMakeFiles/xbs_tc.dir/fill_unit.cc.o.d"
+  "CMakeFiles/xbs_tc.dir/tc_frontend.cc.o"
+  "CMakeFiles/xbs_tc.dir/tc_frontend.cc.o.d"
+  "CMakeFiles/xbs_tc.dir/trace_cache.cc.o"
+  "CMakeFiles/xbs_tc.dir/trace_cache.cc.o.d"
+  "libxbs_tc.a"
+  "libxbs_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbs_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

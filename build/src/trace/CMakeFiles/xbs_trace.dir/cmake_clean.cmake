@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbs_trace.dir/trace.cc.o"
+  "CMakeFiles/xbs_trace.dir/trace.cc.o.d"
+  "CMakeFiles/xbs_trace.dir/trace_io.cc.o"
+  "CMakeFiles/xbs_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/xbs_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/xbs_trace.dir/trace_stats.cc.o.d"
+  "libxbs_trace.a"
+  "libxbs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/builder.cc" "src/workload/CMakeFiles/xbs_workload.dir/builder.cc.o" "gcc" "src/workload/CMakeFiles/xbs_workload.dir/builder.cc.o.d"
+  "/root/repo/src/workload/catalog.cc" "src/workload/CMakeFiles/xbs_workload.dir/catalog.cc.o" "gcc" "src/workload/CMakeFiles/xbs_workload.dir/catalog.cc.o.d"
+  "/root/repo/src/workload/cfg.cc" "src/workload/CMakeFiles/xbs_workload.dir/cfg.cc.o" "gcc" "src/workload/CMakeFiles/xbs_workload.dir/cfg.cc.o.d"
+  "/root/repo/src/workload/executor.cc" "src/workload/CMakeFiles/xbs_workload.dir/executor.cc.o" "gcc" "src/workload/CMakeFiles/xbs_workload.dir/executor.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/workload/CMakeFiles/xbs_workload.dir/profile.cc.o" "gcc" "src/workload/CMakeFiles/xbs_workload.dir/profile.cc.o.d"
+  "/root/repo/src/workload/program.cc" "src/workload/CMakeFiles/xbs_workload.dir/program.cc.o" "gcc" "src/workload/CMakeFiles/xbs_workload.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/xbs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xbs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

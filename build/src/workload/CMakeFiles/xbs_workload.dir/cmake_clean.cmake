@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbs_workload.dir/builder.cc.o"
+  "CMakeFiles/xbs_workload.dir/builder.cc.o.d"
+  "CMakeFiles/xbs_workload.dir/catalog.cc.o"
+  "CMakeFiles/xbs_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/xbs_workload.dir/cfg.cc.o"
+  "CMakeFiles/xbs_workload.dir/cfg.cc.o.d"
+  "CMakeFiles/xbs_workload.dir/executor.cc.o"
+  "CMakeFiles/xbs_workload.dir/executor.cc.o.d"
+  "CMakeFiles/xbs_workload.dir/profile.cc.o"
+  "CMakeFiles/xbs_workload.dir/profile.cc.o.d"
+  "CMakeFiles/xbs_workload.dir/program.cc.o"
+  "CMakeFiles/xbs_workload.dir/program.cc.o.d"
+  "libxbs_workload.a"
+  "libxbs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

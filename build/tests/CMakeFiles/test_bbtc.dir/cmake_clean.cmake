@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bbtc.dir/test_bbtc.cc.o"
+  "CMakeFiles/test_bbtc.dir/test_bbtc.cc.o.d"
+  "test_bbtc"
+  "test_bbtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bbtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

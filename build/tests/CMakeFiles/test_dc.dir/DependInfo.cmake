@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dc.cc" "tests/CMakeFiles/test_dc.dir/test_dc.cc.o" "gcc" "tests/CMakeFiles/test_dc.dir/test_dc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tc/CMakeFiles/xbs_tc.dir/DependInfo.cmake"
+  "/root/repo/build/src/bbtc/CMakeFiles/xbs_bbtc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dc/CMakeFiles/xbs_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ic/CMakeFiles/xbs_ic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/xbs_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/xbs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xbs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

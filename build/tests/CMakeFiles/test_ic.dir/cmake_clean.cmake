@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ic.dir/test_ic.cc.o"
+  "CMakeFiles/test_ic.dir/test_ic.cc.o.d"
+  "test_ic"
+  "test_ic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

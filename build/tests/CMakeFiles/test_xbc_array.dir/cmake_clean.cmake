@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xbc_array.dir/test_xbc_array.cc.o"
+  "CMakeFiles/test_xbc_array.dir/test_xbc_array.cc.o.d"
+  "test_xbc_array"
+  "test_xbc_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xbc_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

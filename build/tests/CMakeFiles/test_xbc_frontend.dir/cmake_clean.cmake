@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xbc_frontend.dir/test_xbc_frontend.cc.o"
+  "CMakeFiles/test_xbc_frontend.dir/test_xbc_frontend.cc.o.d"
+  "test_xbc_frontend"
+  "test_xbc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xbc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

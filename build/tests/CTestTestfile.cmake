@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;xbs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tools "/root/repo/build/tests/test_tools")
+set_tests_properties(test_tools PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;xbs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_isa "/root/repo/build/tests/test_isa")
+set_tests_properties(test_isa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;xbs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_trace "/root/repo/build/tests/test_trace")
+set_tests_properties(test_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;xbs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_bpred "/root/repo/build/tests/test_bpred")
+set_tests_properties(test_bpred PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;xbs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workload "/root/repo/build/tests/test_workload")
+set_tests_properties(test_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;xbs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ic "/root/repo/build/tests/test_ic")
+set_tests_properties(test_ic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;xbs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dc "/root/repo/build/tests/test_dc")
+set_tests_properties(test_dc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;xbs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_bbtc "/root/repo/build/tests/test_bbtc")
+set_tests_properties(test_bbtc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;xbs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tc "/root/repo/build/tests/test_tc")
+set_tests_properties(test_tc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;xbs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_xbc_array "/root/repo/build/tests/test_xbc_array")
+set_tests_properties(test_xbc_array PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;xbs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_xbc_frontend "/root/repo/build/tests/test_xbc_frontend")
+set_tests_properties(test_xbc_frontend PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;xbs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;xbs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;25;xbs_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsim.dir/xbsim.cc.o"
+  "CMakeFiles/xbsim.dir/xbsim.cc.o.d"
+  "xbsim"
+  "xbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

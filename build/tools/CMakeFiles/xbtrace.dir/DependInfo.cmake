@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/xbtrace.cc" "tools/CMakeFiles/xbtrace.dir/xbtrace.cc.o" "gcc" "tools/CMakeFiles/xbtrace.dir/xbtrace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/xbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/xbs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xbs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbtrace.dir/xbtrace.cc.o"
+  "CMakeFiles/xbtrace.dir/xbtrace.cc.o.d"
+  "xbtrace"
+  "xbtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
