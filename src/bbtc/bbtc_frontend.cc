@@ -14,7 +14,7 @@ namespace xbs
 BbtcFrontend::BbtcFrontend(const FrontendParams &params,
                            const BbtcParams &bbtc_params)
     : Frontend("bbtc", params), bbtcParams_(bbtc_params),
-      preds_(params_), pipe_(params_, metrics_, preds_),
+      preds_(params_), pipe_(params_, metrics_, preds_, &probes_),
       blocks_(bbtc_params.blocks, &root_)
 {
     ttSets_ = 1u << floorLog2(std::max(
@@ -191,6 +191,8 @@ BbtcFrontend::run(const Trace &trace)
 
     while (rec < num_records || buffer > 0) {
         ++metrics_.cycles;
+        observeCycle();
+        traceMode(mode == Mode::Build ? "build" : "delivery");
 
         if (stall > 0) {
             --stall;
@@ -244,6 +246,7 @@ BbtcFrontend::run(const Trace &trace)
             }
         }
     }
+    traceModeDone();
 }
 
 double

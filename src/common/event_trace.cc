@@ -1,0 +1,165 @@
+#include "common/event_trace.hh"
+
+#include <algorithm>
+
+#include "common/json.hh"
+
+namespace xbs
+{
+
+EventTraceSink::EventTraceSink(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1))
+{
+    ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void
+EventTraceSink::record(const ProbePoint &point, ProbeOp op,
+                       uint64_t cycle, int64_t value,
+                       const char *label)
+{
+    ++received_;
+    trackId(point.track());
+
+    Record r{&point, cycle, value, label, op};
+    if (ring_.size() < capacity_) {
+        ring_.push_back(r);
+        head_ = ring_.size() % capacity_;
+        ++count_;
+    } else {
+        ring_[head_] = r;
+        head_ = (head_ + 1) % capacity_;
+        if (count_ < capacity_)
+            ++count_;
+        else
+            ++dropped_;
+    }
+}
+
+std::size_t
+EventTraceSink::size() const
+{
+    return count_;
+}
+
+unsigned
+EventTraceSink::trackId(const std::string &track)
+{
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+        if (tracks_[i] == track)
+            return (unsigned)i;
+    }
+    tracks_.push_back(track);
+    return (unsigned)(tracks_.size() - 1);
+}
+
+std::vector<std::string>
+EventTraceSink::trackNames() const
+{
+    return tracks_;
+}
+
+void
+EventTraceSink::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+    received_ = 0;
+    tracks_.clear();
+}
+
+void
+EventTraceSink::writeChromeJson(std::ostream &os) const
+{
+    JsonWriter json(os, /*pretty=*/false);
+    json.beginObject();
+    json.beginArray("traceEvents");
+
+    json.beginObject();
+    json.field("name", "process_name");
+    json.field("ph", "M");
+    json.field("pid", (uint64_t)0);
+    json.beginObject("args");
+    json.field("name", "xbsim");
+    json.endObject();
+    json.endObject();
+
+    for (std::size_t tid = 0; tid < tracks_.size(); ++tid) {
+        json.beginObject();
+        json.field("name", "thread_name");
+        json.field("ph", "M");
+        json.field("pid", (uint64_t)0);
+        json.field("tid", (uint64_t)tid);
+        json.beginObject("args");
+        json.field("name", tracks_[tid]);
+        json.endObject();
+        json.endObject();
+    }
+
+    // Per-track open-slice stacks so End records carry the matching
+    // Begin's name (viewers match by nesting; names keep them tidy).
+    std::vector<std::vector<const char *>> open(tracks_.size());
+
+    const std::size_t start =
+        count_ < capacity_ ? 0 : head_;  // oldest record
+    for (std::size_t i = 0; i < count_; ++i) {
+        const Record &r = ring_[(start + i) % capacity_];
+        const std::string &track = r.point->track();
+        uint64_t tid = 0;
+        for (std::size_t t = 0; t < tracks_.size(); ++t) {
+            if (tracks_[t] == track) {
+                tid = t;
+                break;
+            }
+        }
+
+        json.beginObject();
+        switch (r.op) {
+          case ProbeOp::Instant:
+            json.field("name", r.point->name());
+            json.field("ph", "i");
+            json.field("s", "t");
+            break;
+          case ProbeOp::Counter:
+            json.field("name", r.point->name());
+            json.field("ph", "C");
+            break;
+          case ProbeOp::Begin:
+            json.field("name",
+                       r.label ? r.label : r.point->name().c_str());
+            json.field("ph", "B");
+            open[tid].push_back(r.label);
+            break;
+          case ProbeOp::End: {
+            const char *label = nullptr;
+            if (!open[tid].empty()) {
+                label = open[tid].back();
+                open[tid].pop_back();
+            }
+            json.field("name",
+                       label ? label : r.point->name().c_str());
+            json.field("ph", "E");
+            break;
+          }
+        }
+        json.field("cat", track);
+        json.field("ts", r.cycle);
+        json.field("pid", (uint64_t)0);
+        json.field("tid", tid);
+        if (r.op == ProbeOp::Instant || r.op == ProbeOp::Counter) {
+            json.beginObject("args");
+            json.field("value", r.value);
+            json.endObject();
+        }
+        json.endObject();
+    }
+
+    json.endArray();
+    json.field("displayTimeUnit", "ms");
+    json.field("droppedEvents", dropped_);
+    json.endObject();
+}
+
+} // namespace xbs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ring-buffered probe sink that serializes to Chrome trace-event
+ * JSON (the format Perfetto and chrome://tracing load natively).
+ *
+ * Records are kept in a fixed-capacity ring: a bounded-memory sink
+ * that survives arbitrarily long runs by dropping the *oldest*
+ * records (the tail of a run is usually what a regression hunt
+ * needs). Each distinct probe track becomes one timeline row (a
+ * "thread" in the trace-event model, named via thread_name metadata);
+ * simulated cycles are exported as microsecond timestamps, so cycle
+ * deltas read directly off the Perfetto ruler.
+ */
+
+#ifndef XBS_COMMON_EVENT_TRACE_HH
+#define XBS_COMMON_EVENT_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/probe.hh"
+
+namespace xbs
+{
+
+class EventTraceSink : public ProbeSink
+{
+  public:
+    /** @param capacity ring capacity in records (oldest dropped). */
+    explicit EventTraceSink(std::size_t capacity = 1u << 20);
+
+    void record(const ProbePoint &point, ProbeOp op, uint64_t cycle,
+                int64_t value, const char *label) override;
+
+    /** Records currently held (<= capacity). */
+    std::size_t size() const;
+
+    /** Records dropped on ring overflow. */
+    uint64_t dropped() const { return dropped_; }
+
+    /** Total records ever received. */
+    uint64_t received() const { return received_; }
+
+    /** Distinct track names seen, in first-seen order. */
+    std::vector<std::string> trackNames() const;
+
+    /**
+     * Write the buffered records as a Chrome trace-event JSON object:
+     * {"traceEvents": [...], "displayTimeUnit": "ms"} with one
+     * thread_name metadata record per track. Slices left open by the
+     * producer are closed implicitly by the trace viewer.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+    void clear();
+
+  private:
+    struct Record
+    {
+        const ProbePoint *point;
+        uint64_t cycle;
+        int64_t value;
+        const char *label;  ///< string literal; Begin records only
+        ProbeOp op;
+    };
+
+    /** Stable small id for @p track (also its exported tid). */
+    unsigned trackId(const std::string &track);
+
+    std::vector<Record> ring_;
+    std::size_t capacity_;
+    std::size_t head_ = 0;   ///< next write position
+    std::size_t count_ = 0;  ///< valid records in the ring
+    uint64_t dropped_ = 0;
+    uint64_t received_ = 0;
+
+    std::vector<std::string> tracks_;  ///< index = tid
+};
+
+} // namespace xbs
+
+#endif // XBS_COMMON_EVENT_TRACE_HH

@@ -1,6 +1,8 @@
 #include "common/json.hh"
 
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/logging.hh"
 
@@ -158,6 +160,294 @@ JsonWriter::field(const std::string &key, bool value)
 {
     prefix(key);
     os_ << (value ? "true" : "false");
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::asNumber(double dflt) const
+{
+    return isNumber() ? numValue : dflt;
+}
+
+uint64_t
+JsonValue::asUint(uint64_t dflt) const
+{
+    return isNumber() && numValue >= 0.0 ? (uint64_t)numValue : dflt;
+}
+
+const std::string &
+JsonValue::asString(const std::string &dflt) const
+{
+    return isString() ? strValue : dflt;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over an in-memory string. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parse(JsonValue *out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *why)
+    {
+        if (error_ && error_->empty()) {
+            *error_ = "offset " + std::to_string(pos_) + ": " + why;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("bad literal");
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out->type = JsonValue::Type::String;
+            return parseString(&out->strValue);
+          case 't':
+            out->type = JsonValue::Type::Bool;
+            out->boolValue = true;
+            return literal("true", 4);
+          case 'f':
+            out->type = JsonValue::Type::Bool;
+            out->boolValue = false;
+            return literal("false", 5);
+          case 'n':
+            out->type = JsonValue::Type::Null;
+            return literal("null", 4);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit((unsigned char)text_[pos_]) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return fail("expected a value");
+        char *end = nullptr;
+        std::string num = text_.substr(start, pos_ - start);
+        double v = std::strtod(num.c_str(), &end);
+        if (!end || *end != '\0')
+            return fail("malformed number");
+        out->type = JsonValue::Type::Number;
+        out->numValue = v;
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        ++pos_;  // opening quote
+        out->clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_];
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return fail("unterminated escape");
+                switch (text_[pos_]) {
+                  case '"':  *out += '"'; break;
+                  case '\\': *out += '\\'; break;
+                  case '/':  *out += '/'; break;
+                  case 'b':  *out += '\b'; break;
+                  case 'f':  *out += '\f'; break;
+                  case 'n':  *out += '\n'; break;
+                  case 'r':  *out += '\r'; break;
+                  case 't':  *out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 >= text_.size())
+                        return fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 1; i <= 4; ++i) {
+                        char h = text_[pos_ + i];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= (unsigned)(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= (unsigned)(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= (unsigned)(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape digit");
+                    }
+                    pos_ += 4;
+                    // UTF-8 encode the BMP code point (surrogate
+                    // pairs are not produced by our writer).
+                    if (cp < 0x80) {
+                        *out += (char)cp;
+                    } else if (cp < 0x800) {
+                        *out += (char)(0xc0 | (cp >> 6));
+                        *out += (char)(0x80 | (cp & 0x3f));
+                    } else {
+                        *out += (char)(0xe0 | (cp >> 12));
+                        *out += (char)(0x80 | ((cp >> 6) & 0x3f));
+                        *out += (char)(0x80 | (cp & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+            } else {
+                *out += c;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return fail("unterminated string");
+        ++pos_;  // closing quote
+        return true;
+    }
+
+    bool
+    parseArray(JsonValue *out)
+    {
+        out->type = JsonValue::Type::Array;
+        ++pos_;  // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue item;
+            skipWs();
+            if (!parseValue(&item))
+                return false;
+            out->items.push_back(std::move(item));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(JsonValue *out)
+    {
+        out->type = JsonValue::Type::Object;
+        ++pos_;  // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected member key");
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            JsonValue value;
+            if (!parseValue(&value))
+                return false;
+            out->members.emplace_back(std::move(key),
+                                      std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+} // anonymous namespace
+
+bool
+parseJson(const std::string &text, JsonValue *out, std::string *error)
+{
+    if (error)
+        error->clear();
+    JsonParser parser(text, error);
+    *out = JsonValue{};
+    return parser.parse(out);
 }
 
 } // namespace xbs

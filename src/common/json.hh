@@ -1,8 +1,10 @@
 /**
  * @file
- * Minimal JSON emission helper: a streaming writer that tracks
- * nesting and comma placement, enough for stats export and bench
- * results (no parsing, no reflection).
+ * Minimal JSON helpers: a streaming writer that tracks nesting and
+ * comma placement (stats export, bench results), and a small
+ * recursive-descent parser (JsonValue) so tools and tests can read
+ * back what the simulator emitted — interval JSONL, trace-event
+ * files — without external dependencies.
  */
 
 #ifndef XBS_COMMON_JSON_HH
@@ -59,6 +61,56 @@ class JsonWriter
     };
     std::vector<Level> stack_;
 };
+
+/**
+ * A parsed JSON document node. Objects keep their members in input
+ * order (handy for diffing emitted files).
+ */
+struct JsonValue
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolValue = false;
+    double numValue = 0.0;
+    std::string strValue;
+    std::vector<JsonValue> items;  ///< Array elements
+    std::vector<std::pair<std::string, JsonValue>> members;  ///< Object
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Object member by key, or nullptr. */
+    const JsonValue *find(const std::string &key) const;
+
+    /// @{ Checked-with-default accessors.
+    double asNumber(double dflt = 0.0) const;
+    uint64_t asUint(uint64_t dflt = 0) const;
+    const std::string &asString(const std::string &dflt = "") const;
+    /// @}
+};
+
+/**
+ * Parse @p text as one JSON document.
+ *
+ * @param out   filled on success
+ * @param error set to "offset N: reason" on failure (optional)
+ * @return true on success
+ */
+bool parseJson(const std::string &text, JsonValue *out,
+               std::string *error = nullptr);
 
 } // namespace xbs
 

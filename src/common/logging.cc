@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace xbs
 {
@@ -10,6 +11,32 @@ namespace
 {
 
 bool quietFlag = false;
+
+/** XBSIM_LOG override: -1 unset/unknown, 0 quiet, 1 normal,
+ *  2 verbose. Read on every query: cheap, and tests (or long-lived
+ *  embedders) may change the environment between runs. */
+int
+envLogMode()
+{
+    const char *e = std::getenv("XBSIM_LOG");
+    if (!e || !*e)
+        return -1;
+    std::string v(e);
+    if (v == "quiet")
+        return 0;
+    if (v == "normal")
+        return 1;
+    if (v == "verbose")
+        return 2;
+    static bool warned = false;
+    if (!warned) {
+        warned = true;
+        std::fprintf(stderr,
+                     "warn: XBSIM_LOG='%s' not recognized "
+                     "(quiet|normal|verbose); ignoring\n", e);
+    }
+    return -1;
+}
 
 const char *
 levelName(LogLevel level)
@@ -27,7 +54,7 @@ void
 vlogMessage(LogLevel level, const char *file, int line,
             const char *fmt, va_list args)
 {
-    if (quietFlag &&
+    if (logQuiet() &&
         (level == LogLevel::Inform || level == LogLevel::Warn)) {
         return;
     }
@@ -54,7 +81,18 @@ setLogQuiet(bool quiet)
 bool
 logQuiet()
 {
+    int env = envLogMode();
+    if (env == 0)
+        return true;
+    if (env >= 1)
+        return false;
     return quietFlag;
+}
+
+bool
+logVerbose()
+{
+    return envLogMode() == 2;
 }
 
 void

@@ -54,9 +54,19 @@ void logMessage(LogLevel level, const char *file, int line,
 /**
  * Quiet mode suppresses inform()/warn() output; used by benches that
  * print machine-readable tables.
+ *
+ * The XBSIM_LOG environment variable (quiet | normal | verbose)
+ * overrides whatever the program requests, so harnesses and CI can
+ * control verbosity without plumbing flags: `XBSIM_LOG=quiet`
+ * silences inform/warn even if the tool asked for normal output, and
+ * `XBSIM_LOG=normal`/`verbose` forces output through a tool's
+ * programmatic quiet request.
  */
 void setLogQuiet(bool quiet);
 bool logQuiet();
+
+/** True when XBSIM_LOG=verbose (extra diagnostic output). */
+bool logVerbose();
 
 } // namespace xbs
 

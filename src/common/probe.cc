@@ -1,0 +1,41 @@
+#include "common/probe.hh"
+
+namespace xbs
+{
+
+void
+ProbeManager::registerPoint(ProbePoint *point)
+{
+    points_.push_back(point);
+    point->mgr_ = this;
+    point->sink_ = sink_;
+}
+
+void
+ProbeManager::attach(ProbeSink *sink)
+{
+    sink_ = sink;
+    for (auto *p : points_)
+        p->sink_ = sink;
+}
+
+const ProbePoint *
+ProbeManager::find(const std::string &track,
+                   const std::string &name) const
+{
+    for (const auto *p : points_) {
+        if (p->track() == track && p->name() == name)
+            return p;
+    }
+    return nullptr;
+}
+
+ProbePoint::ProbePoint(ProbeManager *mgr, std::string track,
+                       std::string name)
+    : track_(std::move(track)), name_(std::move(name))
+{
+    if (mgr)
+        mgr->registerPoint(this);
+}
+
+} // namespace xbs

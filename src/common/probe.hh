@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Named probe points: the simulator-wide observability layer.
+ *
+ * A component owns ProbePoints (registered with the enclosing
+ * frontend's ProbeManager) and fires them at interesting moments:
+ * mode transitions, XB builds, bank conflicts, predictor outcomes.
+ * When no sink is attached, firing is a single null-pointer test, so
+ * instrumented hot paths cost nothing in ordinary runs. When a sink
+ * (e.g. the ring-buffered EventTraceSink) is attached, every fire is
+ * forwarded with its cycle timestamp for later timeline export.
+ *
+ * Timestamps come from the manager's *cycle source* (the owning
+ * frontend's cycle counter), so components never need the current
+ * cycle plumbed through their interfaces to be observable.
+ *
+ * Probe points carry a *track* (the component they belong to: "mode",
+ * "xfu", "array", ...) and a *name* within that track; timeline
+ * exporters map tracks to rows. Three firing shapes are supported:
+ *  - instant events   (fire):      a point-in-time marker + value
+ *  - counters         (count):     a sampled time series of a value
+ *  - slices           (begin/end): a named duration, e.g. build mode
+ */
+
+#ifndef XBS_COMMON_PROBE_HH
+#define XBS_COMMON_PROBE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace xbs
+{
+
+class ProbePoint;
+
+/** How a single probe record is to be interpreted. */
+enum class ProbeOp : uint8_t
+{
+    Instant,  ///< point event (value attached)
+    Counter,  ///< counter sample (value is the counter's new value)
+    Begin,    ///< slice opens (label names the slice)
+    End,      ///< slice closes
+};
+
+/** Receiver of probe records; implemented by EventTraceSink. */
+class ProbeSink
+{
+  public:
+    virtual ~ProbeSink() = default;
+
+    /**
+     * One probe record.
+     *
+     * @param point the firing probe point
+     * @param op    record shape
+     * @param cycle simulated-cycle timestamp
+     * @param value instant/counter payload
+     * @param label slice name for Begin records (a string literal
+     *              owned by the caller; must outlive the sink's use)
+     */
+    virtual void record(const ProbePoint &point, ProbeOp op,
+                        uint64_t cycle, int64_t value,
+                        const char *label) = 0;
+};
+
+/**
+ * Registry of a frontend's probe points. Owns no points; points
+ * register themselves on construction (like stats in a StatGroup)
+ * and receive the manager's current sink.
+ */
+class ProbeManager
+{
+  public:
+    ProbeManager() = default;
+
+    ProbeManager(const ProbeManager &) = delete;
+    ProbeManager &operator=(const ProbeManager &) = delete;
+
+    /** Called by ProbePoint's constructor. */
+    void registerPoint(ProbePoint *point);
+
+    /** Attach @p sink to every registered (and future) point;
+     *  nullptr detaches. */
+    void attach(ProbeSink *sink);
+
+    ProbeSink *sink() const { return sink_; }
+
+    /** Timestamp provider for all points of this manager (the owning
+     *  frontend's cycle counter). */
+    void setCycleSource(const ScalarStat *cycles) { cycles_ = cycles; }
+
+    /** Current timestamp (0 before a cycle source is set). */
+    uint64_t now() const { return cycles_ ? cycles_->value() : 0; }
+
+    const std::vector<ProbePoint *> &points() const { return points_; }
+
+    /** Find a registered point by (track, name), or nullptr. */
+    const ProbePoint *find(const std::string &track,
+                           const std::string &name) const;
+
+  private:
+    std::vector<ProbePoint *> points_;
+    ProbeSink *sink_ = nullptr;
+    const ScalarStat *cycles_ = nullptr;
+};
+
+/** One named probe point. */
+class ProbePoint
+{
+  public:
+    /**
+     * @param mgr   registry; nullptr creates a permanently disabled
+     *              point (components constructed without a frontend)
+     * @param track timeline row this point belongs to ("mode", "xfu")
+     * @param name  event name within the track
+     */
+    ProbePoint(ProbeManager *mgr, std::string track, std::string name);
+
+    ProbePoint(const ProbePoint &) = delete;
+    ProbePoint &operator=(const ProbePoint &) = delete;
+
+    const std::string &track() const { return track_; }
+    const std::string &name() const { return name_; }
+
+    /** True when a sink is attached (records will be delivered). */
+    bool enabled() const { return sink_ != nullptr; }
+
+    /** Instant event. */
+    void
+    fire(int64_t value = 0)
+    {
+        if (sink_)
+            sink_->record(*this, ProbeOp::Instant, mgr_->now(), value,
+                          nullptr);
+    }
+
+    /** Counter sample. */
+    void
+    count(int64_t value)
+    {
+        if (sink_)
+            sink_->record(*this, ProbeOp::Counter, mgr_->now(), value,
+                          nullptr);
+    }
+
+    /** Open a slice named @p label (a string literal). */
+    void
+    begin(const char *label)
+    {
+        if (sink_)
+            sink_->record(*this, ProbeOp::Begin, mgr_->now(), 0,
+                          label);
+    }
+
+    /** Close the innermost open slice on this track. */
+    void
+    end()
+    {
+        if (sink_)
+            sink_->record(*this, ProbeOp::End, mgr_->now(), 0,
+                          nullptr);
+    }
+
+  private:
+    friend class ProbeManager;
+
+    ProbeSink *sink_ = nullptr;
+    ProbeManager *mgr_ = nullptr;
+    std::string track_;
+    std::string name_;
+};
+
+} // namespace xbs
+
+#endif // XBS_COMMON_PROBE_HH

@@ -34,6 +34,15 @@ AverageStat::print(std::ostream &os, const std::string &prefix) const
        << "  # " << desc() << "\n";
 }
 
+void
+FormulaStat::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(44) << (prefix + name())
+       << std::right << std::setw(16) << std::fixed
+       << std::setprecision(4) << value()
+       << "  # " << desc() << "\n";
+}
+
 DistributionStat::DistributionStat(StatGroup *group, std::string name,
                                    std::string desc, double min,
                                    double max, double bucket_size)

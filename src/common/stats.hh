@@ -9,12 +9,14 @@
 #define XBS_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/json.hh"
+#include "common/logging.hh"
 
 namespace xbs
 {
@@ -57,7 +59,19 @@ class ScalarStat : public StatBase
 
     ScalarStat &operator++() { ++value_; return *this; }
     ScalarStat &operator+=(uint64_t v) { value_ += v; return *this; }
-    ScalarStat &operator--() { --value_; return *this; }
+
+    ScalarStat &
+    operator--()
+    {
+        // Counters are unsigned: wrapping below zero would silently
+        // corrupt every derived metric, so treat it as a simulator
+        // bug rather than producing a ~2^64 value.
+        xbs_assert(value_ > 0, "stat '%s' decremented below zero",
+                   name().c_str());
+        --value_;
+        return *this;
+    }
+
     void set(uint64_t v) { value_ = v; }
 
     uint64_t value() const { return value_; }
@@ -95,6 +109,39 @@ class AverageStat : public StatBase
   private:
     double sum_ = 0.0;
     uint64_t count_ = 0;
+};
+
+/**
+ * Derived statistic: a named formula over other stats, evaluated at
+ * dump time. This is how code-only accessors like bandwidth() or
+ * missRate() become visible in dump()/dumpJson() output (and
+ * findable through StatGroup::find) without being stored anywhere.
+ */
+class FormulaStat : public StatBase
+{
+  public:
+    using Fn = std::function<double()>;
+
+    FormulaStat(StatGroup *group, std::string name, std::string desc,
+                Fn fn)
+        : StatBase(group, std::move(name), std::move(desc)),
+          fn_(std::move(fn))
+    {
+    }
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void writeJson(JsonWriter &json) const override
+    {
+        json.field(name(), value());
+    }
+
+    /** Formulas carry no state; resetting the ingredients suffices. */
+    void reset() override {}
+
+  private:
+    Fn fn_;
 };
 
 /**
@@ -167,6 +214,14 @@ class StatGroup
     const StatBase *find(const std::string &path) const;
 
     const std::string &statName() const { return name_; }
+
+    /// @{ Tree iteration (used by the interval-stats sampler).
+    const std::vector<StatBase *> &stats() const { return stats_; }
+    const std::vector<StatGroup *> &children() const
+    {
+        return children_;
+    }
+    /// @}
 
   private:
     std::string name_;

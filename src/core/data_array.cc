@@ -8,8 +8,13 @@
 namespace xbs
 {
 
-XbcDataArray::XbcDataArray(const XbcParams &params, StatGroup *parent)
-    : StatGroup("xbc", parent), params_(params)
+XbcDataArray::XbcDataArray(const XbcParams &params, StatGroup *parent,
+                           ProbeManager *probes)
+    : StatGroup("xbc", parent), params_(params),
+      evictProbe_(probes, "array", "evict"),
+      relocProbe_(probes, "array", "relocate"),
+      conflictProbe_(probes, "array", "conflict"),
+      occupancyProbe_(probes, "array", "residentUops")
 {
     xbs_assert(params_.numBanks >= 1 && params_.bankUops >= 1 &&
                params_.ways >= 1, "bad XBC geometry");
@@ -69,6 +74,7 @@ XbcDataArray::accountSlots(const std::vector<UopSlot> &slots, int delta)
             --filledUops_;
         }
     }
+    occupancyProbe_.count((int64_t)filledUops_);
 }
 
 void
@@ -183,6 +189,7 @@ XbcDataArray::allocLine(uint64_t tag, std::size_t set,
 
         if (victim->valid) {
             ++evictions;
+            evictProbe_.fire((int64_t)victim->slots.size());
             accountSlots(victim->slots, -1);
             dropVariantsUsing(victim->tag, set, ref.bank, ref.way);
         }
@@ -550,6 +557,7 @@ XbcDataArray::noteConflict(const Variant &variant,
     const LineUse lu = variant.lines[line_pos];
     BankLine &l = line(lu, set);
     ++l.conflict;
+    conflictProbe_.fire((int64_t)line_pos);
     if (!params_.dynamicPlacement ||
         l.conflict < params_.dynamicPlacementThreshold) {
         return false;
@@ -569,6 +577,7 @@ XbcDataArray::noteConflict(const Variant &variant,
                 continue;
             if (target.valid) {
                 ++evictions;
+                evictProbe_.fire((int64_t)target.slots.size());
                 accountSlots(target.slots, -1);
                 dropVariantsUsing(target.tag, set, b, w);
             }
@@ -606,6 +615,7 @@ XbcDataArray::noteConflict(const Variant &variant,
                     directory_.erase(it);
             }
             ++relocations;
+            relocProbe_.fire((int64_t)b);
             return true;
         }
     }

@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/probe.hh"
 #include "common/stats.hh"
 #include "core/params.hh"
 #include "core/xb.hh"
@@ -42,7 +43,12 @@ namespace xbs
 class XbcDataArray : public StatGroup
 {
   public:
-    XbcDataArray(const XbcParams &params, StatGroup *parent);
+    /**
+     * @param probes probe registry of the owning frontend for the
+     *        "array" track (nullptr: probes permanently disabled)
+     */
+    XbcDataArray(const XbcParams &params, StatGroup *parent,
+                 ProbeManager *probes = nullptr);
 
     /** Reference to one physical bank line. */
     struct LineUse
@@ -239,6 +245,16 @@ class XbcDataArray : public StatGroup
 
   private:
     const StaticCode *code_ = nullptr;
+
+    /// @{ "array" track: line evictions (value = slots lost),
+    ///    dynamic-placement relocations (value = destination bank),
+    ///    conflict-counter bumps (value = deferred line position) and
+    ///    an occupancy counter sampled whenever resident uops change.
+    ProbePoint evictProbe_;
+    ProbePoint relocProbe_;
+    ProbePoint conflictProbe_;
+    ProbePoint occupancyProbe_;
+    /// @}
 };
 
 } // namespace xbs

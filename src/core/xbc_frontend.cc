@@ -11,12 +11,12 @@ namespace xbs
 XbcFrontend::XbcFrontend(const FrontendParams &params,
                          const XbcParams &xbc_params)
     : Frontend("xbcfe", params), xbcParams_(xbc_params),
-      preds_(params_), pipe_(params_, metrics_, preds_),
-      array_(xbcParams_, &root_),
+      preds_(params_), pipe_(params_, metrics_, preds_, &probes_),
+      array_(xbcParams_, &root_, &probes_),
       xbtb_(xbcParams_.xbtbEntries, xbcParams_.xbtbWays, &root_),
       xibtb_(xbcParams_.xibtbSets, xbcParams_.xibtbWays, &root_),
       xrsb_(xbcParams_.xrsbDepth),
-      fill_(xbcParams_, array_, xbtb_, &root_),
+      fill_(xbcParams_, array_, xbtb_, &root_, &probes_),
       outMux_(xbcParams_, &root_),
       prio_(xbcParams_.numBanks, &root_)
 {
@@ -94,6 +94,7 @@ XbcFrontend::maybePromote(Xbtb::Entry &entry)
     // XB0's original location becomes eviction fodder (paper 3.8).
     array_.demoteLru(entry.xbIp, xb0_mask);
     ++promotions;
+    promoteProbe_.fire((int64_t)combined.size());
 }
 
 XbcFrontend::EndResult
@@ -125,6 +126,7 @@ XbcFrontend::handleXbEnd(const Trace &trace, std::size_t end_rec)
         if (pred != taken) {
             ++metrics_.condMispredicts;
             r.penalty += params_.mispredictPenalty;
+            condMispredProbe_.fire((int64_t)params_.mispredictPenalty);
         }
         if (e) {
             e->trainCounter(taken);
@@ -152,6 +154,8 @@ XbcFrontend::handleXbEnd(const Trace &trace, std::size_t end_rec)
         if (!(cand.valid && cand.entryIdx == actual_next)) {
             ++metrics_.indirectMispredicts;
             r.penalty += params_.mispredictPenalty;
+            indirectMispredProbe_.fire(
+                (int64_t)params_.mispredictPenalty);
             r.toBuild = true;   // misfetch: target XB unknown
         } else {
             r.next = cand;
@@ -173,6 +177,8 @@ XbcFrontend::handleXbEnd(const Trace &trace, std::size_t end_rec)
         if (!(cand.valid && cand.entryIdx == actual_next)) {
             ++metrics_.returnMispredicts;
             r.penalty += params_.mispredictPenalty;
+            returnMispredProbe_.fire(
+                (int64_t)params_.mispredictPenalty);
             r.toBuild = true;
         } else {
             r.next = cand;
@@ -314,6 +320,8 @@ XbcFrontend::supplySlot(const Trace &trace, std::size_t &rec,
             const StaticInst &br = trace.inst(rec - 1);
             if (br.cls == InstClass::CondBranch) {
                 ++promotedWrongPath;
+                promotedWrongProbe_.fire(
+                    (int64_t)params_.mispredictPenalty);
                 stall += params_.mispredictPenalty;
                 bool br_taken = trace.record(rec - 1).taken != 0;
                 Xbtb::Entry *be = xbtb_.find(br.ip);
@@ -370,6 +378,7 @@ XbcFrontend::supplySlot(const Trace &trace, std::size_t &rec,
                     if (misbehaving) {
                         be->promoted = false;
                         ++depromotions;
+                        depromoteProbe_.fire();
                     }
                     // Wrong-path divergence is caught by the match
                     // check on the next instruction.
@@ -564,6 +573,8 @@ XbcFrontend::run(const Trace &trace)
 
     while (rec < num_records || buffer > 0) {
         ++metrics_.cycles;
+        observeCycle();
+        traceMode(mode == Mode::Build ? "build" : "delivery");
 
         if (stall > 0) {
             // Fetch-silent bubble; the buffer keeps draining, but
@@ -623,6 +634,7 @@ XbcFrontend::run(const Trace &trace)
             buffer -= drained;
         }
     }
+    traceModeDone();
 }
 
 } // namespace xbs

@@ -10,7 +10,7 @@ namespace xbs
 DcFrontend::DcFrontend(const FrontendParams &params,
                        const DecodedCacheParams &dc_params)
     : Frontend("dcfe", params), dcParams_(dc_params), preds_(params_),
-      pipe_(params_, metrics_, preds_), dc_(dcParams_, &root_)
+      pipe_(params_, metrics_, preds_, &probes_), dc_(dcParams_, &root_)
 {
 }
 
@@ -86,6 +86,8 @@ DcFrontend::run(const Trace &trace)
 
     while (rec < num_records) {
         ++metrics_.cycles;
+        observeCycle();
+        traceMode(mode == Mode::Build ? "build" : "delivery");
         if (stall > 0) {
             --stall;
             ++metrics_.stallCycles;
@@ -123,6 +125,7 @@ DcFrontend::run(const Trace &trace)
             }
         }
     }
+    traceModeDone();
 }
 
 } // namespace xbs

@@ -10,13 +10,22 @@
  * disagrees with the actual outcome. This matches the methodology of
  * standalone frontend studies (hit rates and bandwidth are exact;
  * wrong-path fetch effects are out of scope, as in the paper).
+ *
+ * Observability: every frontend owns a ProbeManager that its
+ * components register named probe points with (attach an
+ * EventTraceSink to capture a timeline) and accepts an
+ * IntervalSampler for windowed statistics. Both are pay-for-use:
+ * with nothing attached, the per-cycle cost is one branch each.
  */
 
 #ifndef XBS_FRONTEND_FRONTEND_HH
 #define XBS_FRONTEND_FRONTEND_HH
 
+#include <cstring>
 #include <string>
 
+#include "common/interval_stats.hh"
+#include "common/probe.hh"
 #include "common/stats.hh"
 #include "frontend/metrics.hh"
 #include "frontend/params.hh"
@@ -31,6 +40,7 @@ class Frontend
     Frontend(std::string name, const FrontendParams &params)
         : root_(std::move(name)), metrics_(&root_), params_(params)
     {
+        probes_.setCycleSource(&metrics_.cycles);
     }
 
     virtual ~Frontend() = default;
@@ -53,10 +63,76 @@ class Frontend
 
     const FrontendParams &params() const { return params_; }
 
+    /** Probe registry; attach a sink here to capture event traces. */
+    ProbeManager &probes() { return probes_; }
+    const ProbeManager &probes() const { return probes_; }
+
+    /** Attach (or detach, with nullptr) an interval sampler ticked
+     *  once per simulated cycle during run(). */
+    void attachSampler(IntervalSampler *sampler)
+    {
+        sampler_ = sampler;
+    }
+
+    /**
+     * Flush observation state after run(): emits the sampler's final
+     * partial window. Drivers that attached a sampler call this once
+     * per run before reading the outputs.
+     */
+    void
+    finishObservation()
+    {
+        if (sampler_)
+            sampler_->finish(metrics_.cycles.value());
+    }
+
   protected:
+    /** Per-cycle observation hook; run loops call this right after
+     *  advancing metrics_.cycles. One branch when nothing attached. */
+    void
+    observeCycle()
+    {
+        if (sampler_)
+            sampler_->tick(metrics_.cycles.value());
+    }
+
+    /**
+     * Mode-FSM timeline: open a slice named @p label (a string
+     * literal: "build" / "delivery"), closing the previous one.
+     * Call once per cycle with the current mode; consecutive
+     * same-label calls are free.
+     */
+    void
+    traceMode(const char *label)
+    {
+        if (!modeProbe_.enabled())
+            return;
+        if (modeLabel_ && std::strcmp(modeLabel_, label) == 0)
+            return;
+        if (modeLabel_)
+            modeProbe_.end();
+        modeProbe_.begin(label);
+        modeLabel_ = label;
+    }
+
+    /** Close the open mode slice (end of run). */
+    void
+    traceModeDone()
+    {
+        if (modeProbe_.enabled() && modeLabel_)
+            modeProbe_.end();
+        modeLabel_ = nullptr;
+    }
+
     StatGroup root_;
     FrontendMetrics metrics_;
     FrontendParams params_;
+    ProbeManager probes_;
+    ProbePoint modeProbe_{&probes_, "mode", "mode"};
+
+  private:
+    IntervalSampler *sampler_ = nullptr;
+    const char *modeLabel_ = nullptr;
 };
 
 } // namespace xbs

@@ -65,6 +65,23 @@ class FrontendMetrics : public StatGroup
     ScalarStat modeSwitches{this, "modeSwitches",
         "delivery->build transitions"};
 
+    /// @{ Derived statistics: the same quantities as the accessor
+    ///    functions below, registered so dump()/dumpJson() output and
+    ///    StatGroup::find include the headline metrics directly.
+    FormulaStat bandwidthStat{this, "bandwidth",
+        "delivery-mode uop bandwidth (renamedUops/deliveryCycles)",
+        [this] { return bandwidth(); }};
+    FormulaStat missRateStat{this, "missRate",
+        "fraction of uops supplied by the legacy IC path",
+        [this] { return missRate(); }};
+    FormulaStat overallIpcStat{this, "overallIpc",
+        "uops per cycle over all simulated cycles",
+        [this] { return overallIpc(); }};
+    FormulaStat condMispredictRateStat{this, "condMispredictRate",
+        "conditional branch misprediction rate",
+        [this] { return condMispredictRate(); }};
+    /// @}
+
     /**
      * Delivery-mode uop bandwidth (the paper's Figure 8 metric):
      * uops crossing into the renamer per delivery-mode cycle,

@@ -5,7 +5,7 @@ namespace xbs
 
 IcFrontend::IcFrontend(const FrontendParams &params)
     : Frontend("ic", params), preds_(params),
-      pipe_(params_, metrics_, preds_)
+      pipe_(params_, metrics_, preds_, &probes_)
 {
 }
 
@@ -23,7 +23,10 @@ IcFrontend::run(const Trace &trace)
         metrics_.renamedUops += r.uops;
         metrics_.cycles += r.stall;
         metrics_.stallCycles += r.stall;
+        observeCycle();
+        traceMode("delivery");
     }
+    traceModeDone();
 }
 
 } // namespace xbs

@@ -8,20 +8,27 @@ namespace xbs
 {
 
 LegacyPipe::LegacyPipe(const FrontendParams &params,
-                       FrontendMetrics &metrics, PredictorBank &preds)
+                       FrontendMetrics &metrics, PredictorBank &preds,
+                       ProbeManager *probes)
     : params_(params), metrics_(metrics), preds_(preds),
       icache_(params.icCapacityBytes, params.icLineBytes,
               params.icWays),
       l2_(params.l2CapacityBytes, params.icLineBytes, params.l2Ways),
-      decoder_(params.decode)
+      decoder_(params.decode),
+      icMissProbe_(probes, "icpipe", "icMiss"),
+      resteerProbe_(probes, "icpipe", "resteer")
 {
 }
 
 unsigned
 LegacyPipe::handleControl(const Trace &trace, std::size_t rec)
 {
-    return predictControl(params_, metrics_, preds_, trace, rec,
-                          /*legacy_path=*/true);
+    unsigned penalty = predictControl(params_, metrics_, preds_,
+                                      trace, rec,
+                                      /*legacy_path=*/true);
+    if (penalty > 0)
+        resteerProbe_.fire((int64_t)penalty);
+    return penalty;
 }
 
 LegacyPipe::Result
@@ -54,12 +61,15 @@ LegacyPipe::cycle(const Trace &trace, std::size_t &rec)
                 ++metrics_.icMisses;
                 // Fill from the unified L2; a second miss goes all
                 // the way to memory.
+                unsigned latency;
                 if (l2_.access(line)) {
-                    res.stall += params_.icMissLatency;
+                    latency = params_.icMissLatency;
                 } else {
                     ++metrics_.l2Misses;
-                    res.stall += params_.l2MissLatency;
+                    latency = params_.l2MissLatency;
                 }
+                res.stall += latency;
+                icMissProbe_.fire((int64_t)latency);
                 missed = true;
             }
             if (num_lines < 2)

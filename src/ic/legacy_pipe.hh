@@ -16,6 +16,7 @@
 
 #include <cstddef>
 
+#include "common/probe.hh"
 #include "frontend/metrics.hh"
 #include "frontend/params.hh"
 #include "frontend/predictors.hh"
@@ -29,8 +30,12 @@ namespace xbs
 class LegacyPipe
 {
   public:
+    /**
+     * @param probes probe registry of the owning frontend for the
+     *        "icpipe" track (nullptr: probes permanently disabled)
+     */
     LegacyPipe(const FrontendParams &params, FrontendMetrics &metrics,
-               PredictorBank &preds);
+               PredictorBank &preds, ProbeManager *probes = nullptr);
 
     /** Outcome of one fetch cycle. */
     struct Result
@@ -73,6 +78,12 @@ class LegacyPipe
     InstCache icache_;
     InstCache l2_;   ///< unified L2 backing the IC's code fetches
     Decoder decoder_;
+
+    /// @{ "icpipe" track: miss stalls and resteer bubbles, with the
+    ///    charged penalty as the event value.
+    ProbePoint icMissProbe_;
+    ProbePoint resteerProbe_;
+    /// @}
 };
 
 } // namespace xbs

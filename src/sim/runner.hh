@@ -82,6 +82,20 @@ class SuiteRunner
                                 const std::string &suite = "");
     /// @}
 
+    /** Observation hook type: the frontend about to run / just run,
+     *  plus the (workload, label) pair identifying the measurement. */
+    using RunHook = std::function<void(Frontend &,
+                                       const std::string &workload,
+                                       const std::string &label)>;
+
+    /// @{ Observation hooks around each measurement: before-run fires
+    ///    after construction (attach sinks/samplers here), after-run
+    ///    fires after run() but before metrics are read (the runner
+    ///    calls finishObservation() itself between the two).
+    void setBeforeRun(RunHook hook) { beforeRun_ = std::move(hook); }
+    void setAfterRun(RunHook hook) { afterRun_ = std::move(hook); }
+    /// @}
+
   private:
     RunResult measure(const Trace &trace, const std::string &suite,
                       const std::string &label,
@@ -89,6 +103,8 @@ class SuiteRunner
 
     uint64_t traceLen_;
     std::vector<std::string> workloads_;
+    RunHook beforeRun_;
+    RunHook afterRun_;
 };
 
 } // namespace xbs

@@ -9,9 +9,9 @@ namespace xbs
 TcFrontend::TcFrontend(const FrontendParams &params,
                        const TcParams &tc_params)
     : Frontend("tc", params), tcParams_(tc_params), preds_(params_),
-      pipe_(params_, metrics_, preds_),
+      pipe_(params_, metrics_, preds_, &probes_),
       tc_(tc_params.capacityUops, tc_params.ways, tc_params.limits,
-          &root_),
+          &root_, &probes_),
       fill_(tc_params.limits)
 {
 }
@@ -114,6 +114,8 @@ TcFrontend::run(const Trace &trace)
 
     while (rec < num_records || buffer > 0) {
         ++metrics_.cycles;
+        observeCycle();
+        traceMode(mode == Mode::Build ? "build" : "delivery");
 
         if (stall > 0) {
             // Fetch-silent bubble; the buffer keeps draining, but
@@ -203,6 +205,7 @@ TcFrontend::run(const Trace &trace)
             }
         }
     }
+    traceModeDone();
 }
 
 } // namespace xbs

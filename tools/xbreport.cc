@@ -1,0 +1,296 @@
+/**
+ * @file
+ * xbreport - post-processor for xbsim's observability outputs.
+ *
+ * Interval mode (default): reads the interval JSONL emitted by
+ * `xbsim --interval-stats=N`, classifies each window into a phase by
+ * its miss rate (delivery / mixed / build), merges consecutive
+ * same-phase windows, and prints a per-phase summary table plus
+ * whole-run totals. This turns the raw window stream into the
+ * phase-level picture the paper's figures reason about.
+ *
+ * Trace mode (--trace=FILE): parses a Chrome trace-event JSON file
+ * emitted by `xbsim --trace-events` and prints per-track event counts
+ * - a quick structural check that the timeline contains what it
+ * should (CI uses the nonzero exit on malformed input as a gate).
+ *
+ * Examples:
+ *   xbsim --frontend=xbc --interval-stats=10000
+ *   xbreport intervals.jsonl
+ *   xbreport --trace=out.json
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/args.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+using namespace xbs;
+
+namespace
+{
+
+/** One parsed interval window (headline fields only). */
+struct Window
+{
+    uint64_t index = 0;
+    uint64_t startCycle = 0;
+    uint64_t endCycle = 0;
+    double bandwidth = 0.0;
+    double missRate = 0.0;
+    uint64_t deliveryUops = 0;
+    uint64_t buildUops = 0;
+    uint64_t renamedUops = 0;
+    uint64_t modeSwitches = 0;
+};
+
+/** A run of consecutive same-phase windows. */
+struct Phase
+{
+    std::string name;
+    uint64_t startCycle = 0;
+    uint64_t endCycle = 0;
+    uint64_t windows = 0;
+    uint64_t deliveryUops = 0;
+    uint64_t buildUops = 0;
+    uint64_t renamedUops = 0;
+    uint64_t modeSwitches = 0;
+};
+
+/** Find the delta whose dotted path ends in @p suffix. */
+uint64_t
+deltaOf(const JsonValue &deltas, const std::string &suffix)
+{
+    for (const auto &[key, value] : deltas.members) {
+        if (key.size() >= suffix.size() &&
+            key.compare(key.size() - suffix.size(), suffix.size(),
+                        suffix) == 0) {
+            return value.asUint();
+        }
+    }
+    return 0;
+}
+
+std::string
+classify(const Window &w, double build_thresh, double delivery_thresh)
+{
+    if (w.missRate >= build_thresh)
+        return "build";
+    if (w.missRate <= delivery_thresh)
+        return "delivery";
+    return "mixed";
+}
+
+int
+reportIntervals(const std::string &path, double build_thresh,
+                double delivery_thresh, bool csv)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "xbreport: cannot open '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+
+    std::vector<Window> windows;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        JsonValue doc;
+        std::string error;
+        if (!parseJson(line, &doc, &error) || !doc.isObject()) {
+            std::fprintf(stderr, "xbreport: %s:%zu: %s\n",
+                         path.c_str(), lineno, error.c_str());
+            return 1;
+        }
+        Window w;
+        if (const auto *v = doc.find("interval"))
+            w.index = v->asUint();
+        if (const auto *v = doc.find("startCycle"))
+            w.startCycle = v->asUint();
+        if (const auto *v = doc.find("endCycle"))
+            w.endCycle = v->asUint();
+        if (const auto *v = doc.find("bandwidth"))
+            w.bandwidth = v->asNumber();
+        if (const auto *v = doc.find("missRate"))
+            w.missRate = v->asNumber();
+        if (const auto *d = doc.find("deltas"); d && d->isObject()) {
+            w.deliveryUops = deltaOf(*d, "frontend.deliveryUops");
+            w.buildUops = deltaOf(*d, "frontend.buildUops");
+            w.renamedUops = deltaOf(*d, "frontend.renamedUops");
+            w.modeSwitches = deltaOf(*d, "frontend.modeSwitches");
+        }
+        windows.push_back(w);
+    }
+    if (windows.empty()) {
+        std::fprintf(stderr, "xbreport: '%s' holds no windows\n",
+                     path.c_str());
+        return 1;
+    }
+
+    // Merge consecutive same-phase windows.
+    std::vector<Phase> phases;
+    for (const auto &w : windows) {
+        std::string name = classify(w, build_thresh, delivery_thresh);
+        if (phases.empty() || phases.back().name != name) {
+            Phase p;
+            p.name = name;
+            p.startCycle = w.startCycle;
+            phases.push_back(p);
+        }
+        Phase &p = phases.back();
+        p.endCycle = w.endCycle;
+        ++p.windows;
+        p.deliveryUops += w.deliveryUops;
+        p.buildUops += w.buildUops;
+        p.renamedUops += w.renamedUops;
+        p.modeSwitches += w.modeSwitches;
+    }
+
+    TextTable table({"phase", "cycles", "windows", "deliveryUops",
+                     "buildUops", "missRate", "bandwidth",
+                     "modeSwitches"});
+    Phase total;
+    total.name = "total";
+    total.startCycle = windows.front().startCycle;
+    total.endCycle = windows.back().endCycle;
+    auto addRow = [&](const Phase &p) {
+        uint64_t uops = p.deliveryUops + p.buildUops;
+        uint64_t cycles = p.endCycle - p.startCycle;
+        table.addRow(
+            {p.name, std::to_string(cycles),
+             std::to_string(p.windows),
+             std::to_string(p.deliveryUops),
+             std::to_string(p.buildUops),
+             TextTable::pct(uops ? (double)p.buildUops / (double)uops
+                                 : 0.0),
+             TextTable::num(cycles ? (double)p.renamedUops /
+                                         (double)cycles
+                                   : 0.0),
+             std::to_string(p.modeSwitches)});
+    };
+    for (const auto &p : phases) {
+        addRow(p);
+        total.windows += p.windows;
+        total.deliveryUops += p.deliveryUops;
+        total.buildUops += p.buildUops;
+        total.renamedUops += p.renamedUops;
+        total.modeSwitches += p.modeSwitches;
+    }
+    addRow(total);
+
+    std::fputs(csv ? table.csv().c_str() : table.render().c_str(),
+               stdout);
+    return 0;
+}
+
+int
+reportTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "xbreport: cannot open '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(ss.str(), &doc, &error) || !doc.isObject()) {
+        std::fprintf(stderr, "xbreport: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    const JsonValue *events = doc.find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::fprintf(stderr,
+                     "xbreport: %s: no traceEvents array\n",
+                     path.c_str());
+        return 1;
+    }
+
+    // tid -> track name from the thread_name metadata records.
+    std::map<uint64_t, std::string> trackOf;
+    std::map<std::string, uint64_t> counts;
+    uint64_t data_events = 0;
+    for (const auto &e : events->items) {
+        if (!e.isObject())
+            continue;
+        const auto *ph = e.find("ph");
+        const auto *name = e.find("name");
+        if (!ph || !name)
+            continue;
+        if (ph->asString() == "M") {
+            if (name->asString() == "thread_name") {
+                const auto *tid = e.find("tid");
+                const auto *args = e.find("args");
+                const auto *tn = args ? args->find("name") : nullptr;
+                if (tid && tn)
+                    trackOf[tid->asUint()] = tn->asString();
+            }
+            continue;
+        }
+        ++data_events;
+        const auto *tid = e.find("tid");
+        auto it = tid ? trackOf.find(tid->asUint()) : trackOf.end();
+        std::string track =
+            it != trackOf.end() ? it->second : "(unnamed)";
+        ++counts[track + "/" + name->asString() + " (" +
+                 ph->asString() + ")"];
+    }
+
+    TextTable table({"track/event", "count"});
+    for (const auto &[key, n] : counts)
+        table.addRow({key, std::to_string(n)});
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("%llu data events on %zu tracks",
+                (unsigned long long)data_events, trackOf.size());
+    if (const auto *d = doc.find("droppedEvents"))
+        std::printf(", %llu dropped",
+                    (unsigned long long)d->asUint());
+    std::printf("\n");
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_path;
+    std::string build_thresh = "0.5";
+    std::string delivery_thresh = "0.05";
+    bool csv = false;
+
+    ArgParser args("xbreport",
+                   "summarize xbsim interval/trace-event output");
+    args.addString("trace", &trace_path,
+                   "summarize a trace-event JSON file instead");
+    args.addString("build-threshold", &build_thresh,
+                   "missRate at/above which a window is 'build'");
+    args.addString("delivery-threshold", &delivery_thresh,
+                   "missRate at/below which a window is 'delivery'");
+    args.addBool("csv", &csv, "emit CSV instead of an aligned table");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    if (!trace_path.empty())
+        return reportTrace(trace_path);
+
+    const auto &rest = args.positional();
+    std::string path = rest.empty() ? "intervals.jsonl" : rest[0];
+    return reportIntervals(path, std::stod(build_thresh),
+                           std::stod(delivery_thresh), csv);
+}

@@ -8,13 +8,18 @@
  *   xbsim --frontend=xbc --workload=gcc --insts=2000000
  *   xbsim --frontend=tc --capacity=65536 --ways=2 --json
  *   xbsim --frontend=xbc --trace=run.xbt --stats
+ *   xbsim --frontend=xbc --trace-events=out.json --interval-stats=10000
  *   xbsim --list-workloads
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "common/args.hh"
+#include "common/event_trace.hh"
+#include "common/interval_stats.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "sim/config.hh"
@@ -72,6 +77,10 @@ main(int argc, char **argv)
     bool json = false;
     bool stats = false;
     bool list = false;
+    std::string trace_events;
+    uint64_t trace_capacity = 1u << 20;
+    uint64_t interval = 0;
+    std::string interval_out = "intervals.jsonl";
 
     ArgParser args("xbsim",
                    "trace-driven frontend simulator (XBC, HPCA 2000)");
@@ -95,6 +104,14 @@ main(int argc, char **argv)
     args.addBool("json", &json, "emit results as JSON");
     args.addBool("stats", &stats, "dump the full statistics tree");
     args.addBool("list-workloads", &list, "list the catalog and exit");
+    args.addString("trace-events", &trace_events,
+                   "write a Chrome/Perfetto trace-event JSON file");
+    args.addUint("trace-capacity", &trace_capacity,
+                 "event ring capacity (oldest dropped on overflow)");
+    args.addUint("interval-stats", &interval,
+                 "emit windowed stat deltas every N cycles (0 = off)");
+    args.addString("interval-out", &interval_out,
+                   "interval JSONL output path");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -124,6 +141,27 @@ main(int argc, char **argv)
     setLogQuiet(json);
 
     auto fe = makeFrontend(config);
+
+    // Observability: an event-trace sink on the probe registry and/or
+    // an interval sampler over the stat tree, both opt-in via flags.
+    std::unique_ptr<EventTraceSink> sink;
+    if (!trace_events.empty()) {
+        sink = std::make_unique<EventTraceSink>(
+            (std::size_t)trace_capacity);
+        fe->probes().attach(sink.get());
+    }
+    std::unique_ptr<IntervalSampler> sampler;
+    std::ofstream interval_os;
+    if (interval > 0) {
+        sampler = std::make_unique<IntervalSampler>(fe->statRoot(),
+                                                    interval);
+        interval_os.open(interval_out);
+        if (!interval_os)
+            xbs_fatal("cannot open '%s'", interval_out.c_str());
+        sampler->setOutput(&interval_os);
+        fe->attachSampler(sampler.get());
+    }
+
     uint64_t total_uops;
     std::string trace_name;
     if (!trace_path.empty()) {
@@ -136,6 +174,17 @@ main(int argc, char **argv)
         trace_name = trace.name();
         total_uops = trace.totalUops();
         fe->run(trace);
+    }
+    fe->finishObservation();
+
+    if (sink) {
+        std::ofstream os(trace_events);
+        if (!os)
+            xbs_fatal("cannot open '%s'", trace_events.c_str());
+        sink->writeChromeJson(os);
+        xbs_inform("wrote %zu trace events (%llu dropped) to %s",
+                   sink->size(), (unsigned long long)sink->dropped(),
+                   trace_events.c_str());
     }
 
     const auto &m = fe->metrics();
