@@ -160,6 +160,7 @@ BbtcFrontend::supplyTrace(const Trace &trace, const TraceEntry &entry,
                                          trace, rec,
                                          /*legacy_path=*/false);
             }
+            oracleConsume(rec, bidx, si.numUops);
             supplied += si.numUops;
             ++rec;
             if (penalty > 0) {
@@ -238,8 +239,10 @@ BbtcFrontend::run(const Trace &trace)
             metrics_.buildUops += r.uops;
             stall += r.stall;
             bool completed = false;
-            for (std::size_t i = prev; i < rec; ++i)
+            for (std::size_t i = prev; i < rec; ++i) {
+                oracleConsume(i, kNoTarget, 0);
                 completed |= feedFill(trace, i);
+            }
             if (completed && rec < num_records &&
                 ttFind(trace.inst(rec).ip)) {
                 mode = Mode::Delivery;

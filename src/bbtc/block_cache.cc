@@ -88,6 +88,64 @@ BlockCache::insert(const CachedBlock &block)
     ++inserts;
 }
 
+void
+BlockCache::auditStorage(
+    const StaticCode &code,
+    const std::function<void(AuditViolation)> &sink) const
+{
+    auto structural = [&](std::string what) {
+        AuditViolation v;
+        v.kind = AuditViolation::Kind::Structural;
+        v.where = "bbtc.blocks";
+        v.what = std::move(what);
+        sink(std::move(v));
+    };
+
+    for (std::size_t set = 0; set < numSets_; ++set) {
+        std::size_t base = set * params_.ways;
+        for (unsigned w = 0; w < params_.ways; ++w) {
+            const CachedBlock &b = blocks_[base + w];
+            if (!b.valid)
+                continue;
+            std::string where = "block " +
+                                std::to_string(base + w) + ": ";
+            if (b.insts.empty()) {
+                structural(where + "valid block with no instructions");
+                continue;
+            }
+            unsigned uops = 0;
+            bool indexed_ok = true;
+            for (int32_t idx : b.insts) {
+                if (idx < 0 || (std::size_t)idx >= code.size()) {
+                    structural(where + "out-of-range static index");
+                    indexed_ok = false;
+                    break;
+                }
+                uops += code.inst(idx).numUops;
+            }
+            if (!indexed_ok)
+                continue;
+            if (b.startIp != code.inst(b.insts.front()).ip)
+                structural(where + "tag does not match first inst");
+            if (uops != b.numUops)
+                structural(where + "stored uop count is stale");
+            if (uops > params_.blockUops) {
+                structural(where + "block of " + std::to_string(uops) +
+                           " uops exceeds its " +
+                           std::to_string(params_.blockUops) +
+                           "-uop frame");
+            }
+            // Store-exactly-once: a second same-IP block in the set
+            // would silently double pointer targets.
+            for (unsigned w2 = w + 1; w2 < params_.ways; ++w2) {
+                const CachedBlock &o = blocks_[base + w2];
+                if (o.valid && o.startIp == b.startIp)
+                    structural(where + "duplicate block for the IP");
+            }
+        }
+    }
+}
+
 double
 BlockCache::fillFactor() const
 {

@@ -12,9 +12,11 @@
 #define XBS_BBTC_BLOCK_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/stats.hh"
+#include "frontend/oracle.hh"
 #include "isa/static_inst.hh"
 
 namespace xbs
@@ -67,6 +69,13 @@ class BlockCache : public StatGroup
     double fillFactor() const;
     unsigned numSets() const { return numSets_; }
     const BlockCacheParams &params() const { return params_; }
+
+    /** Non-aborting structural audit: frame budget, stored uop
+     *  counts, tag consistency, and the store-exactly-once rule (at
+     *  most one block per start IP). Violations go to @p sink. */
+    void auditStorage(
+        const StaticCode &code,
+        const std::function<void(AuditViolation)> &sink) const;
 
     void reset();
 

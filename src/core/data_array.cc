@@ -86,6 +86,14 @@ XbcDataArray::rebuildMask(Variant &v)
 }
 
 void
+XbcDataArray::refreshLru(Variant &v)
+{
+    std::size_t set = setOf(v.tag);
+    for (const auto &lu : v.lines)
+        line(lu, set).lru = ++clock_;
+}
+
+void
 XbcDataArray::dropVariantsUsing(uint64_t tag, std::size_t set,
                                 unsigned bank, unsigned way)
 {
@@ -360,6 +368,10 @@ XbcDataArray::insert(const XbSeq &seq, uint64_t end_ip,
                             new_lines.end());
             v->seq = seq;
             rebuildMask(*v);
+            // The XFU just wrote the whole extended image: re-stamp
+            // the lines head-first so the section 3.10 aging order
+            // (head line oldest) holds for the new shape too.
+            refreshLru(*v);
             ++extensions;
             fill_out(*v);
             return InsertOutcome::Extended;
@@ -426,6 +438,9 @@ XbcDataArray::insert(const XbSeq &seq, uint64_t end_ip,
             ++complexAdds;
             auto &vars = directory_[end_ip];
             vars.push_back(std::move(v));
+            // Head-first aging for the complex image too (the shared
+            // suffix lines were just accessed by the store).
+            refreshLru(vars.back());
             fill_out(vars.back());
             return InsertOutcome::ComplexAdded;
         }
@@ -660,53 +675,378 @@ XbcDataArray::fillFactor() const
 }
 
 void
-XbcDataArray::checkInvariants() const
+XbcDataArray::auditStorage(
+    const std::function<void(AuditViolation)> &sink) const
 {
+    auto report = [&](AuditViolation::Kind kind, std::string what) {
+        AuditViolation v;
+        v.kind = kind;
+        v.where = "xbc.array";
+        v.what = std::move(what);
+        sink(std::move(v));
+    };
+    auto structural = [&](std::string what) {
+        report(AuditViolation::Kind::Structural, std::move(what));
+    };
+
     for (const auto &[tag, vars] : directory_) {
         std::size_t set = setOf(tag);
-        for (const auto &v : vars) {
-            xbs_assert(v.tag == tag, "variant tag mismatch");
-            xbs_assert(!v.lines.empty() && !v.seq.empty(),
-                       "empty variant");
+        std::string where =
+            "tag " + std::to_string(tag) + ": ";
+        for (std::size_t vi = 0; vi < vars.size(); ++vi) {
+            const Variant &v = vars[vi];
+            if (v.tag != tag) {
+                structural(where + "variant tag mismatch");
+                continue;
+            }
+            if (v.lines.empty() || v.seq.empty()) {
+                structural(where + "empty variant");
+                continue;
+            }
+            if (v.seq.size() > params_.xbQuotaUops) {
+                structural(where + "variant of " +
+                           std::to_string(v.seq.size()) +
+                           " uops exceeds the " +
+                           std::to_string(params_.xbQuotaUops) +
+                           "-uop quota");
+            }
+
+            // Reverse-order banking: the concatenation of each
+            // line's trailing `count` slots, head line first, must
+            // reproduce the variant's logical sequence (this is what
+            // makes mid-line complex-XB suffix sharing legal).
             uint32_t banks = 0;
+            bool lines_ok = true;
             XbSeq concat;
-            for (std::size_t i = 0; i < v.lines.size(); ++i) {
-                const auto &lu = v.lines[i];
-                xbs_assert(!(banks & (1u << lu.bank)),
-                           "duplicate bank within variant");
+            for (const auto &lu : v.lines) {
+                if (banks & (1u << lu.bank)) {
+                    structural(where +
+                               "duplicate bank within variant");
+                    lines_ok = false;
+                    break;
+                }
                 banks |= 1u << lu.bank;
                 const BankLine &l = line(lu.bank, set, lu.way);
-                xbs_assert(l.valid && l.tag == tag,
-                           "variant references stale line");
-                xbs_assert(lu.count >= 1 &&
-                           lu.count <= l.slots.size(),
-                           "bad line use count");
-                // (A truncated variant's head line may be
-                // partially used, so no head-fullness invariant.)
+                if (!l.valid || l.tag != tag) {
+                    structural(where +
+                               "variant references a stale line");
+                    lines_ok = false;
+                    break;
+                }
+                if (lu.count < 1 || lu.count > l.slots.size()) {
+                    structural(where + "bad line use count " +
+                               std::to_string(lu.count));
+                    lines_ok = false;
+                    break;
+                }
+                // (A truncated variant's head line may be partially
+                // used, so no head-fullness invariant.)
                 concat.insert(concat.end(),
                               l.slots.end() - lu.count,
                               l.slots.end());
             }
-            xbs_assert(banks == v.mask, "stale mask");
-            xbs_assert(concat.size() == v.seq.size(),
-                       "seq length mismatch");
+            if (!lines_ok)
+                continue;
+            if (banks != v.mask)
+                structural(where + "stale bank mask");
+            if (concat.size() != v.seq.size()) {
+                structural(where + "sequence length mismatch");
+                continue;
+            }
             for (std::size_t i = 0; i < concat.size(); ++i) {
-                xbs_assert(concat[i] == v.seq[i],
-                           "seq content mismatch at %zu", i);
+                if (!(concat[i] == v.seq[i])) {
+                    structural(where +
+                               "sequence content mismatch at uop " +
+                               std::to_string(i) +
+                               " (reverse-order banking broken)");
+                    break;
+                }
+            }
+
+            // Head-first aging (section 3.10): line LRU must be
+            // non-decreasing head -> primary so a head line is
+            // always the first of the XB to age out. demoteLru()
+            // zeroes a promoted XB0's lines; such variants are
+            // deliberately aged and skipped here.
+            bool demoted = false;
+            for (const auto &lu : v.lines)
+                demoted |= line(lu.bank, set, lu.way).lru == 0;
+            if (!demoted) {
+                for (std::size_t i = 1; i < v.lines.size(); ++i) {
+                    const BankLine &prev =
+                        line(v.lines[i - 1].bank, set,
+                             v.lines[i - 1].way);
+                    const BankLine &cur =
+                        line(v.lines[i].bank, set, v.lines[i].way);
+                    if (prev.lru > cur.lru) {
+                        structural(where + "head line " +
+                                   std::to_string(i - 1) +
+                                   " is newer than line " +
+                                   std::to_string(i) +
+                                   " (head-first aging broken)");
+                        break;
+                    }
+                }
+            }
+
+            // Single exit / instruction-boundary integrity: the
+            // sequence must be whole instructions, and an XB-ending
+            // class may sit mid-XB only where construction puts one:
+            // CondBranch anywhere (promotion embeds them), DirectJump
+            // and Seq anywhere (absorbed), and call/return/indirect
+            // at the head or right after an embedded CondBranch (the
+            // quota path spills the ending instruction into the next
+            // XB, and promotion splices such a successor in whole).
+            if (code_) {
+                std::size_t p = 0;
+                InstClass prev_cls = InstClass::CondBranch;
+                // Suffix-preserving truncation may leave the head
+                // instruction partially cached: tolerate a consistent
+                // tail of one instruction before the first boundary.
+                if (!v.seq.empty() && v.seq[0].seq != 0 &&
+                    v.seq[0].staticIdx >= 0 &&
+                    (std::size_t)v.seq[0].staticIdx < code_->size()) {
+                    const UopSlot &h = v.seq[0];
+                    const StaticInst &hi = code_->inst(h.staticIdx);
+                    bool tail_ok = h.seq < hi.numUops;
+                    std::size_t u = 0;
+                    for (; tail_ok && u < v.seq.size() &&
+                           h.seq + u < hi.numUops; ++u) {
+                        if (!(v.seq[u] ==
+                              UopSlot{h.staticIdx,
+                                      (uint8_t)(h.seq + u)})) {
+                            tail_ok = false;
+                        }
+                    }
+                    if (!tail_ok) {
+                        structural(where + "partial head instruction "
+                                   "stored with foreign uops");
+                        p = v.seq.size();
+                    } else {
+                        p = u;
+                        prev_cls = hi.cls;
+                    }
+                }
+                while (p < v.seq.size()) {
+                    const UopSlot &s = v.seq[p];
+                    if (s.seq != 0 || s.staticIdx < 0 ||
+                        (std::size_t)s.staticIdx >= code_->size()) {
+                        structural(where +
+                                   "uop " + std::to_string(p) +
+                                   " is not an instruction boundary");
+                        break;
+                    }
+                    const StaticInst &si = code_->inst(s.staticIdx);
+                    if (p + si.numUops > v.seq.size()) {
+                        structural(where + "instruction at uop " +
+                                   std::to_string(p) +
+                                   " truncated by the sequence end");
+                        break;
+                    }
+                    bool whole = true;
+                    for (unsigned u = 1; u < si.numUops; ++u) {
+                        if (!(v.seq[p + u] ==
+                              UopSlot{s.staticIdx, (uint8_t)u})) {
+                            structural(
+                                where + "instruction at uop " +
+                                std::to_string(p) +
+                                " stored with foreign uops");
+                            whole = false;
+                            break;
+                        }
+                    }
+                    if (!whole)
+                        break;
+                    bool last = p + si.numUops == v.seq.size();
+                    if (!last && (isIndirect(si.cls) ||
+                                  si.cls == InstClass::DirectCall) &&
+                        prev_cls != InstClass::CondBranch) {
+                        structural(
+                            where + std::string(
+                                instClassName(si.cls)) +
+                            " at uop " + std::to_string(p) +
+                            " in mid-XB (single-exit broken)");
+                    }
+                    prev_cls = si.cls;
+                    p += si.numUops;
+                }
+            }
+
+            // Uniqueness: truncation dedup and the three-case build
+            // keep at most one variant per (mask, sequence) image.
+            for (std::size_t vj = vi + 1; vj < vars.size(); ++vj) {
+                if (vars[vj].mask == v.mask &&
+                    vars[vj].seq == v.seq) {
+                    structural(where + "duplicate variant image");
+                }
             }
         }
     }
 
-    // Residency must match the physical contents exactly.
+    // Accounting: residency and fill counters must match the
+    // physical contents exactly (this is what redundancy() and the
+    // paper's "(nearly) redundancy free" claim are computed from).
     uint64_t filled = 0;
+    std::unordered_map<UopId, uint32_t> counted;
     for (const auto &l : lines_) {
-        if (l.valid) {
-            xbs_assert(l.slots.size() <= params_.bankUops,
-                       "overfull line");
-            filled += l.slots.size();
+        if (!l.valid)
+            continue;
+        if (l.slots.size() > params_.bankUops) {
+            structural("overfull line (" +
+                       std::to_string(l.slots.size()) + " slots)");
+        }
+        filled += l.slots.size();
+        if (code_) {
+            for (const auto &s : l.slots) {
+                if (s.staticIdx >= 0 &&
+                    (std::size_t)s.staticIdx < code_->size()) {
+                    ++counted[makeUopId(
+                        code_->inst(s.staticIdx).ip, s.seq)];
+                }
+            }
         }
     }
-    xbs_assert(filled == filledUops_, "filledUops accounting drift");
+    if (filled != filledUops_) {
+        report(AuditViolation::Kind::Accounting,
+               "filledUops counter " + std::to_string(filledUops_) +
+                   " != physical " + std::to_string(filled));
+    }
+    if (code_ && counted != residency_) {
+        report(AuditViolation::Kind::Accounting,
+               "residency map (" + std::to_string(residency_.size()) +
+                   " unique uops) disagrees with physical contents (" +
+                   std::to_string(counted.size()) + ")");
+    }
+}
+
+void
+XbcDataArray::checkInvariants() const
+{
+    auditStorage([](AuditViolation v) {
+        xbs_panic("XBC invariant violated: %s", v.what.c_str());
+    });
+}
+
+bool
+XbcDataArray::faultInvalidateLine(std::size_t idx)
+{
+    if (idx >= lines_.size() || !lines_[idx].valid)
+        return false;
+    BankLine &l = lines_[idx];
+    unsigned way = (unsigned)(idx % params_.ways);
+    std::size_t set = (idx / params_.ways) % numSets_;
+    unsigned bank = (unsigned)(idx / ((std::size_t)params_.ways *
+                                      numSets_));
+    ++evictions;
+    evictProbe_.fire((int64_t)l.slots.size());
+    accountSlots(l.slots, -1);
+    dropVariantsUsing(l.tag, set, bank, way);
+    l.valid = false;
+    l.slots.clear();
+    l.conflict = 0;
+    return true;
+}
+
+bool
+XbcDataArray::faultCorruptSlot(Rng &rng)
+{
+    if (!code_ || code_->size() < 2)
+        return false;
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        if (lines_[i].valid && !lines_[i].slots.empty())
+            candidates.push_back(i);
+    }
+    if (candidates.empty())
+        return false;
+    std::size_t idx = candidates[rng.below(candidates.size())];
+    BankLine &l = lines_[idx];
+    unsigned way = (unsigned)(idx % params_.ways);
+    std::size_t set = (idx / params_.ways) % numSets_;
+    unsigned bank = (unsigned)(idx / ((std::size_t)params_.ways *
+                                      numSets_));
+
+    std::size_t j = (std::size_t)rng.below(l.slots.size());
+    UopSlot &slot = l.slots[j];
+    int32_t old_idx = slot.staticIdx;
+    int32_t new_idx = (int32_t)(((uint64_t)old_idx + 1 +
+                                 rng.below(code_->size() - 1)) %
+                                code_->size());
+
+    // Keep the books balanced: the corruption changes *content*,
+    // not structure, so the structural audit stays clean while the
+    // frontend's match checks and the oracle see the damage.
+    UopId old_id = makeUopId(code_->inst(old_idx).ip, slot.seq);
+    auto it = residency_.find(old_id);
+    if (it != residency_.end() && --it->second == 0)
+        residency_.erase(it);
+    ++residency_[makeUopId(code_->inst(new_idx).ip, slot.seq)];
+    slot.staticIdx = new_idx;
+
+    // Mirror into every variant sequence that covers the slot (a
+    // variant uses the trailing `count` slots of each line).
+    auto dit = directory_.find(l.tag);
+    if (dit != directory_.end() && setOf(l.tag) == set) {
+        for (auto &v : dit->second) {
+            std::size_t pos = 0;
+            for (const auto &lu : v.lines) {
+                if (lu.bank == bank && lu.way == way) {
+                    std::size_t first = l.slots.size() - lu.count;
+                    if (j >= first)
+                        v.seq[pos + (j - first)] = slot;
+                }
+                pos += lu.count;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+XbcDataArray::tamperDuplicateVariant()
+{
+    for (auto &[tag, vars] : directory_) {
+        if (!vars.empty()) {
+            vars.push_back(vars.front());
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+XbcDataArray::tamperSwapVariantLines()
+{
+    for (auto &[tag, vars] : directory_) {
+        for (auto &v : vars) {
+            if (v.lines.size() >= 2) {
+                std::swap(v.lines[0], v.lines[1]);
+                rebuildMask(v);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+XbcDataArray::tamperStaleHeadLru()
+{
+    for (auto &[tag, vars] : directory_) {
+        std::size_t set = setOf(tag);
+        for (auto &v : vars) {
+            if (v.lines.size() < 2)
+                continue;
+            bool demoted = false;
+            for (const auto &lu : v.lines)
+                demoted |= line(lu, set).lru == 0;
+            if (demoted)
+                continue;
+            line(v.lines.front(), set).lru = clock_ + 1000;
+            return true;
+        }
+    }
+    return false;
 }
 
 void

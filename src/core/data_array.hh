@@ -27,14 +27,17 @@
 #define XBS_CORE_DATA_ARRAY_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/probe.hh"
+#include "common/random.hh"
 #include "common/stats.hh"
 #include "core/params.hh"
 #include "core/xb.hh"
+#include "frontend/oracle.hh"
 #include "isa/static_inst.hh"
 
 namespace xbs
@@ -158,8 +161,54 @@ class XbcDataArray : public StatGroup
     unsigned numSets() const { return numSets_; }
     std::size_t setOf(uint64_t tag) const;
 
-    /** Internal invariant check for tests; panics on violation. */
+    /**
+     * Non-aborting structural audit: walks every variant and line,
+     * checking the paper's invariants — single exit, the 16-uop
+     * quota, reverse-order banking (the concatenated trailing line
+     * slots must reproduce the variant's sequence), the head-first
+     * LRU aging rule, complex-XB suffix sharing consistency, variant
+     * uniqueness, and the residency/redundancy accounting against
+     * the physical contents. Each violation is reported via @p sink;
+     * the walk always completes.
+     */
+    void auditStorage(
+        const std::function<void(AuditViolation)> &sink) const;
+
+    /** Internal invariant check for tests; panics on violation
+     *  (auditStorage() is the collecting form). */
     void checkInvariants() const;
+
+    /// @{ Fault-injection interface (src/verify): deliberate,
+    ///    bookkept state damage. The frontend must degrade
+    ///    gracefully — the delivery oracle stays clean — because
+    ///    array contents are only performance hints.
+    /** Flat line count, for picking injection victims. */
+    std::size_t lineCount() const { return lines_.size(); }
+
+    /** Invalidate flat line @p idx exactly like an eviction
+     *  (accounting and dependent variants updated).
+     *  @return true if the line was valid. */
+    bool faultInvalidateLine(std::size_t idx);
+
+    /**
+     * Corrupt one resident uop slot, modeling a data-array bit flip:
+     * the stored static index of a random slot is changed
+     * consistently (line, every variant sequence covering the slot,
+     * and the residency accounting), so the structural books still
+     * balance while the *content* no longer matches the program.
+     * @return true if a victim slot was found.
+     */
+    bool faultCorruptSlot(Rng &rng);
+    /// @}
+
+    /// @{ Test-only tamper helpers for the oracle-of-the-oracle
+    ///    tests: plant structural bugs WITHOUT fixing the books, so
+    ///    auditStorage() must flag them. Each returns true if state
+    ///    suitable for the plant was found.
+    bool tamperDuplicateVariant();  ///< duplicate XB in the directory
+    bool tamperSwapVariantLines();  ///< out-of-order bank lines
+    bool tamperStaleHeadLru();      ///< head line newer than primary
+    /// @}
 
     void reset();
 
@@ -223,6 +272,11 @@ class XbcDataArray : public StatGroup
 
     void accountSlots(const std::vector<UopSlot> &slots, int delta);
     void rebuildMask(Variant &v);
+
+    /** Re-stamp a variant's lines head-to-primary with fresh LRU
+     *  values, restoring the head-first aging order after an
+     *  extension or complex store re-shapes the variant. */
+    void refreshLru(Variant &v);
 
     XbcParams params_;
     unsigned numSets_;

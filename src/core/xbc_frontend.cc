@@ -315,8 +315,18 @@ XbcFrontend::supplySlot(const Trace &trace, std::size_t &rec,
             // Divergence at an instruction boundary: the previous
             // instruction was an embedded promoted branch that took
             // its infrequent path (or the content is stale).
-            xbs_assert(p > entry_pos || curIsContinuation_,
-                       "entry instruction mismatch");
+            if (p == entry_pos && !curIsContinuation_) {
+                // Mismatch on the entry instruction itself: the slot
+                // content is corrupt/stale (the lookup matched a
+                // non-entry occurrence of the index). Treat it like
+                // any stale supply: abandon the XB and let the miss
+                // path rebuild — a bad hint must never change the
+                // delivered stream.
+                ++staleSupplies;
+                cur_.valid = false;
+                xb_ended = true;
+                break;
+            }
             const StaticInst &br = trace.inst(rec - 1);
             if (br.cls == InstClass::CondBranch) {
                 ++promotedWrongPath;
@@ -346,7 +356,10 @@ XbcFrontend::supplySlot(const Trace &trace, std::size_t &rec,
             break;
         }
 
-        // Supply the instruction.
+        // Supply the instruction (reporting the *stored* slot to the
+        // oracle, so corrupted content that slipped past the match
+        // check above would still be caught).
+        oracleConsume(rec, v.seq[p].staticIdx, si.numUops);
         supplied += si.numUops;
         fetched += si.numUops;
         p += si.numUops;
@@ -543,6 +556,7 @@ XbcFrontend::buildCycle(const Trace &trace, std::size_t &rec,
     metrics_.buildUops += r.uops;
     stall += r.stall;
     for (std::size_t i = prev_rec; i < rec; ++i) {
+        oracleConsume(i, kNoTarget, 0);
         auto comp = fill_.feed(trace, i);
         if (comp.completed) {
             handleCompletion(trace, comp, i + 1, i + 1 == rec, mode);

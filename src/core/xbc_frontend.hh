@@ -51,6 +51,15 @@ class XbcFrontend : public Frontend
     const PriorityEncoder &priorityEncoder() const { return prio_; }
     const XbcParams &xbcParams() const { return xbcParams_; }
 
+    /// @{ Verification interface (src/verify): mutable access for
+    ///    the fault injectors and the invariant auditor's tamper
+    ///    tests. Not used by the model itself.
+    XbcDataArray &mutableDataArray() { return array_; }
+    Xbtb &mutableXbtb() { return xbtb_; }
+    XiBtb &mutableXibtb() { return xibtb_; }
+    XbcFillUnit &mutableFillUnit() { return fill_; }
+    /// @}
+
     /// @{ XBC-specific statistics.
     ScalarStat xbSupplies{&root_, "xbSupplies",
         "XB supply operations started"};

@@ -85,6 +85,13 @@ class Xbtb : public StatGroup
 
     unsigned numSets() const { return numSets_; }
 
+    /// @{ Raw entry iteration for the fault-injection harness
+    ///    (src/verify): XBTB contents are prediction hints, so
+    ///    corrupting an entry must only cost performance.
+    std::size_t entryCount() const { return entries_.size(); }
+    Entry &entryAt(std::size_t i) { return entries_[i]; }
+    /// @}
+
     void reset();
 
     ScalarStat lookups{this, "lookups", "XBTB predictive lookups"};
@@ -116,12 +123,6 @@ class XiBtb : public StatGroup
     /** Record the observed successor. */
     void update(uint64_t xb_ip, const XbPointer &ptr);
 
-    void reset();
-
-    ScalarStat lookups{this, "lookups", "XiBTB lookups"};
-    ScalarStat hits{this, "hits", "XiBTB tag hits"};
-
-  private:
     struct Slot
     {
         bool valid = false;
@@ -130,6 +131,17 @@ class XiBtb : public StatGroup
         XbPointer ptr;
     };
 
+    /// @{ Raw slot iteration for the fault-injection harness.
+    std::size_t slotCount() const { return slots_.size(); }
+    Slot &slotAt(std::size_t i) { return slots_[i]; }
+    /// @}
+
+    void reset();
+
+    ScalarStat lookups{this, "lookups", "XiBTB lookups"};
+    ScalarStat hits{this, "hits", "XiBTB tag hits"};
+
+  private:
     std::size_t setOf(uint64_t ip) const;
 
     unsigned numSets_;

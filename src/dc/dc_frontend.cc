@@ -61,6 +61,7 @@ DcFrontend::supplyRun(const Trace &trace, std::size_t &rec,
         if (supplied + si.numUops > params_.renamerWidth)
             break;
 
+        oracleConsume(rec, trace.record(rec).staticIdx, si.numUops);
         supplied += si.numUops;
         bool redirects = si.isControl() &&
                          !(si.cls == InstClass::CondBranch &&
@@ -113,6 +114,7 @@ DcFrontend::run(const Trace &trace)
             metrics_.buildUops += r.uops;
             stall += r.stall;
             for (std::size_t i = prev; i < rec; ++i) {
+                oracleConsume(i, kNoTarget, 0);
                 dc_.fill(trace.inst(i), trace.record(i).staticIdx);
             }
             // Return to delivery as soon as the next instruction's

@@ -114,6 +114,45 @@ DecodedCache::fillFactor() const
 }
 
 void
+DecodedCache::auditStorage(
+    const std::function<void(AuditViolation)> &sink) const
+{
+    auto structural = [&](std::string what) {
+        AuditViolation v;
+        v.kind = AuditViolation::Kind::Structural;
+        v.where = "dc.array";
+        v.what = std::move(what);
+        sink(std::move(v));
+    };
+
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        const Line &l = lines_[i];
+        if (!l.valid)
+            continue;
+        std::string where = "line " + std::to_string(i) + ": ";
+        if (l.windowIp != windowOf(l.windowIp)) {
+            structural(where + "unaligned window tag");
+            continue;
+        }
+        unsigned used = 0;
+        for (const auto &di : l.insts) {
+            if (di.staticIdx < 0 || di.numUops == 0) {
+                structural(where + "bad cached instruction");
+                break;
+            }
+            used += di.numUops;
+        }
+        if (used != l.usedUops)
+            structural(where + "stored usedUops is stale");
+        if (used > params_.lineUops) {
+            structural(where + "line uses " + std::to_string(used) +
+                       " of " + std::to_string(params_.lineUops) +
+                       " reserved uop slots");
+        }
+    }
+}
+
+void
 DecodedCache::reset()
 {
     for (auto &l : lines_)

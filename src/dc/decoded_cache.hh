@@ -16,9 +16,11 @@
 #define XBS_DC_DECODED_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/stats.hh"
+#include "frontend/oracle.hh"
 #include "isa/static_inst.hh"
 #include "isa/uop.hh"
 
@@ -93,6 +95,12 @@ class DecodedCache : public StatGroup
     double fillFactor() const;
     unsigned numSets() const { return numSets_; }
     const DecodedCacheParams &params() const { return params_; }
+
+    /** Non-aborting structural audit: window alignment, per-line uop
+     *  budget, and stored usedUops consistency. Violations go to
+     *  @p sink; the walk always completes. */
+    void auditStorage(
+        const std::function<void(AuditViolation)> &sink) const;
 
     void reset();
 

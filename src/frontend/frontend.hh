@@ -21,18 +21,36 @@
 #ifndef XBS_FRONTEND_FRONTEND_HH
 #define XBS_FRONTEND_FRONTEND_HH
 
+#include <algorithm>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/interval_stats.hh"
 #include "common/probe.hh"
 #include "common/stats.hh"
 #include "frontend/metrics.hh"
+#include "frontend/oracle.hh"
 #include "frontend/params.hh"
 #include "trace/trace.hh"
 
 namespace xbs
 {
+
+class Frontend;
+
+/**
+ * Per-cycle observer ticked from every frontend's run loop right
+ * after the cycle counter advances. The invariant auditor and the
+ * fault injectors (src/verify) hang off this; with none attached the
+ * cost is one branch per cycle.
+ */
+class CycleObserver
+{
+  public:
+    virtual ~CycleObserver() = default;
+    virtual void onCycle(Frontend &fe, uint64_t cycle) = 0;
+};
 
 class Frontend
 {
@@ -74,6 +92,31 @@ class Frontend
         sampler_ = sampler;
     }
 
+    /// @{ Verification hooks (src/verify): per-cycle observers and
+    ///    the delivery oracle the supply paths report records to.
+    void
+    attachCycleObserver(CycleObserver *obs)
+    {
+        if (obs && std::find(observers_.begin(), observers_.end(),
+                             obs) == observers_.end()) {
+            observers_.push_back(obs);
+        }
+    }
+
+    void
+    detachCycleObserver(CycleObserver *obs)
+    {
+        observers_.erase(std::remove(observers_.begin(),
+                                     observers_.end(), obs),
+                         observers_.end());
+    }
+
+    /** Attach (or detach, with nullptr) the delivery oracle. The
+     *  caller owns it and calls begin()/finish() around run(). */
+    void attachOracle(DeliveryOracle *oracle) { oracle_ = oracle; }
+    DeliveryOracle *oracle() { return oracle_; }
+    /// @}
+
     /**
      * Flush observation state after run(): emits the sampler's final
      * partial window. Drivers that attached a sampler call this once
@@ -94,6 +137,22 @@ class Frontend
     {
         if (sampler_)
             sampler_->tick(metrics_.cycles.value());
+        if (!observers_.empty()) {
+            for (CycleObserver *obs : observers_)
+                obs->onCycle(*this, metrics_.cycles.value());
+        }
+    }
+
+    /** Report a delivered record to the oracle, if attached. See
+     *  DeliveryOracle::consume for the cached_idx convention. */
+    void
+    oracleConsume(std::size_t rec, int32_t cached_idx,
+                  unsigned cached_uops)
+    {
+        if (oracle_) {
+            oracle_->consume(rec, cached_idx, cached_uops,
+                             metrics_.cycles.value());
+        }
     }
 
     /**
@@ -132,6 +191,8 @@ class Frontend
 
   private:
     IntervalSampler *sampler_ = nullptr;
+    std::vector<CycleObserver *> observers_;
+    DeliveryOracle *oracle_ = nullptr;
     const char *modeLabel_ = nullptr;
 };
 

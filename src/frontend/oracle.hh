@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The delivery oracle: an architectural replay of the trace that the
+ * frontends report their supplied stream against.
+ *
+ * Every structure in a decoupled frontend (XBTB, data array, trace
+ * table, ...) is only a performance hint — no corruption may ever
+ * change the committed uop stream. The oracle enforces exactly that:
+ * each frontend calls consume() for every trace record it delivers
+ * (from a cached structure or from the build/IC path), and the
+ * oracle checks that records are consumed in order, exactly once,
+ * and that cached content matches the static code the trace refers
+ * to. finish() checks that the whole trace was covered and that the
+ * uop totals add up.
+ *
+ * Violations are collected into a structured report, never an abort:
+ * the oracle must stay usable under fault injection, where the whole
+ * point is to observe graceful degradation.
+ */
+
+#ifndef XBS_FRONTEND_ORACLE_HH
+#define XBS_FRONTEND_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace xbs
+{
+
+/** One collected audit finding (shared with the structural walks). */
+struct AuditViolation
+{
+    enum class Kind
+    {
+        Oracle,      ///< delivered stream diverged from the trace
+        Structural,  ///< a paper invariant does not hold
+        Accounting,  ///< stats/residency counters drifted
+    };
+
+    Kind kind = Kind::Oracle;
+    std::string where;  ///< component ("oracle", "xbc.array", ...)
+    std::string what;   ///< human-readable description
+    uint64_t cycle = 0; ///< frontend cycle when detected (0 = n/a)
+};
+
+inline const char *
+auditKindName(AuditViolation::Kind k)
+{
+    switch (k) {
+      case AuditViolation::Kind::Oracle: return "oracle";
+      case AuditViolation::Kind::Structural: return "structural";
+      case AuditViolation::Kind::Accounting: return "accounting";
+    }
+    return "?";
+}
+
+class DeliveryOracle
+{
+  public:
+    /** Start checking a run over @p trace (resets all state). */
+    void
+    begin(const Trace *trace)
+    {
+        trace_ = trace;
+        next_ = 0;
+        uops_ = 0;
+        violations_.clear();
+    }
+
+    bool attached() const { return trace_ != nullptr; }
+
+    /**
+     * The frontend delivered record @p rec.
+     *
+     * @param cached_idx the static index the supplying structure
+     *        believes it delivered, or kNoTarget when the uops were
+     *        decoded straight from the instruction image (the
+     *        build/IC path, correct by construction)
+     * @param cached_uops uops the structure supplied for the record
+     *        (ignored when cached_idx is kNoTarget)
+     * @param cycle frontend cycle, for the report
+     */
+    void
+    consume(std::size_t rec, int32_t cached_idx, unsigned cached_uops,
+            uint64_t cycle)
+    {
+        if (!trace_)
+            return;
+        if (rec != next_) {
+            violate(cycle, "record " + std::to_string(rec) +
+                               " consumed out of order (expected " +
+                               std::to_string(next_) + ")");
+            next_ = rec;  // resync so one slip reports once
+        }
+        if (rec >= trace_->numRecords()) {
+            violate(cycle, "record " + std::to_string(rec) +
+                               " past the end of the trace");
+            return;
+        }
+        const StaticInst &si = trace_->inst(rec);
+        if (cached_idx != kNoTarget) {
+            if (cached_idx != trace_->record(rec).staticIdx) {
+                violate(cycle,
+                        "record " + std::to_string(rec) +
+                            ": cached static index " +
+                            std::to_string(cached_idx) +
+                            " != architectural " +
+                            std::to_string(trace_->record(rec)
+                                               .staticIdx));
+            }
+            if (cached_uops != si.numUops) {
+                violate(cycle,
+                        "record " + std::to_string(rec) + ": " +
+                            std::to_string(cached_uops) +
+                            " cached uops supplied, instruction has " +
+                            std::to_string(si.numUops));
+            }
+        }
+        uops_ += si.numUops;
+        next_ = rec + 1;
+    }
+
+    /** End-of-run checks: full coverage and uop-total agreement. */
+    void
+    finish(uint64_t cycle)
+    {
+        if (!trace_)
+            return;
+        if (next_ != trace_->numRecords()) {
+            violate(cycle,
+                    "run ended after record " + std::to_string(next_) +
+                        " of " + std::to_string(trace_->numRecords()) +
+                        " (lost instructions)");
+        } else if (uops_ != trace_->totalUops()) {
+            violate(cycle,
+                    "delivered " + std::to_string(uops_) +
+                        " uops, trace has " +
+                        std::to_string(trace_->totalUops()));
+        }
+    }
+
+    uint64_t recordsConsumed() const { return next_; }
+    uint64_t uopsConsumed() const { return uops_; }
+
+    const std::vector<AuditViolation> &violations() const
+    {
+        return violations_;
+    }
+
+  private:
+    void
+    violate(uint64_t cycle, std::string what)
+    {
+        if (violations_.size() >= kMaxViolations)
+            return;  // a diverged stream would otherwise flood
+        AuditViolation v;
+        v.kind = AuditViolation::Kind::Oracle;
+        v.where = "oracle";
+        v.what = std::move(what);
+        v.cycle = cycle;
+        violations_.push_back(std::move(v));
+    }
+
+    static constexpr std::size_t kMaxViolations = 64;
+
+    const Trace *trace_ = nullptr;
+    std::size_t next_ = 0;
+    uint64_t uops_ = 0;
+    std::vector<AuditViolation> violations_;
+};
+
+} // namespace xbs
+
+#endif // XBS_FRONTEND_ORACLE_HH

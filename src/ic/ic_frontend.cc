@@ -14,7 +14,10 @@ IcFrontend::run(const Trace &trace)
 {
     std::size_t rec = 0;
     while (rec < trace.numRecords()) {
+        std::size_t prev = rec;
         LegacyPipe::Result r = pipe_.cycle(trace, rec);
+        for (std::size_t i = prev; i < rec; ++i)
+            oracleConsume(i, kNoTarget, 0);
         ++metrics_.cycles;
         // The IC baseline has no decoded-cache structure; count its
         // supply as "delivery" so bandwidth() reports its uops/cycle.

@@ -1,5 +1,7 @@
 #include "sim/config.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "core/xbc_frontend.hh"
 #include "ic/ic_frontend.hh"
@@ -51,6 +53,83 @@ SimConfig::xbcBaseline(unsigned capacity_uops, unsigned ways)
     c.xbc.capacityUops = capacity_uops;
     c.xbc.ways = ways;
     return c;
+}
+
+namespace
+{
+
+bool
+powerOfTwo(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
+
+Status
+validateConfig(const SimConfig &config)
+{
+    auto bad = [](std::string what) {
+        return Status::error("bad configuration: " + std::move(what));
+    };
+
+    switch (config.kind) {
+      case FrontendKind::Ic:
+        break;
+      case FrontendKind::Dc: {
+        const auto &p = config.dc;
+        if (!powerOfTwo(p.windowBytes))
+            return bad("DC window bytes must be a power of two");
+        if (p.lineUops < 4)
+            return bad("DC line below 4 uop slots");
+        if (p.ways < 1 ||
+            p.capacityUops / std::max(1u, p.lineUops) < p.ways) {
+            return bad("DC capacity below one set");
+        }
+        break;
+      }
+      case FrontendKind::Tc: {
+        const auto &p = config.tc;
+        if (p.ways < 1)
+            return bad("TC needs at least one way");
+        if (p.limits.maxUops < 1)
+            return bad("TC line needs a nonzero uop limit");
+        if (p.capacityUops / p.limits.maxUops < p.ways)
+            return bad("TC capacity below one set");
+        break;
+      }
+      case FrontendKind::Bbtc: {
+        const auto &p = config.bbtc;
+        if (p.blocks.ways < 1 || p.blocks.blockUops < 1 ||
+            p.blocks.capacityUops / p.blocks.blockUops <
+                p.blocks.ways) {
+            return bad("BBTC block cache capacity below one set");
+        }
+        if (p.ptrsPerTrace < 1 || p.traceTableWays < 1)
+            return bad("BBTC trace table needs ways and pointers");
+        break;
+      }
+      case FrontendKind::Xbc: {
+        const auto &p = config.xbc;
+        if (p.numBanks < 1 || p.bankUops < 1 || p.ways < 1)
+            return bad("XBC needs banks, bank uops, and ways");
+        if (p.xbQuotaUops > p.numBanks * p.bankUops)
+            return bad("XB quota exceeds one set row");
+        if (p.capacityUops / (p.numBanks * p.bankUops * p.ways) < 1)
+            return bad("XBC capacity below one set");
+        if (p.xbtbWays < 1 || p.xbtbEntries < p.xbtbWays)
+            return bad("bad XBTB geometry");
+        if (p.xibtbWays < 1 || p.xibtbSets < 1)
+            return bad("bad XiBTB geometry");
+        if (p.xrsbDepth < 1)
+            return bad("XRSB needs depth");
+        break;
+      }
+    }
+
+    if (config.frontend.renamerWidth < 1)
+        return bad("renamer width must be nonzero");
+    return Status::ok();
 }
 
 std::unique_ptr<Frontend>

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bbtc/bbtc_frontend.hh"
+#include "common/status.hh"
 #include "core/params.hh"
 #include "dc/dc_frontend.hh"
 #include "frontend/frontend.hh"
@@ -46,6 +47,15 @@ struct SimConfig
     static SimConfig xbcBaseline(unsigned capacity_uops = 32768,
                                  unsigned ways = 2);
 };
+
+/**
+ * Check a configuration's geometry *before* construction (the
+ * frontend constructors assert the same constraints): nonzero
+ * capacities, per-structure minimum sizes, power-of-two windows.
+ * Lets tools reject bad CLI input with a clean exit code instead of
+ * an abort.
+ */
+Status validateConfig(const SimConfig &config);
 
 /** Instantiate the configured frontend. */
 std::unique_ptr<Frontend> makeFrontend(const SimConfig &config);

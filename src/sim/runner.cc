@@ -26,11 +26,11 @@ SuiteRunner::measure(const Trace &trace, const std::string &suite,
 {
     auto fe = makeFrontend(config);
     if (beforeRun_)
-        beforeRun_(*fe, trace.name(), label);
+        beforeRun_(*fe, trace, trace.name(), label);
     fe->run(trace);
     fe->finishObservation();
     if (afterRun_)
-        afterRun_(*fe, trace.name(), label);
+        afterRun_(*fe, trace, trace.name(), label);
 
     RunResult r;
     r.label = label;

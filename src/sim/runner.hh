@@ -83,8 +83,9 @@ class SuiteRunner
     /// @}
 
     /** Observation hook type: the frontend about to run / just run,
-     *  plus the (workload, label) pair identifying the measurement. */
-    using RunHook = std::function<void(Frontend &,
+     *  the trace it runs over (so an auditor can attach its delivery
+     *  oracle), plus the (workload, label) measurement pair. */
+    using RunHook = std::function<void(Frontend &, const Trace &,
                                        const std::string &workload,
                                        const std::string &label)>;
 

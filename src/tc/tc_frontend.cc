@@ -82,6 +82,7 @@ TcFrontend::supplyLine(const Trace &trace, const TraceLine &line,
             }
         }
 
+        oracleConsume(rec, e.staticIdx, si.numUops);
         supplied += si.numUops;
         ++rec;
 
@@ -166,6 +167,7 @@ TcFrontend::run(const Trace &trace)
                     stall += r.stall;
                     bool completed = false;
                     for (std::size_t i = prev; i < rec; ++i) {
+                        oracleConsume(i, kNoTarget, 0);
                         completed |= fill_.feed(
                             trace, i, [&](const TraceLine &l) {
                                 tc_.insert(l, trace.code(),
@@ -193,6 +195,7 @@ TcFrontend::run(const Trace &trace)
             stall += r.stall;
             bool completed = false;
             for (std::size_t i = prev; i < rec; ++i) {
+                oracleConsume(i, kNoTarget, 0);
                 completed |= fill_.feed(
                     trace, i, [&](const TraceLine &l) {
                         tc_.insert(l, trace.code(),

@@ -180,6 +180,86 @@ TraceCache::fillFactor() const
 }
 
 void
+TraceCache::auditStorage(
+    const StaticCode &code,
+    const std::function<void(AuditViolation)> &sink) const
+{
+    auto report = [&](AuditViolation::Kind kind, std::string what) {
+        AuditViolation v;
+        v.kind = kind;
+        v.where = "tc.array";
+        v.what = std::move(what);
+        sink(std::move(v));
+    };
+
+    uint64_t filled = 0;
+    std::unordered_map<UopId, uint32_t> counted;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        const TraceLine &l = lines_[i];
+        if (!l.valid)
+            continue;
+        std::string where = "line " + std::to_string(i) + ": ";
+        if (l.insts.empty()) {
+            report(AuditViolation::Kind::Structural,
+                   where + "valid line with no instructions");
+            continue;
+        }
+        unsigned uops = 0;
+        unsigned conds = 0;
+        bool indexed_ok = true;
+        for (const auto &e : l.insts) {
+            if (e.staticIdx < 0 ||
+                (std::size_t)e.staticIdx >= code.size()) {
+                report(AuditViolation::Kind::Structural,
+                       where + "out-of-range static index");
+                indexed_ok = false;
+                break;
+            }
+            const StaticInst &si = code.inst(e.staticIdx);
+            uops += si.numUops;
+            conds += si.cls == InstClass::CondBranch;
+        }
+        if (!indexed_ok)
+            continue;
+        if (l.startIp != code.inst(l.insts.front().staticIdx).ip) {
+            report(AuditViolation::Kind::Structural,
+                   where + "tag does not match the first instruction");
+        }
+        if (uops != l.numUops || conds != l.numCondBranches) {
+            report(AuditViolation::Kind::Structural,
+                   where + "stored uop/branch counts are stale");
+        }
+        if (uops > limits_.maxUops) {
+            report(AuditViolation::Kind::Structural,
+                   where + "trace of " + std::to_string(uops) +
+                       " uops exceeds the " +
+                       std::to_string(limits_.maxUops) + "-uop limit");
+        }
+        if (conds > limits_.maxCondBranches) {
+            report(AuditViolation::Kind::Structural,
+                   where + "trace holds " + std::to_string(conds) +
+                       " conditional branches (limit " +
+                       std::to_string(limits_.maxCondBranches) + ")");
+        }
+        filled += l.numUops;
+        for (const auto &e : l.insts) {
+            const StaticInst &si = code.inst(e.staticIdx);
+            for (unsigned s = 0; s < si.numUops; ++s)
+                ++counted[makeUopId(si.ip, s)];
+        }
+    }
+    if (filled != filledUops_) {
+        report(AuditViolation::Kind::Accounting,
+               "filledUops counter " + std::to_string(filledUops_) +
+                   " != physical " + std::to_string(filled));
+    }
+    if (counted != residency_) {
+        report(AuditViolation::Kind::Accounting,
+               "residency map disagrees with resident lines");
+    }
+}
+
+void
 TraceCache::reset()
 {
     for (auto &l : lines_)

@@ -18,8 +18,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include <functional>
+
 #include "common/probe.hh"
 #include "common/stats.hh"
+#include "frontend/oracle.hh"
 #include "isa/uop.hh"
 #include "tc/trace_line.hh"
 #include "trace/trace.hh"
@@ -73,6 +76,17 @@ class TraceCache : public StatGroup
 
     /** Fraction of reserved uop slots actually filled. */
     double fillFactor() const;
+
+    /**
+     * Non-aborting structural audit: per-line build limits (uop and
+     * conditional-branch caps, stored uop counts) and the
+     * redundancy/fragmentation accounting recomputed against the
+     * resident lines. Violations go to @p sink; the walk always
+     * completes.
+     */
+    void auditStorage(
+        const StaticCode &code,
+        const std::function<void(AuditViolation)> &sink) const;
 
     ScalarStat lookups{this, "lookups", "trace cache lookups"};
     ScalarStat hits{this, "hits", "trace cache lookup hits"};

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <unordered_set>
 
 #include "common/logging.hh"
 
@@ -14,6 +15,10 @@ namespace
 
 constexpr char kMagic[4] = {'X', 'B', 'T', '1'};
 
+/** Serialized sizes (the structs are written field by field). */
+constexpr uint64_t kInstBytes = 8 + 1 + 1 + 1 + 4 + 4;
+constexpr uint64_t kRecordBytes = 4 + 1;
+
 struct FileCloser
 {
     void operator()(FILE *f) const { if (f) std::fclose(f); }
@@ -21,101 +26,297 @@ struct FileCloser
 
 using FilePtr = std::unique_ptr<FILE, FileCloser>;
 
-template <typename T>
-void
-put(FILE *f, const T &v)
+/**
+ * Bounds-tracked reader over a stdio stream: every get knows the
+ * current byte offset (for error context) and the total file size
+ * (so section counts can be sanity-checked before any allocation).
+ */
+struct Reader
 {
-    if (std::fwrite(&v, sizeof(T), 1, f) != 1)
-        xbs_fatal("trace write failed");
-}
+    FILE *f = nullptr;
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    Status error;  ///< first failure; reads after it are no-ops
+
+    bool
+    read(void *dst, std::size_t n, const char *what)
+    {
+        if (!error.isOk())
+            return false;
+        if (std::fread(dst, 1, n, f) != n) {
+            error = Status::error(std::string("truncated ") + what)
+                        .withOffset(offset);
+            return false;
+        }
+        offset += n;
+        return true;
+    }
+
+    template <typename T>
+    T
+    get(const char *what)
+    {
+        T v{};
+        read(&v, sizeof(T), what);
+        return v;
+    }
+
+    uint64_t remaining() const { return size - offset; }
+
+    void
+    fail(std::string cause)
+    {
+        if (error.isOk())
+            error = Status::error(std::move(cause)).withOffset(offset);
+    }
+};
 
 template <typename T>
-T
-get(FILE *f)
+bool
+put(FILE *f, const T &v)
 {
-    T v;
-    if (std::fread(&v, sizeof(T), 1, f) != 1)
-        xbs_fatal("trace read failed (truncated file?)");
-    return v;
+    return std::fwrite(&v, sizeof(T), 1, f) == 1;
 }
 
 } // anonymous namespace
 
+Status
+writeTraceEx(const Trace &trace, const std::string &path)
+{
+    // Refuse anything the format fields cannot represent instead of
+    // wrapping on the (uint32_t) cast the old writer performed.
+    if (trace.name().size() > kMaxTraceNameLen) {
+        return Status::error(
+            "trace name length " + std::to_string(trace.name().size()) +
+            " exceeds the format limit of " +
+            std::to_string(kMaxTraceNameLen))
+            .withFile(path);
+    }
+
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return Status::error("cannot open '" + path + "' for writing");
+
+    uint64_t offset = 0;
+    auto fail = [&]() {
+        return Status::error("trace write failed")
+            .withFile(path).withOffset(offset);
+    };
+
+    if (std::fwrite(kMagic, 1, 4, f.get()) != 4)
+        return fail();
+    offset += 4;
+    if (!put<uint32_t>(f.get(), (uint32_t)trace.name().size()))
+        return fail();
+    offset += 4;
+    if (std::fwrite(trace.name().data(), 1, trace.name().size(),
+                    f.get()) != trace.name().size()) {
+        return fail();
+    }
+    offset += trace.name().size();
+
+    const auto &code = trace.code();
+    if (!put<uint64_t>(f.get(), code.size()))
+        return fail();
+    offset += 8;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const auto &si = code.inst((int32_t)i);
+        if (!put<uint64_t>(f.get(), si.ip) ||
+            !put<uint8_t>(f.get(), si.length) ||
+            !put<uint8_t>(f.get(), si.numUops) ||
+            !put<uint8_t>(f.get(), (uint8_t)si.cls) ||
+            !put<int32_t>(f.get(), si.takenIdx) ||
+            !put<int32_t>(f.get(), si.behaviorId)) {
+            return fail();
+        }
+        offset += kInstBytes;
+    }
+
+    if (!put<uint64_t>(f.get(), trace.numRecords()))
+        return fail();
+    offset += 8;
+    for (std::size_t i = 0; i < trace.numRecords(); ++i) {
+        if (!put<int32_t>(f.get(), trace.record(i).staticIdx) ||
+            !put<uint8_t>(f.get(), trace.record(i).taken)) {
+            return fail();
+        }
+        offset += kRecordBytes;
+    }
+    if (std::fflush(f.get()) != 0)
+        return fail();
+    return Status::ok();
+}
+
+Expected<Trace>
+readTraceEx(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return Status::error("cannot open '" + path + "' for reading");
+
+    Reader r;
+    r.f = f.get();
+    if (std::fseek(r.f, 0, SEEK_END) != 0)
+        return Status::error("cannot seek").withFile(path);
+    long end = std::ftell(r.f);
+    if (end < 0)
+        return Status::error("cannot tell").withFile(path);
+    r.size = (uint64_t)end;
+    std::rewind(r.f);
+
+    char magic[4] = {};
+    if (!r.read(magic, 4, "header") ||
+        std::memcmp(magic, kMagic, 4) != 0) {
+        return Status::error("'" + path +
+                             "' is not an XBT1 trace file")
+            .withOffset(0);
+    }
+
+    // Name section, with the length checked against both the format
+    // cap and the bytes actually present.
+    auto name_len = r.get<uint32_t>("name length");
+    if (!r.error.isOk())
+        return r.error.withFile(path);
+    if (name_len > kMaxTraceNameLen) {
+        r.fail("name length " + std::to_string(name_len) +
+               " exceeds the format limit of " +
+               std::to_string(kMaxTraceNameLen));
+        return r.error.withFile(path);
+    }
+    if (name_len > r.remaining()) {
+        r.fail("name length " + std::to_string(name_len) +
+               " exceeds the " + std::to_string(r.remaining()) +
+               " bytes left in the file");
+        return r.error.withFile(path);
+    }
+    std::string name(name_len, '\0');
+    if (name_len && !r.read(name.data(), name_len, "name"))
+        return r.error.withFile(path);
+
+    // Instruction section: bound the count by the bytes present
+    // before reserving anything, then validate each field so the
+    // StaticCode/Trace constructors (which assert) never see junk.
+    auto num_insts = r.get<uint64_t>("instruction count");
+    if (!r.error.isOk())
+        return r.error.withFile(path);
+    if (num_insts > r.remaining() / kInstBytes) {
+        r.fail("instruction count " + std::to_string(num_insts) +
+               " exceeds the " + std::to_string(r.remaining()) +
+               " bytes left in the file");
+        return r.error.withFile(path);
+    }
+    if (num_insts > (uint64_t)INT32_MAX) {
+        r.fail("instruction count " + std::to_string(num_insts) +
+               " exceeds the 31-bit index space");
+        return r.error.withFile(path);
+    }
+
+    auto code = std::make_shared<StaticCode>();
+    std::unordered_set<uint64_t> seen_ips;
+    seen_ips.reserve((std::size_t)num_insts);
+    for (uint64_t i = 0; i < num_insts; ++i) {
+        uint64_t inst_off = r.offset;
+        StaticInst si;
+        si.ip = r.get<uint64_t>("instruction");
+        si.length = r.get<uint8_t>("instruction");
+        si.numUops = r.get<uint8_t>("instruction");
+        auto cls = r.get<uint8_t>("instruction");
+        si.takenIdx = r.get<int32_t>("instruction");
+        si.behaviorId = r.get<int32_t>("instruction");
+        if (!r.error.isOk())
+            return r.error.withFile(path);
+
+        auto bad = [&](const std::string &what) {
+            r.error = Status::error("instruction " +
+                                    std::to_string(i) + ": " + what)
+                          .withOffset(inst_off).withFile(path);
+            return r.error;
+        };
+        if (si.length < 1 || si.length > 15)
+            return bad("length " + std::to_string(si.length) +
+                       " outside 1..15");
+        if (si.numUops < 1 || si.numUops > 16)
+            return bad("uop count " + std::to_string(si.numUops) +
+                       " outside 1..16");
+        if (cls >= (uint8_t)InstClass::NumClasses)
+            return bad("unknown class " + std::to_string(cls));
+        si.cls = (InstClass)cls;
+        if (si.takenIdx != kNoTarget &&
+            (si.takenIdx < 0 || (uint64_t)si.takenIdx >= num_insts)) {
+            return bad("takenIdx " + std::to_string(si.takenIdx) +
+                       " out of range");
+        }
+        if (si.behaviorId != kNoBehavior && si.behaviorId < 0)
+            return bad("negative behaviorId");
+        if (!seen_ips.insert(si.ip).second)
+            return bad("duplicate ip " + std::to_string(si.ip));
+        code->append(si);
+    }
+    code->finalize();
+
+    // Record section, again count-bounded by the remaining bytes and
+    // with every index checked against the code image.
+    auto num_records = r.get<uint64_t>("record count");
+    if (!r.error.isOk())
+        return r.error.withFile(path);
+    if (num_records > r.remaining() / kRecordBytes) {
+        r.fail("record count " + std::to_string(num_records) +
+               " exceeds the " + std::to_string(r.remaining()) +
+               " bytes left in the file");
+        return r.error.withFile(path);
+    }
+    std::vector<TraceRecord> records;
+    records.reserve((std::size_t)num_records);
+    for (uint64_t i = 0; i < num_records; ++i) {
+        uint64_t rec_off = r.offset;
+        TraceRecord rec;
+        rec.staticIdx = r.get<int32_t>("record");
+        rec.taken = r.get<uint8_t>("record");
+        if (!r.error.isOk())
+            return r.error.withFile(path);
+        if (rec.staticIdx < 0 ||
+            (uint64_t)rec.staticIdx >= num_insts) {
+            return Status::error("record " + std::to_string(i) +
+                                 ": staticIdx " +
+                                 std::to_string(rec.staticIdx) +
+                                 " out of range")
+                .withOffset(rec_off).withFile(path);
+        }
+        if (rec.taken > 1) {
+            return Status::error("record " + std::to_string(i) +
+                                 ": taken flag " +
+                                 std::to_string(rec.taken) +
+                                 " is not 0/1")
+                .withOffset(rec_off).withFile(path);
+        }
+        records.push_back(rec);
+    }
+
+    if (r.remaining() != 0) {
+        r.fail(std::to_string(r.remaining()) +
+               " trailing bytes after the record section");
+        return r.error.withFile(path);
+    }
+
+    return Trace(std::move(code), std::move(records),
+                 std::move(name));
+}
+
 void
 writeTrace(const Trace &trace, const std::string &path)
 {
-    FilePtr f(std::fopen(path.c_str(), "wb"));
-    if (!f)
-        xbs_fatal("cannot open '%s' for writing", path.c_str());
-
-    std::fwrite(kMagic, 1, 4, f.get());
-    put<uint32_t>(f.get(), (uint32_t)trace.name().size());
-    std::fwrite(trace.name().data(), 1, trace.name().size(), f.get());
-
-    const auto &code = trace.code();
-    put<uint64_t>(f.get(), code.size());
-    for (std::size_t i = 0; i < code.size(); ++i) {
-        const auto &si = code.inst((int32_t)i);
-        put<uint64_t>(f.get(), si.ip);
-        put<uint8_t>(f.get(), si.length);
-        put<uint8_t>(f.get(), si.numUops);
-        put<uint8_t>(f.get(), (uint8_t)si.cls);
-        put<int32_t>(f.get(), si.takenIdx);
-        put<int32_t>(f.get(), si.behaviorId);
-    }
-
-    put<uint64_t>(f.get(), trace.numRecords());
-    for (std::size_t i = 0; i < trace.numRecords(); ++i) {
-        put<int32_t>(f.get(), trace.record(i).staticIdx);
-        put<uint8_t>(f.get(), trace.record(i).taken);
-    }
+    Status st = writeTraceEx(trace, path);
+    if (!st)
+        xbs_fatal("%s", st.toString().c_str());
 }
 
 Trace
 readTrace(const std::string &path)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        xbs_fatal("cannot open '%s' for reading", path.c_str());
-
-    char magic[4];
-    if (std::fread(magic, 1, 4, f.get()) != 4 ||
-        std::memcmp(magic, kMagic, 4) != 0) {
-        xbs_fatal("'%s' is not an XBT1 trace file", path.c_str());
-    }
-
-    auto name_len = get<uint32_t>(f.get());
-    std::string name(name_len, '\0');
-    if (name_len &&
-        std::fread(name.data(), 1, name_len, f.get()) != name_len) {
-        xbs_fatal("trace read failed (name)");
-    }
-
-    auto code = std::make_shared<StaticCode>();
-    auto num_insts = get<uint64_t>(f.get());
-    for (uint64_t i = 0; i < num_insts; ++i) {
-        StaticInst si;
-        si.ip = get<uint64_t>(f.get());
-        si.length = get<uint8_t>(f.get());
-        si.numUops = get<uint8_t>(f.get());
-        si.cls = (InstClass)get<uint8_t>(f.get());
-        si.takenIdx = get<int32_t>(f.get());
-        si.behaviorId = get<int32_t>(f.get());
-        code->append(si);
-    }
-    code->finalize();
-
-    auto num_records = get<uint64_t>(f.get());
-    std::vector<TraceRecord> records;
-    records.reserve(num_records);
-    for (uint64_t i = 0; i < num_records; ++i) {
-        TraceRecord r;
-        r.staticIdx = get<int32_t>(f.get());
-        r.taken = get<uint8_t>(f.get());
-        records.push_back(r);
-    }
-
-    return Trace(std::move(code), std::move(records), std::move(name));
+    Expected<Trace> t = readTraceEx(path);
+    if (!t)
+        xbs_fatal("%s", t.status().toString().c_str());
+    return t.take();
 }
 
 } // namespace xbs

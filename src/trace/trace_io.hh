@@ -4,7 +4,7 @@
  *
  * Layout (little endian):
  *   magic  'X','B','T','1'
- *   u32    name length, bytes
+ *   u32    name length, bytes (at most kMaxTraceNameLen)
  *   u64    instruction count
  *   per instruction: u64 ip, u8 len, u8 uops, u8 cls, i32 takenIdx,
  *                    i32 behaviorId
@@ -13,6 +13,14 @@
  *
  * Behaviors are not serialized: a written trace replays exactly, it
  * is not re-executable.
+ *
+ * readTraceEx() validates everything before constructing the Trace:
+ * the magic, the name/instruction/record counts against the file
+ * size, each instruction's length (1..15), uop count (1..16), class
+ * and takenIdx range, IP uniqueness, and each record's staticIdx
+ * range and taken flag. Trailing bytes after the record section are
+ * rejected too. A malformed file therefore yields a Status with the
+ * offending byte offset, never UB or an abort.
  */
 
 #ifndef XBS_TRACE_TRACE_IO_HH
@@ -20,15 +28,29 @@
 
 #include <string>
 
+#include "common/status.hh"
 #include "trace/trace.hh"
 
 namespace xbs
 {
 
-/** Write @p trace to @p path; fatal() on I/O failure. */
+/** Format limit on the serialized trace name. The field is a u32,
+ *  but no legitimate name approaches this; enforcing a tight cap
+ *  turns a corrupt length into an early structured error. */
+constexpr std::size_t kMaxTraceNameLen = 4096;
+
+/** Write @p trace to @p path; returns an error Status (with file and
+ *  byte-offset context) on I/O failure or a name exceeding the
+ *  format's field width — nothing is silently truncated/wrapped. */
+Status writeTraceEx(const Trace &trace, const std::string &path);
+
+/** Read and fully validate a trace file written by writeTraceEx(). */
+Expected<Trace> readTraceEx(const std::string &path);
+
+/** Legacy wrapper: writeTraceEx(), fatal() on error. */
 void writeTrace(const Trace &trace, const std::string &path);
 
-/** Read a trace previously written by writeTrace(). */
+/** Legacy wrapper: readTraceEx(), fatal() on error. */
 Trace readTrace(const std::string &path);
 
 } // namespace xbs

@@ -99,13 +99,21 @@ suiteNames()
     return names;
 }
 
-const CatalogEntry &
-findWorkload(const std::string &name)
+const CatalogEntry *
+findWorkloadPtr(const std::string &name)
 {
     for (const auto &e : workloadCatalog()) {
         if (e.name == name)
-            return e;
+            return &e;
     }
+    return nullptr;
+}
+
+const CatalogEntry &
+findWorkload(const std::string &name)
+{
+    if (const CatalogEntry *e = findWorkloadPtr(name))
+        return *e;
     xbs_fatal("unknown workload '%s'", name.c_str());
 }
 

@@ -38,6 +38,9 @@ const std::vector<CatalogEntry> &workloadCatalog();
 /** Names of the three suites in catalog order. */
 const std::vector<std::string> &suiteNames();
 
+/** Find an entry by name; nullptr if unknown. */
+const CatalogEntry *findWorkloadPtr(const std::string &name);
+
 /** Find an entry by name; fatal() if unknown. */
 const CatalogEntry &findWorkload(const std::string &name);
 

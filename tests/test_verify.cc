@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for the verification layer (src/verify): the invariant
+ * auditor + delivery oracle must pass cleanly on every unmodified
+ * frontend, catch each planted structural bug (the oracle of the
+ * oracle), and report graceful degradation — never stream corruption
+ * — under every fault-injection kind.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/xbc_frontend.hh"
+#include "sim/config.hh"
+#include "test_helpers.hh"
+#include "verify/auditor.hh"
+#include "verify/inject.hh"
+#include "workload/catalog.hh"
+
+namespace xbs
+{
+namespace
+{
+
+constexpr uint64_t kInsts = 60000;
+
+Trace
+smallTrace(const char *workload = "gcc")
+{
+    return makeCatalogTrace(workload, kInsts);
+}
+
+std::string
+reportOf(const InvariantAuditor &a)
+{
+    std::ostringstream os;
+    a.report(os);
+    return os.str();
+}
+
+// ---------------------------------------------------------------
+// Clean runs: the auditor must find nothing on the unmodified
+// simulator, whichever frontend delivers the stream.
+
+class CleanAudit : public testing::TestWithParam<FrontendKind>
+{
+};
+
+TEST_P(CleanAudit, NoViolationsOnUnmodifiedFrontend)
+{
+    SimConfig config;
+    config.kind = GetParam();
+    auto fe = makeFrontend(config);
+    Trace trace = smallTrace();
+
+    AuditorOptions opts;
+    opts.interval = 20000;
+    InvariantAuditor auditor(opts);
+    auditor.attach(*fe, trace);
+    fe->run(trace);
+    auditor.finishRun(*fe);
+
+    EXPECT_TRUE(auditor.ok()) << reportOf(auditor);
+    EXPECT_EQ(auditor.violations().size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFrontends, CleanAudit,
+    testing::Values(FrontendKind::Ic, FrontendKind::Dc,
+                    FrontendKind::Tc, FrontendKind::Bbtc,
+                    FrontendKind::Xbc),
+    [](const testing::TestParamInfo<FrontendKind> &info) {
+        return frontendKindName(info.param);
+    });
+
+// ---------------------------------------------------------------
+// The oracle of the oracle: each planted structural bug must be
+// caught by a walk that was clean immediately before the tampering.
+
+class PlantedBug : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SimConfig config;
+        config.kind = FrontendKind::Xbc;
+        fe_ = std::make_unique<XbcFrontend>(config.frontend,
+                                            config.xbc);
+        trace_ = std::make_unique<Trace>(smallTrace());
+        auditor_.attach(*fe_, *trace_);
+        fe_->run(*trace_);
+        auditor_.auditNow(*fe_);
+        ASSERT_TRUE(auditor_.ok()) << reportOf(auditor_);
+    }
+
+    void
+    expectCaught(const std::string &substr)
+    {
+        auditor_.auditNow(*fe_);
+        EXPECT_FALSE(auditor_.ok());
+        EXPECT_GT(auditor_.countOf(AuditViolation::Kind::Structural),
+                  0u);
+        EXPECT_NE(reportOf(auditor_).find(substr), std::string::npos)
+            << reportOf(auditor_);
+    }
+
+    std::unique_ptr<XbcFrontend> fe_;
+    std::unique_ptr<Trace> trace_;
+    InvariantAuditor auditor_;
+};
+
+TEST_F(PlantedBug, DuplicateVariantCaught)
+{
+    ASSERT_TRUE(fe_->mutableDataArray().tamperDuplicateVariant());
+    expectCaught("duplicate variant image");
+}
+
+TEST_F(PlantedBug, OutOfOrderBankLinesCaught)
+{
+    ASSERT_TRUE(fe_->mutableDataArray().tamperSwapVariantLines());
+    expectCaught("reverse-order banking broken");
+}
+
+TEST_F(PlantedBug, StaleHeadLruCaught)
+{
+    ASSERT_TRUE(fe_->mutableDataArray().tamperStaleHeadLru());
+    expectCaught("head-first aging broken");
+}
+
+// ---------------------------------------------------------------
+// Fault injection: under every injector the delivered stream must
+// stay correct (zero oracle violations) and the run must terminate
+// within the auditor's bounded-slowdown watchdog.
+
+struct InjectCase
+{
+    const char *spec;
+    uint64_t seed;
+};
+
+class Injection : public testing::TestWithParam<InjectCase>
+{
+};
+
+TEST_P(Injection, StreamSurvivesCorruption)
+{
+    const InjectCase &c = GetParam();
+    auto plan = parseInjectSpec(c.spec);
+    ASSERT_TRUE(plan.ok()) << plan.status().toString();
+    FaultInjector injector(plan.take(), c.seed);
+
+    SimConfig config;
+    config.kind = FrontendKind::Xbc;
+    auto fe = makeFrontend(config);
+
+    Trace base = smallTrace();
+    Trace trace = injector.plan().hasTraceActions()
+                      ? injector.prepareTrace(base)
+                      : std::move(base);
+
+    AuditorOptions opts;
+    opts.interval = 20000;
+    InvariantAuditor auditor(opts);
+    auditor.attach(*fe, trace);
+    fe->attachCycleObserver(&injector);
+    fe->run(trace);
+    auditor.finishRun(*fe);
+
+    EXPECT_GT(injector.injections(), 0u) << injector.summary();
+    // Graceful degradation: structural/accounting damage is the
+    // injection's doing, but the delivered uop stream must match the
+    // trace exactly.
+    EXPECT_EQ(auditor.countOf(AuditViolation::Kind::Oracle), 0u)
+        << reportOf(auditor);
+    // Bounded slowdown: the watchdog reports through the auditor.
+    EXPECT_EQ(fe->metrics().cycles.value() <
+                  opts.maxCyclesPerRecord * trace.numRecords() + 10000,
+              true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsBySeeds, Injection,
+    testing::Values(InjectCase{"xbtb-flip@997", 1},
+                    InjectCase{"xbtb-flip@997", 2},
+                    InjectCase{"xfu-drop@1499", 1},
+                    InjectCase{"xfu-drop@1499", 2},
+                    InjectCase{"line-kill@1999", 1},
+                    InjectCase{"line-kill@1999", 2},
+                    InjectCase{"slot-corrupt@2503", 1},
+                    InjectCase{"slot-corrupt@2503", 2},
+                    InjectCase{"trace-flip@32", 1},
+                    InjectCase{"trace-flip@32", 2},
+                    InjectCase{"trace-trunc", 1},
+                    InjectCase{"trace-trunc", 2},
+                    InjectCase{"xbtb-flip@997,line-kill@1999,"
+                               "slot-corrupt@2503",
+                               7}),
+    [](const testing::TestParamInfo<InjectCase> &info) {
+        std::string n = info.param.spec;
+        for (char &ch : n)
+            if (ch == '-' || ch == '@' || ch == ',')
+                ch = '_';
+        return n + "_s" + std::to_string(info.param.seed);
+    });
+
+// Slot corruption must surface: the corrupted content is either
+// never delivered (pointer paths reject it) or the oracle flags it.
+// Either way the auditor's structural walk sees the content diverge
+// from the static code only via the residency recompute — which the
+// injector keeps consistent — so this asserts the injector applied.
+TEST(Injection, SlotCorruptReportsApplication)
+{
+    auto plan = parseInjectSpec("slot-corrupt@503");
+    ASSERT_TRUE(plan.ok());
+    FaultInjector injector(plan.take(), 3);
+    SimConfig config;
+    config.kind = FrontendKind::Xbc;
+    auto fe = makeFrontend(config);
+    Trace trace = smallTrace();
+    fe->attachCycleObserver(&injector);
+    fe->run(trace);
+    EXPECT_GT(injector.injections(), 0u);
+    EXPECT_NE(injector.summary().find("slot-corrupt"),
+              std::string::npos);
+}
+
+// Cycle-domain injectors are XBC-specific and must be harmless
+// no-ops on the other frontends.
+TEST(Injection, NoOpOnNonXbcFrontends)
+{
+    auto plan = parseInjectSpec("xbtb-flip@503,line-kill@997");
+    ASSERT_TRUE(plan.ok());
+    FaultInjector injector(plan.take(), 1);
+    SimConfig config;
+    config.kind = FrontendKind::Tc;
+    auto fe = makeFrontend(config);
+    Trace trace = smallTrace();
+    InvariantAuditor auditor;
+    auditor.attach(*fe, trace);
+    fe->attachCycleObserver(&injector);
+    fe->run(trace);
+    auditor.finishRun(*fe);
+    EXPECT_EQ(injector.injections(), 0u);
+    EXPECT_TRUE(auditor.ok()) << reportOf(auditor);
+}
+
+// ---------------------------------------------------------------
+// Spec parsing.
+
+TEST(InjectSpec, ParsesKindsAndPeriods)
+{
+    auto plan = parseInjectSpec("xbtb-flip,line-kill@123,trace-trunc");
+    ASSERT_TRUE(plan.ok()) << plan.status().toString();
+    const InjectPlan p = plan.take();
+    ASSERT_EQ(p.actions.size(), 3u);
+    EXPECT_EQ(p.actions[0].kind, InjectKind::XbtbFlip);
+    EXPECT_EQ(p.actions[0].period, 10000u);  // cycle-domain default
+    EXPECT_EQ(p.actions[1].period, 123u);
+    EXPECT_EQ(p.actions[2].kind, InjectKind::TraceTrunc);
+    EXPECT_TRUE(p.hasTraceActions());
+}
+
+TEST(InjectSpec, RejectsGarbage)
+{
+    EXPECT_FALSE(parseInjectSpec("").ok());
+    EXPECT_FALSE(parseInjectSpec("bogus-kind").ok());
+    EXPECT_FALSE(parseInjectSpec("xbtb-flip@").ok());
+    EXPECT_FALSE(parseInjectSpec("xbtb-flip@0").ok());
+    EXPECT_FALSE(parseInjectSpec("xbtb-flip@12x").ok());
+    EXPECT_FALSE(parseInjectSpec("line-kill,,").ok());
+}
+
+// The injector must be deterministic in its seed: same plan + seed
+// twice => identical injection counts and identical final metrics.
+TEST(Injection, DeterministicAcrossRuns)
+{
+    for (int run = 0; run < 2; ++run) {
+        SCOPED_TRACE(run);
+        uint64_t counts[2];
+        uint64_t cycles[2];
+        for (int i = 0; i < 2; ++i) {
+            auto plan = parseInjectSpec("xbtb-flip@997,line-kill@1499");
+            ASSERT_TRUE(plan.ok());
+            FaultInjector injector(plan.take(), 42);
+            SimConfig config;
+            config.kind = FrontendKind::Xbc;
+            auto fe = makeFrontend(config);
+            Trace trace = smallTrace();
+            fe->attachCycleObserver(&injector);
+            fe->run(trace);
+            counts[i] = injector.injections();
+            cycles[i] = fe->metrics().cycles.value();
+        }
+        EXPECT_EQ(counts[0], counts[1]);
+        EXPECT_EQ(cycles[0], cycles[1]);
+    }
+}
+
+} // anonymous namespace
+} // namespace xbs

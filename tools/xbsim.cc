@@ -16,15 +16,19 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "common/args.hh"
 #include "common/event_trace.hh"
 #include "common/interval_stats.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "trace/trace_io.hh"
+#include "verify/auditor.hh"
+#include "verify/inject.hh"
 #include "workload/catalog.hh"
 
 using namespace xbs;
@@ -81,6 +85,10 @@ main(int argc, char **argv)
     uint64_t trace_capacity = 1u << 20;
     uint64_t interval = 0;
     std::string interval_out = "intervals.jsonl";
+    bool audit = false;
+    uint64_t audit_interval = 100000;
+    std::string inject_spec;
+    uint64_t inject_seed = 1;
 
     ArgParser args("xbsim",
                    "trace-driven frontend simulator (XBC, HPCA 2000)");
@@ -112,6 +120,17 @@ main(int argc, char **argv)
                  "emit windowed stat deltas every N cycles (0 = off)");
     args.addString("interval-out", &interval_out,
                    "interval JSONL output path");
+    args.addBool("audit", &audit,
+                 "attach the invariant auditor + delivery oracle "
+                 "(exit 3 on violations)");
+    args.addUint("audit-interval", &audit_interval,
+                 "cycles between structural audits (0 = end only)");
+    args.addString("inject", &inject_spec,
+                   "fault injection spec: kind[@period],... with kind "
+                   "in xbtb-flip|xfu-drop|line-kill|slot-corrupt|"
+                   "trace-flip|trace-trunc");
+    args.addUint("inject-seed", &inject_seed,
+                 "deterministic fault-injection seed");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -140,6 +159,23 @@ main(int argc, char **argv)
 
     setLogQuiet(json);
 
+    if (Status st = validateConfig(config); !st.isOk()) {
+        std::fprintf(stderr, "xbsim: %s\n", st.toString().c_str());
+        return kExitUsage;
+    }
+
+    std::unique_ptr<FaultInjector> injector;
+    if (!inject_spec.empty()) {
+        auto plan = parseInjectSpec(inject_spec);
+        if (!plan.ok()) {
+            std::fprintf(stderr, "xbsim: %s\n",
+                         plan.status().toString().c_str());
+            return kExitUsage;
+        }
+        injector = std::make_unique<FaultInjector>(plan.take(),
+                                                   inject_seed);
+    }
+
     auto fe = makeFrontend(config);
 
     // Observability: an event-trace sink on the probe registry and/or
@@ -162,20 +198,47 @@ main(int argc, char **argv)
         fe->attachSampler(sampler.get());
     }
 
-    uint64_t total_uops;
-    std::string trace_name;
+    std::optional<Trace> trace_opt;
     if (!trace_path.empty()) {
-        Trace trace = readTrace(trace_path);
-        trace_name = trace.name();
-        total_uops = trace.totalUops();
-        fe->run(trace);
+        Expected<Trace> tr = readTraceEx(trace_path);
+        if (!tr.ok()) {
+            std::fprintf(stderr, "xbsim: %s\n",
+                         tr.status().toString().c_str());
+            return kExitData;
+        }
+        trace_opt.emplace(tr.take());
     } else {
-        Trace trace = makeCatalogTrace(workload, insts);
-        trace_name = trace.name();
-        total_uops = trace.totalUops();
-        fe->run(trace);
+        if (!findWorkloadPtr(workload)) {
+            std::fprintf(stderr,
+                         "xbsim: unknown workload '%s' "
+                         "(see --list-workloads)\n",
+                         workload.c_str());
+            return kExitUsage;
+        }
+        trace_opt.emplace(makeCatalogTrace(workload, insts));
     }
+    if (injector && injector->plan().hasTraceActions()) {
+        Trace injected = injector->prepareTrace(*trace_opt);
+        trace_opt.emplace(std::move(injected));
+    }
+    const Trace &trace = *trace_opt;
+    const std::string trace_name = trace.name();
+    const uint64_t total_uops = trace.totalUops();
+
+    std::unique_ptr<InvariantAuditor> auditor;
+    if (audit) {
+        AuditorOptions opts;
+        opts.interval = audit_interval;
+        auditor = std::make_unique<InvariantAuditor>(opts);
+        auditor->attach(*fe, trace);
+    }
+    if (injector)
+        fe->attachCycleObserver(injector.get());
+
+    fe->run(trace);
     fe->finishObservation();
+    if (auditor)
+        auditor->finishRun(*fe);
 
     if (sink) {
         std::ofstream os(trace_events);
@@ -185,6 +248,19 @@ main(int argc, char **argv)
         xbs_inform("wrote %zu trace events (%llu dropped) to %s",
                    sink->size(), (unsigned long long)sink->dropped(),
                    trace_events.c_str());
+    }
+
+    // Exit-code gating: under injection only oracle violations count
+    // (the injected corruption legitimately trips structural checks;
+    // what must never happen is a change in the delivered stream).
+    int exit_code = kExitOk;
+    std::size_t gated_violations = 0;
+    if (auditor) {
+        gated_violations =
+            injector ? auditor->countOf(AuditViolation::Kind::Oracle)
+                     : auditor->violations().size();
+        if (gated_violations)
+            exit_code = kExitAudit;
     }
 
     const auto &m = fe->metrics();
@@ -200,9 +276,19 @@ main(int argc, char **argv)
         jw.field("overallIpc", m.overallIpc());
         jw.field("cycles", m.cycles.value());
         jw.field("condMispredictRate", m.condMispredictRate());
+        if (auditor) {
+            jw.field("auditViolations",
+                     (uint64_t)auditor->violations().size());
+            jw.field("auditGatedViolations",
+                     (uint64_t)gated_violations);
+        }
+        if (injector)
+            jw.field("injections", injector->injections());
         if (stats)
             fe->statRoot().dumpJson(jw, /*as_member=*/true);
         jw.endObject();
+        if (auditor && !auditor->ok())
+            auditor->report(std::cerr);
     } else {
         std::printf("%s on '%s' (%llu uops, %llu cycles)\n",
                     frontend.c_str(), trace_name.c_str(),
@@ -212,8 +298,15 @@ main(int argc, char **argv)
                     "%.2f%%   overall: %.2f uops/cycle\n",
                     m.bandwidth(), 100.0 * m.missRate(),
                     m.overallIpc());
+        if (injector) {
+            std::printf("  injected %llu fault(s): %s\n",
+                        (unsigned long long)injector->injections(),
+                        injector->summary().c_str());
+        }
+        if (auditor)
+            auditor->report(std::cout);
         if (stats)
             fe->statRoot().dump(std::cout);
     }
-    return 0;
+    return exit_code;
 }

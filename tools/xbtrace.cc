@@ -15,6 +15,7 @@
 
 #include "common/args.hh"
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "common/table.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_stats.hh"
@@ -109,12 +110,33 @@ main(int argc, char **argv)
         return 0;
 
     if (!in_path.empty()) {
-        Trace trace = readTrace(in_path);
+        Expected<Trace> tr = readTraceEx(in_path);
+        if (!tr.ok()) {
+            std::fprintf(stderr, "xbtrace: %s\n",
+                         tr.status().toString().c_str());
+            return kExitData;
+        }
+        Trace trace = tr.take();
         trace.validate();
         inspect(trace);
-        if (!out_path.empty())
-            writeTrace(trace, out_path);
-        return 0;
+        if (!out_path.empty()) {
+            if (Status st = writeTraceEx(trace, out_path);
+                !st.isOk()) {
+                std::fprintf(stderr, "xbtrace: %s\n",
+                             st.toString().c_str());
+                return kExitData;
+            }
+        }
+        return kExitOk;
+    }
+
+    if (workload.empty())
+        workload = "gcc";
+    if (suite.empty() && !findWorkloadPtr(workload)) {
+        std::fprintf(stderr,
+                     "xbtrace: unknown workload '%s'\n",
+                     workload.c_str());
+        return kExitUsage;
     }
 
     Trace trace = [&]() {
@@ -124,16 +146,18 @@ main(int argc, char **argv)
             uint64_t n = insts ? insts : defaultTraceLength();
             return Executor(program, seed).run(n);
         }
-        if (workload.empty())
-            workload = "gcc";
         return makeCatalogTrace(workload, insts);
     }();
     trace.validate();
     inspect(trace);
 
     if (!out_path.empty()) {
-        writeTrace(trace, out_path);
+        if (Status st = writeTraceEx(trace, out_path); !st.isOk()) {
+            std::fprintf(stderr, "xbtrace: %s\n",
+                         st.toString().c_str());
+            return kExitData;
+        }
         std::printf("written: %s\n", out_path.c_str());
     }
-    return 0;
+    return kExitOk;
 }
