@@ -1,0 +1,121 @@
+#include "batch/job.hh"
+
+#include "common/logging.hh"
+
+namespace xbs
+{
+
+std::vector<std::string>
+JobSpec::argv(const std::string &xbsim) const
+{
+    std::vector<std::string> av;
+    av.push_back(xbsim);
+    for (std::string &flag : run.toArgv())
+        av.push_back(std::move(flag));
+    av.push_back("--json");
+    return av;
+}
+
+const char *
+jobClassName(JobClass cls)
+{
+    switch (cls) {
+      case JobClass::Ok:          return "ok";
+      case JobClass::Usage:       return "usage";
+      case JobClass::Data:        return "data";
+      case JobClass::Audit:       return "audit";
+      case JobClass::Interrupted: return "interrupted";
+      case JobClass::Timeout:     return "timeout";
+      case JobClass::Crash:       return "crash";
+      case JobClass::Spawn:       return "spawn";
+    }
+    return "?";
+}
+
+Expected<JobClass>
+jobClassFromName(const std::string &name)
+{
+    static const std::pair<const char *, JobClass> kTable[] = {
+        {"ok", JobClass::Ok},
+        {"usage", JobClass::Usage},
+        {"data", JobClass::Data},
+        {"audit", JobClass::Audit},
+        {"interrupted", JobClass::Interrupted},
+        {"timeout", JobClass::Timeout},
+        {"crash", JobClass::Crash},
+        {"spawn", JobClass::Spawn},
+    };
+    for (const auto &[n, cls] : kTable) {
+        if (name == n)
+            return cls;
+    }
+    return Status::error("unknown job class '" + name + "'");
+}
+
+bool
+jobClassRetryable(JobClass cls)
+{
+    return cls == JobClass::Timeout || cls == JobClass::Crash;
+}
+
+JobClass
+classifyOutcome(bool timed_out, bool exited, int exit_code,
+                int term_signal)
+{
+    (void)term_signal;
+    if (timed_out)
+        return JobClass::Timeout;
+    if (!exited)
+        return JobClass::Crash;
+    switch (exit_code) {
+      case kExitOk:          return JobClass::Ok;
+      case kExitUsage:       return JobClass::Usage;
+      case kExitData:        return JobClass::Data;
+      case kExitAudit:       return JobClass::Audit;
+      case kExitInterrupted: return JobClass::Interrupted;
+      case 127:              return JobClass::Spawn;  // exec failed
+      default:               return JobClass::Crash;
+    }
+}
+
+std::vector<JobSpec>
+buildJobMatrix(const std::vector<std::string> &workloads,
+               const std::vector<std::string> &frontends,
+               const std::vector<uint64_t> &capacities, uint64_t insts)
+{
+    std::vector<JobSpec> jobs;
+    int id = 0;
+    for (const std::string &w : workloads) {
+        for (const std::string &f : frontends) {
+            for (uint64_t cap : capacities) {
+                JobSpec j;
+                j.id = id++;
+                j.run.workload = w;
+                j.run.frontend = f;
+                j.run.capacity = cap;
+                j.run.insts = insts;
+                jobs.push_back(std::move(j));
+            }
+        }
+    }
+    return jobs;
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string item = csv.substr(pos, comma - pos);
+        if (!item.empty())
+            out.push_back(std::move(item));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace xbs

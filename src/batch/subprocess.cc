@@ -1,0 +1,178 @@
+#include "batch/subprocess.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace xbs
+{
+
+namespace
+{
+
+Status
+errnoError(const std::string &what)
+{
+    return Status::error(what + ": " + std::strerror(errno));
+}
+
+/** Make @p fd non-blocking and close-on-exec on the parent side. */
+bool
+prepareParentEnd(int fd)
+{
+    int fl = ::fcntl(fd, F_GETFL);
+    if (fl < 0 || ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) < 0)
+        return false;
+    int fdfl = ::fcntl(fd, F_GETFD);
+    return fdfl >= 0 &&
+           ::fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC) >= 0;
+}
+
+/** Drain @p fd into @p sink until EAGAIN/EOF; true on EOF. */
+bool
+drainFd(int fd, std::string &sink)
+{
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0) {
+            sink.append(buf, (std::size_t)n);
+            continue;
+        }
+        if (n == 0)
+            return true;  // EOF
+        if (errno == EINTR)
+            continue;
+        return false;  // EAGAIN: nothing more right now
+    }
+}
+
+} // anonymous namespace
+
+Expected<Child>
+spawnChild(const std::vector<std::string> &argv)
+{
+    if (argv.empty())
+        return Status::error("empty argv");
+
+    int outPipe[2], errPipe[2];
+    if (::pipe(outPipe) != 0)
+        return errnoError("pipe failed");
+    if (::pipe(errPipe) != 0) {
+        ::close(outPipe[0]);
+        ::close(outPipe[1]);
+        return errnoError("pipe failed");
+    }
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        for (int fd : {outPipe[0], outPipe[1], errPipe[0],
+                       errPipe[1]}) {
+            ::close(fd);
+        }
+        return errnoError("fork failed");
+    }
+
+    if (pid == 0) {
+        // Child: own process group (kill escalation targets the
+        // group), pipes onto stdout/stderr, then exec.
+        ::setpgid(0, 0);
+        ::dup2(outPipe[1], STDOUT_FILENO);
+        ::dup2(errPipe[1], STDERR_FILENO);
+        for (int fd : {outPipe[0], outPipe[1], errPipe[0],
+                       errPipe[1]}) {
+            ::close(fd);
+        }
+        std::vector<char *> cargv;
+        for (const std::string &arg : argv)
+            cargv.push_back(const_cast<char *>(arg.c_str()));
+        cargv.push_back(nullptr);
+        ::execvp(cargv[0], cargv.data());
+        // exec failed: 127 is the shell convention the classifier
+        // maps to JobClass::Spawn.
+        _exit(127);
+    }
+
+    // Parent. Mirror the setpgid to close the race either way.
+    ::setpgid(pid, pid);
+    ::close(outPipe[1]);
+    ::close(errPipe[1]);
+
+    Child child;
+    child.pid = pid;
+    child.outFd = outPipe[0];
+    child.errFd = errPipe[0];
+    if (!prepareParentEnd(child.outFd) ||
+        !prepareParentEnd(child.errFd)) {
+        Status st = errnoError("fcntl failed");
+        signalChild(child, SIGKILL);
+        int raw;
+        while (!reapChild(child, &raw)) {
+        }
+        return st;
+    }
+    return child;
+}
+
+void
+pumpChild(Child &child)
+{
+    if (child.outFd >= 0 && drainFd(child.outFd, child.out)) {
+        ::close(child.outFd);
+        child.outFd = -1;
+    }
+    if (child.errFd >= 0 && drainFd(child.errFd, child.err)) {
+        ::close(child.errFd);
+        child.errFd = -1;
+    }
+}
+
+bool
+reapChild(Child &child, int *raw_status)
+{
+    if (!child.alive())
+        return false;
+    int status = 0;
+    pid_t r = ::waitpid(child.pid, &status, WNOHANG);
+    if (r == 0)
+        return false;
+    if (r < 0 && errno == EINTR)
+        return false;
+    // Exited (or waitpid lost it): drain the tail of both pipes and
+    // close them.
+    pumpChild(child);
+    closeChildFds(child);
+    child.pid = -1;
+    *raw_status = r < 0 ? 0 : status;
+    return true;
+}
+
+void
+signalChild(const Child &child, int signum)
+{
+    if (!child.alive())
+        return;
+    // Negative pid: the whole process group, so wrapper-script
+    // children (and anything a hung job spawned) die with it.
+    if (::kill(-child.pid, signum) != 0 && errno == ESRCH)
+        ::kill(child.pid, signum);
+}
+
+void
+closeChildFds(Child &child)
+{
+    if (child.outFd >= 0) {
+        ::close(child.outFd);
+        child.outFd = -1;
+    }
+    if (child.errFd >= 0) {
+        ::close(child.errFd);
+        child.errFd = -1;
+    }
+}
+
+} // namespace xbs

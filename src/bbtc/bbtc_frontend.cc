@@ -190,7 +190,7 @@ BbtcFrontend::run(const Trace &trace)
     unsigned stall = 0;
     restartFill();
 
-    while (rec < num_records || buffer > 0) {
+    while ((rec < num_records || buffer > 0) && !stopRequested()) {
         ++metrics_.cycles;
         observeCycle();
         traceMode(mode == Mode::Build ? "build" : "delivery");

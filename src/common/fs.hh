@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Crash-safe filesystem helpers for the batch layer.
+ *
+ * The xbatch journal must survive a SIGKILL of the supervisor at any
+ * instruction, so every durable write here follows one of two
+ * disciplines:
+ *
+ *  - whole files (manifest.json, report.json): write to
+ *    "<path>.tmp.<pid>", fsync the file, rename() over the target,
+ *    fsync the directory. Readers see either the old or the new
+ *    complete file, never a torn one.
+ *
+ *  - append-only logs (journal.jsonl): open O_APPEND, write each
+ *    record as one complete line, fsync after the line. A crash can
+ *    leave at most one torn *final* line, which replay tolerates.
+ */
+
+#ifndef XBS_COMMON_FS_HH
+#define XBS_COMMON_FS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hh"
+
+namespace xbs
+{
+
+/** mkdir -p: create @p dir and any missing parents (0755). */
+Status ensureDir(const std::string &dir);
+
+/** Atomically replace @p path with @p content (tmp+fsync+rename,
+ *  then fsync of the containing directory). */
+Status writeFileAtomic(const std::string &path,
+                       const std::string &content);
+
+/** Slurp @p path. */
+Expected<std::string> readFileToString(const std::string &path);
+
+/** True if @p path exists (any file type). */
+bool pathExists(const std::string &path);
+
+/**
+ * A durable append-only line log. Each append() writes the full line
+ * (a trailing '\n' is added) with a single write() and fsyncs before
+ * returning, so an acknowledged record survives power loss.
+ */
+class AppendLog
+{
+  public:
+    AppendLog() = default;
+    ~AppendLog() { close(); }
+
+    AppendLog(const AppendLog &) = delete;
+    AppendLog &operator=(const AppendLog &) = delete;
+
+    /** Open (creating if needed) @p path for durable appends. */
+    Status open(const std::string &path);
+
+    /** Append one record; @p line must not contain '\n'. */
+    Status append(const std::string &line);
+
+    bool isOpen() const { return fd_ >= 0; }
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace xbs
+
+#endif // XBS_COMMON_FS_HH

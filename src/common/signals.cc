@@ -1,0 +1,53 @@
+#include "common/signals.hh"
+
+#include <signal.h>
+
+namespace xbs
+{
+
+namespace
+{
+
+volatile std::sig_atomic_t *g_stop_flag = nullptr;
+
+extern "C" void
+stopHandler(int signum)
+{
+    // Async-signal-safe: a single volatile sig_atomic_t store.
+    if (g_stop_flag)
+        *g_stop_flag = signum;
+}
+
+} // anonymous namespace
+
+void
+installStopHandlers(volatile std::sig_atomic_t *flag)
+{
+    g_stop_flag = flag;
+    struct sigaction sa;
+    sa.sa_handler = stopHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: let blocking calls EINTR out
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+void
+resetStopHandlers()
+{
+    struct sigaction sa;
+    sa.sa_handler = SIG_DFL;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    g_stop_flag = nullptr;
+}
+
+volatile std::sig_atomic_t *
+stopFlag()
+{
+    return g_stop_flag;
+}
+
+} // namespace xbs

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Signal-safe shutdown plumbing shared by the tools.
+ *
+ * Both xbsim (a simulation that should flush partial stats when the
+ * batch supervisor times it out) and xbatch (a supervisor that must
+ * drain its worker pool on Ctrl-C) follow the same pattern: a
+ * sigaction handler that does nothing but set a volatile
+ * sig_atomic_t flag, polled from the main loop. The handler is
+ * installed *without* SA_RESTART so blocking syscalls return EINTR
+ * and the poll loop notices the flag promptly.
+ */
+
+#ifndef XBS_COMMON_SIGNALS_HH
+#define XBS_COMMON_SIGNALS_HH
+
+#include <csignal>
+
+namespace xbs
+{
+
+/**
+ * Install SIGINT and SIGTERM handlers that set @p flag to the signal
+ * number. @p flag must outlive the handlers (file-scope storage).
+ * Calling again replaces the previous flag; there is at most one
+ * stop flag per process.
+ */
+void installStopHandlers(volatile std::sig_atomic_t *flag);
+
+/** Restore SIGINT/SIGTERM to their default dispositions. */
+void resetStopHandlers();
+
+/** The flag registered by installStopHandlers (nullptr if none). */
+volatile std::sig_atomic_t *stopFlag();
+
+} // namespace xbs
+
+#endif // XBS_COMMON_SIGNALS_HH

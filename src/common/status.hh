@@ -28,13 +28,22 @@
 namespace xbs
 {
 
-/** Process exit codes shared by xbsim and xbtrace. */
+/** Process exit codes shared by xbsim, xbtrace, and xbatch. */
 enum ExitCode : int
 {
     kExitOk = 0,
     kExitUsage = 1,  ///< bad flags / unknown names (legacy fatal())
     kExitData = 2,   ///< malformed or unreadable input data
     kExitAudit = 3,  ///< invariant/oracle violations (--audit)
+
+    /// A sweep completed end to end but some jobs failed after
+    /// retries: the report is valid and names the casualties
+    /// (xbatch's "graceful degradation" outcome).
+    kExitDegraded = 4,
+
+    /// The process caught SIGINT/SIGTERM, flushed partial output
+    /// (interval stats, audit report, journal) and stopped early.
+    kExitInterrupted = 5,
 };
 
 /** Success-or-error result with file/offset/cause context. */

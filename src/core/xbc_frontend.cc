@@ -585,7 +585,7 @@ XbcFrontend::run(const Trace &trace)
     prev_ = PrevLink{};
     fill_.restart();
 
-    while (rec < num_records || buffer > 0) {
+    while ((rec < num_records || buffer > 0) && !stopRequested()) {
         ++metrics_.cycles;
         observeCycle();
         traceMode(mode == Mode::Build ? "build" : "delivery");

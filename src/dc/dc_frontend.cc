@@ -85,7 +85,7 @@ DcFrontend::run(const Trace &trace)
     Mode mode = Mode::Build;
     unsigned stall = 0;
 
-    while (rec < num_records) {
+    while (rec < num_records && !stopRequested()) {
         ++metrics_.cycles;
         observeCycle();
         traceMode(mode == Mode::Build ? "build" : "delivery");

@@ -22,6 +22,7 @@
 #define XBS_FRONTEND_FRONTEND_HH
 
 #include <algorithm>
+#include <csignal>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -90,6 +91,25 @@ class Frontend
     void attachSampler(IntervalSampler *sampler)
     {
         sampler_ = sampler;
+    }
+
+    /**
+     * Attach an external stop request (typically a sig_atomic_t set
+     * by a SIGINT/SIGTERM handler; see common/signals.hh). Every run
+     * loop polls it at the cycle boundary and returns early when it
+     * goes nonzero, leaving metrics and observation state consistent
+     * so a supervisor-terminated job still flushes usable partial
+     * output. nullptr detaches.
+     */
+    void attachStopFlag(const volatile std::sig_atomic_t *flag)
+    {
+        stopFlag_ = flag;
+    }
+
+    /** True once the attached stop flag has been raised. */
+    bool stopRequested() const
+    {
+        return stopFlag_ && *stopFlag_ != 0;
     }
 
     /// @{ Verification hooks (src/verify): per-cycle observers and
@@ -193,6 +213,7 @@ class Frontend
     IntervalSampler *sampler_ = nullptr;
     std::vector<CycleObserver *> observers_;
     DeliveryOracle *oracle_ = nullptr;
+    const volatile std::sig_atomic_t *stopFlag_ = nullptr;
     const char *modeLabel_ = nullptr;
 };
 

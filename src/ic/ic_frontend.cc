@@ -13,7 +13,7 @@ void
 IcFrontend::run(const Trace &trace)
 {
     std::size_t rec = 0;
-    while (rec < trace.numRecords()) {
+    while (rec < trace.numRecords() && !stopRequested()) {
         std::size_t prev = rec;
         LegacyPipe::Result r = pipe_.cycle(trace, rec);
         for (std::size_t i = prev; i < rec; ++i)

@@ -1,6 +1,7 @@
 #include "sim/config.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.hh"
 #include "core/xbc_frontend.hh"
@@ -165,6 +166,111 @@ frontendKindName(FrontendKind kind)
       case FrontendKind::Xbc:  return "XBC";
     }
     return "?";
+}
+
+Expected<FrontendKind>
+parseFrontendKind(const std::string &name)
+{
+    if (name == "ic")
+        return FrontendKind::Ic;
+    if (name == "dc")
+        return FrontendKind::Dc;
+    if (name == "tc")
+        return FrontendKind::Tc;
+    if (name == "bbtc")
+        return FrontendKind::Bbtc;
+    if (name == "xbc")
+        return FrontendKind::Xbc;
+    return Status::error("unknown frontend '" + name +
+                         "' (ic|dc|tc|bbtc|xbc)");
+}
+
+const char *
+frontendKindFlag(FrontendKind kind)
+{
+    switch (kind) {
+      case FrontendKind::Ic:   return "ic";
+      case FrontendKind::Dc:   return "dc";
+      case FrontendKind::Tc:   return "tc";
+      case FrontendKind::Bbtc: return "bbtc";
+      case FrontendKind::Xbc:  return "xbc";
+    }
+    return "?";
+}
+
+std::vector<std::string>
+RunSpec::toArgv() const
+{
+    std::vector<std::string> argv;
+    argv.push_back("--frontend=" + frontend);
+    argv.push_back("--workload=" + workload);
+    argv.push_back("--capacity=" + std::to_string(capacity));
+    if (ways)
+        argv.push_back("--ways=" + std::to_string(ways));
+    if (insts)
+        argv.push_back("--insts=" + std::to_string(insts));
+    return argv;
+}
+
+Expected<RunSpec>
+RunSpec::fromArgv(const std::vector<std::string> &args)
+{
+    RunSpec spec;
+    for (const std::string &arg : args) {
+        if (arg.rfind("--", 0) != 0 ||
+            arg.find('=') == std::string::npos) {
+            return Status::error("run spec flag '" + arg +
+                                 "' is not --name=value");
+        }
+        const std::string key = arg.substr(2, arg.find('=') - 2);
+        const std::string val = arg.substr(arg.find('=') + 1);
+        auto parseUint = [&](uint64_t *out) -> Status {
+            char *end = nullptr;
+            uint64_t v = std::strtoull(val.c_str(), &end, 10);
+            if (val.empty() || *end != '\0') {
+                return Status::error("run spec flag --" + key +
+                                     " expects an integer, got '" +
+                                     val + "'");
+            }
+            *out = v;
+            return Status::ok();
+        };
+        Status st = Status::ok();
+        if (key == "frontend") {
+            Expected<FrontendKind> kind = parseFrontendKind(val);
+            if (!kind.ok())
+                return kind.status();
+            spec.frontend = val;
+        } else if (key == "workload") {
+            spec.workload = val;
+        } else if (key == "insts") {
+            st = parseUint(&spec.insts);
+        } else if (key == "capacity") {
+            st = parseUint(&spec.capacity);
+        } else if (key == "ways") {
+            st = parseUint(&spec.ways);
+        } else {
+            return Status::error("unknown run spec flag --" + key);
+        }
+        if (!st.isOk())
+            return st;
+    }
+    return spec;
+}
+
+std::string
+RunSpec::label() const
+{
+    std::string s = frontend;
+    s += "/";
+    s += workload;
+    s += "@";
+    s += std::to_string(capacity);
+    if (ways) {
+        s += "w";
+        s += std::to_string(ways);
+    }
+    return s;
 }
 
 } // namespace xbs

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bbtc/bbtc_frontend.hh"
 #include "common/status.hh"
@@ -61,6 +62,45 @@ Status validateConfig(const SimConfig &config);
 std::unique_ptr<Frontend> makeFrontend(const SimConfig &config);
 
 const char *frontendKindName(FrontendKind kind);
+
+/** Parse a CLI frontend name ("ic"|"dc"|"tc"|"bbtc"|"xbc"). */
+Expected<FrontendKind> parseFrontendKind(const std::string &name);
+
+/** The CLI spelling of a kind (lowercase, matches parse). */
+const char *frontendKindFlag(FrontendKind kind);
+
+/**
+ * One simulation run as the batch layer sees it: the handful of
+ * xbsim flags that define a (workload, frontend, geometry) cell of a
+ * sweep matrix. A RunSpec serializes to xbsim argv (toArgv) and back
+ * (fromArgv) so the journal can record exactly what each child was
+ * asked to do and a --resume can re-launch it bit-identically.
+ */
+struct RunSpec
+{
+    std::string frontend = "xbc";   ///< ic|dc|tc|bbtc|xbc
+    std::string workload = "gcc";   ///< catalog name
+    uint64_t insts = 0;             ///< 0 = xbsim default
+    uint64_t capacity = 32768;      ///< structure capacity in uops
+    uint64_t ways = 0;              ///< 0 = structure default
+
+    /** xbsim flags for this run (no argv[0], no --json). */
+    std::vector<std::string> toArgv() const;
+
+    /** Inverse of toArgv (rejects unknown or malformed flags). */
+    static Expected<RunSpec> fromArgv(
+        const std::vector<std::string> &args);
+
+    /** "xbc/gcc@32768" (plus "wN" when ways is explicit). */
+    std::string label() const;
+
+    bool operator==(const RunSpec &o) const
+    {
+        return frontend == o.frontend && workload == o.workload &&
+               insts == o.insts && capacity == o.capacity &&
+               ways == o.ways;
+    }
+};
 
 } // namespace xbs
 

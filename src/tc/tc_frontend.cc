@@ -113,7 +113,7 @@ TcFrontend::run(const Trace &trace)
     unsigned stall = 0;
     fill_.restart();
 
-    while (rec < num_records || buffer > 0) {
+    while ((rec < num_records || buffer > 0) && !stopRequested()) {
         ++metrics_.cycles;
         observeCycle();
         traceMode(mode == Mode::Build ? "build" : "delivery");

@@ -95,7 +95,7 @@ writeTraceEx(const Trace &trace, const std::string &path)
 
     FilePtr f(std::fopen(path.c_str(), "wb"));
     if (!f)
-        return Status::error("cannot open '" + path + "' for writing");
+        return Status::error("cannot open for writing").withFile(path);
 
     uint64_t offset = 0;
     auto fail = [&]() {
@@ -152,7 +152,7 @@ readTraceEx(const std::string &path)
 {
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f)
-        return Status::error("cannot open '" + path + "' for reading");
+        return Status::error("cannot open for reading").withFile(path);
 
     Reader r;
     r.f = f.get();
@@ -306,16 +306,25 @@ void
 writeTrace(const Trace &trace, const std::string &path)
 {
     Status st = writeTraceEx(trace, path);
-    if (!st)
+    if (!st) {
+        // Attach the path before formatting: a few early failures
+        // (e.g. fopen) report only a cause, and the legacy callers
+        // have no Status to recover the context from, so the fatal
+        // message is their one chance to see file and byte offset.
+        st.withFile(path);
         xbs_fatal("%s", st.toString().c_str());
+    }
 }
 
 Trace
 readTrace(const std::string &path)
 {
     Expected<Trace> t = readTraceEx(path);
-    if (!t)
-        xbs_fatal("%s", t.status().toString().c_str());
+    if (!t) {
+        Status st = t.status();
+        st.withFile(path);
+        xbs_fatal("%s", st.toString().c_str());
+    }
     return t.take();
 }
 

@@ -99,6 +99,15 @@ suiteNames()
     return names;
 }
 
+std::vector<std::string>
+catalogWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &e : workloadCatalog())
+        names.push_back(e.name);
+    return names;
+}
+
 const CatalogEntry *
 findWorkloadPtr(const std::string &name)
 {
@@ -109,12 +118,22 @@ findWorkloadPtr(const std::string &name)
     return nullptr;
 }
 
+Expected<const CatalogEntry *>
+findWorkloadEx(const std::string &name)
+{
+    if (const CatalogEntry *e = findWorkloadPtr(name))
+        return e;
+    return Status::error("unknown workload '" + name +
+                         "' (see --list-workloads)");
+}
+
 const CatalogEntry &
 findWorkload(const std::string &name)
 {
-    if (const CatalogEntry *e = findWorkloadPtr(name))
-        return *e;
-    xbs_fatal("unknown workload '%s'", name.c_str());
+    Expected<const CatalogEntry *> e = findWorkloadEx(name);
+    if (!e.ok())
+        xbs_fatal("%s", e.status().toString().c_str());
+    return *e.value();
 }
 
 std::shared_ptr<const Program>

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "trace/trace.hh"
 #include "workload/profile.hh"
 #include "workload/program.hh"
@@ -38,10 +39,17 @@ const std::vector<CatalogEntry> &workloadCatalog();
 /** Names of the three suites in catalog order. */
 const std::vector<std::string> &suiteNames();
 
+/** All catalog workload names, in catalog order (for matrix
+ *  enumeration in the batch layer). */
+std::vector<std::string> catalogWorkloadNames();
+
 /** Find an entry by name; nullptr if unknown. */
 const CatalogEntry *findWorkloadPtr(const std::string &name);
 
-/** Find an entry by name; fatal() if unknown. */
+/** Find an entry by name; error Status if unknown. */
+Expected<const CatalogEntry *> findWorkloadEx(const std::string &name);
+
+/** Legacy wrapper around findWorkloadEx(): fatal() if unknown. */
 const CatalogEntry &findWorkload(const std::string &name);
 
 /** Build (and memoize per call site) the program for an entry. */

@@ -29,16 +29,26 @@ validLastBlock(TermKind kind)
            kind == TermKind::IndirectJump;
 }
 
+Status
+cfgError(const std::string &fn, std::string what)
+{
+    return Status::error("function '" + fn + "': " + std::move(what));
+}
+
 } // anonymous namespace
 
-std::shared_ptr<const Program>
-CfgProgram::link(uint64_t base_ip) const
+Expected<std::shared_ptr<const Program>>
+CfgProgram::linkEx(uint64_t base_ip) const
 {
-    if (functions_.empty())
-        xbs_fatal("program '%s' has no functions", name_.c_str());
+    if (functions_.empty()) {
+        return Status::error("program '" + name_ +
+                             "' has no functions");
+    }
     if (entryFunction_ < 0 ||
         (std::size_t)entryFunction_ >= functions_.size()) {
-        xbs_fatal("entry function %d out of range", entryFunction_);
+        return Status::error("entry function " +
+                             std::to_string(entryFunction_) +
+                             " out of range");
     }
 
     // Pass 1: compute the static index of the first instruction of
@@ -49,10 +59,10 @@ CfgProgram::link(uint64_t base_ip) const
     for (std::size_t f = 0; f < functions_.size(); ++f) {
         const auto &fn = functions_[f];
         if (fn.blocks.empty())
-            xbs_fatal("function '%s' has no blocks", fn.name.c_str());
+            return cfgError(fn.name, "has no blocks");
         if (!validLastBlock(fn.blocks.back().term.kind)) {
-            xbs_fatal("function '%s': last block must end in a "
-                      "return/jump/indirect jump", fn.name.c_str());
+            return cfgError(fn.name, "last block must end in a "
+                            "return/jump/indirect jump");
         }
         blockFirst[f].resize(fn.blocks.size());
         for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
@@ -62,10 +72,8 @@ CfgProgram::link(uint64_t base_ip) const
         // Fix up empty blocks (they alias the next block's start).
         for (std::size_t b = fn.blocks.size(); b-- > 0;) {
             if (blockInstCount(fn.blocks[b]) == 0) {
-                if (b + 1 >= fn.blocks.size()) {
-                    xbs_fatal("function '%s': empty final block",
-                              fn.name.c_str());
-                }
+                if (b + 1 >= fn.blocks.size())
+                    return cfgError(fn.name, "empty final block");
                 blockFirst[f][b] = blockFirst[f][b + 1];
             }
         }
@@ -103,8 +111,9 @@ CfgProgram::link(uint64_t base_ip) const
             const auto &t = blk.term;
             if (t.kind == TermKind::FallThrough) {
                 if (b + 1 >= fn.blocks.size()) {
-                    xbs_fatal("function '%s': block %zu falls off "
-                              "the end", fn.name.c_str(), b);
+                    return cfgError(fn.name, "block " +
+                                    std::to_string(b) +
+                                    " falls off the end");
                 }
                 continue;
             }
@@ -115,19 +124,32 @@ CfgProgram::link(uint64_t base_ip) const
             si.numUops = t.numUops;
             cursor += si.length;
 
+            // The target-resolution lambdas record the first failure
+            // in target_error and return 0; the switch below is
+            // followed by one check so every malformed reference
+            // surfaces as a Status rather than an abort.
+            Status target_error;
             auto blockTarget = [&](int blockId) -> int32_t {
                 if (blockId < 0 ||
                     (std::size_t)blockId >= fn.blocks.size()) {
-                    xbs_fatal("function '%s': bad target block %d",
-                              fn.name.c_str(), blockId);
+                    if (target_error.isOk()) {
+                        target_error =
+                            cfgError(fn.name, "bad target block " +
+                                     std::to_string(blockId));
+                    }
+                    return 0;
                 }
                 return blockFirst[f][blockId];
             };
             auto funcEntry = [&](int funcId) -> int32_t {
                 if (funcId < 0 ||
                     (std::size_t)funcId >= functions_.size()) {
-                    xbs_fatal("function '%s': bad callee %d",
-                              fn.name.c_str(), funcId);
+                    if (target_error.isOk()) {
+                        target_error =
+                            cfgError(fn.name, "bad callee " +
+                                     std::to_string(funcId));
+                    }
+                    return 0;
                 }
                 return blockFirst[funcId][0];
             };
@@ -139,8 +161,8 @@ CfgProgram::link(uint64_t base_ip) const
                 si.behaviorId = (int32_t)conds.size();
                 conds.push_back(t.cond);
                 if (b + 1 >= fn.blocks.size()) {
-                    xbs_fatal("function '%s': conditional branch in "
-                              "final block", fn.name.c_str());
+                    return cfgError(fn.name, "conditional branch in "
+                                    "final block");
                 }
                 break;
               case TermKind::Jump:
@@ -150,14 +172,12 @@ CfgProgram::link(uint64_t base_ip) const
               case TermKind::Call: {
                 si.cls = InstClass::DirectCall;
                 if (t.calleeFunctions.size() != 1) {
-                    xbs_fatal("function '%s': direct call needs "
-                              "exactly one callee", fn.name.c_str());
+                    return cfgError(fn.name, "direct call needs "
+                                    "exactly one callee");
                 }
                 si.takenIdx = funcEntry(t.calleeFunctions[0]);
-                if (b + 1 >= fn.blocks.size()) {
-                    xbs_fatal("function '%s': call in final block",
-                              fn.name.c_str());
-                }
+                if (b + 1 >= fn.blocks.size())
+                    return cfgError(fn.name, "call in final block");
                 break;
               }
               case TermKind::IndirectJump: {
@@ -187,8 +207,8 @@ CfgProgram::link(uint64_t base_ip) const
                 si.behaviorId = (int32_t)indirects.size();
                 indirects.push_back(std::move(ib));
                 if (b + 1 >= fn.blocks.size()) {
-                    xbs_fatal("function '%s': indirect call in final "
-                              "block", fn.name.c_str());
+                    return cfgError(fn.name, "indirect call in final "
+                                    "block");
                 }
                 break;
               }
@@ -198,6 +218,8 @@ CfgProgram::link(uint64_t base_ip) const
               default:
                 xbs_panic("unhandled terminator kind");
             }
+            if (!target_error.isOk())
+                return target_error;
 
             code->append(si);
         }
@@ -209,9 +231,18 @@ CfgProgram::link(uint64_t base_ip) const
     code->finalize();
 
     int32_t entry = blockFirst[entryFunction_][0];
-    return std::make_shared<Program>(code, std::move(conds),
-                                     std::move(indirects), entry,
-                                     std::move(infos), name_);
+    return std::shared_ptr<const Program>(std::make_shared<Program>(
+        code, std::move(conds), std::move(indirects), entry,
+        std::move(infos), name_));
+}
+
+std::shared_ptr<const Program>
+CfgProgram::link(uint64_t base_ip) const
+{
+    Expected<std::shared_ptr<const Program>> p = linkEx(base_ip);
+    if (!p.ok())
+        xbs_fatal("%s", p.status().toString().c_str());
+    return p.take();
 }
 
 } // namespace xbs

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "isa/static_inst.hh"
 #include "workload/behavior.hh"
 #include "workload/program.hh"
@@ -122,10 +123,17 @@ class CfgProgram
 
     /**
      * Flatten to an executable Program. Validates structural rules
-     * (fatal() on user errors such as dangling targets).
+     * (dangling targets, missing terminators, empty functions) and
+     * reports violations as a Status naming the offending function,
+     * so malformed workload definitions surface as recoverable
+     * data errors (exit code 2 in the tools).
      *
      * @param base_ip address of the first function
      */
+    Expected<std::shared_ptr<const Program>>
+    linkEx(uint64_t base_ip = 0x1000) const;
+
+    /** Legacy wrapper around linkEx(): fatal() on any violation. */
     std::shared_ptr<const Program> link(uint64_t base_ip = 0x1000) const;
 
   private:

@@ -189,6 +189,37 @@ TEST(TraceIoLegacy, FatalWrapperStillAborts)
                 testing::ExitedWithCode(1), "not an XBT1 trace");
 }
 
+TEST(TraceIoLegacy, ReadWrapperReportsFileAndOffset)
+{
+    // The Status already carries the path and byte offset; the
+    // legacy wrapper must surface both in its fatal message, not
+    // just the cause string.
+    EXPECT_EXIT(readTrace(dataPath("bad_taken_idx.xbt")),
+                testing::ExitedWithCode(1),
+                "bad_taken_idx\\.xbt' at byte [0-9]+");
+}
+
+TEST(TraceIoLegacy, ReadWrapperReportsFileWithoutOffset)
+{
+    // fopen failures have no offset, but the wrapper still attaches
+    // the path it was asked to read.
+    EXPECT_EXIT(readTrace(dataPath("no_such_file.xbt")),
+                testing::ExitedWithCode(1),
+                "cannot open for reading in '.*no_such_file\\.xbt'");
+}
+
+TEST(TraceIoLegacy, WriteWrapperReportsFile)
+{
+    CodeBuilder cb;
+    int32_t a = cb.seq();
+    cb.jump(0);
+    auto code = cb.finalize();
+    Trace t = makeTestTrace(code, {{a, false}});
+    EXPECT_EXIT(writeTrace(t, "/no/such/dir/out.xbt"),
+                testing::ExitedWithCode(1),
+                "in '/no/such/dir/out\\.xbt'");
+}
+
 // ---------------------------------------------------------------
 // Status / Expected unit behavior.
 

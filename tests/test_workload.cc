@@ -114,6 +114,58 @@ TEST(CfgLink, RejectsBadTarget)
                 "bad target block");
 }
 
+TEST(CfgLink, LinkExReportsStatusWithoutAborting)
+{
+    // The recoverable path: every structural violation comes back as
+    // a Status naming the function, so a driver can exit 2 instead
+    // of aborting deep inside workload construction.
+    CfgProgram cfg("bad");
+    int f = cfg.addFunction("broken");
+    auto &fn = cfg.function(f);
+    int b = fn.addBlock();
+    fn.blocks[b].term.kind = TermKind::Jump;
+    fn.blocks[b].term.targetBlock = 42;
+    auto p = cfg.linkEx();
+    ASSERT_FALSE(p.ok());
+    EXPECT_NE(p.status().cause().find("'broken'"),
+              std::string::npos);
+    EXPECT_NE(p.status().cause().find("bad target block 42"),
+              std::string::npos);
+}
+
+TEST(CfgLink, LinkExRejectsEmptyProgram)
+{
+    CfgProgram cfg("empty");
+    auto p = cfg.linkEx();
+    ASSERT_FALSE(p.ok());
+    EXPECT_NE(p.status().cause().find("has no functions"),
+              std::string::npos);
+}
+
+TEST(CfgLink, LinkExRejectsDanglingFallThrough)
+{
+    CfgProgram cfg("bad");
+    int f = cfg.addFunction("f");
+    cfg.function(f).addBlock();  // no terminator, falls off the end
+    auto p = cfg.linkEx();
+    ASSERT_FALSE(p.ok());
+    EXPECT_NE(p.status().cause().find("last block"),
+              std::string::npos);
+}
+
+TEST(CfgLink, LinkExSucceedsOnValidProgram)
+{
+    CfgProgram cfg("ok");
+    int f = cfg.addFunction("f");
+    auto &fn = cfg.function(f);
+    int b = fn.addBlock();
+    fn.blocks[b].body.push_back(CfgInst{});
+    fn.blocks[b].term.kind = TermKind::Return;
+    auto p = cfg.linkEx();
+    ASSERT_TRUE(p.ok()) << p.status().toString();
+    EXPECT_EQ(p.value()->name(), "ok");
+}
+
 TEST(Executor, LoopTripCountExact)
 {
     auto prog = makeCallLoopProgram(3);
@@ -385,6 +437,27 @@ TEST(Catalog, FindByName)
     EXPECT_EQ(findWorkload("quake2").suite, "Games");
     EXPECT_EXIT(findWorkload("nosuch"), testing::ExitedWithCode(1),
                 "unknown workload");
+}
+
+TEST(Catalog, FindExReturnsStatusForUnknown)
+{
+    Expected<const CatalogEntry *> e = findWorkloadEx("nosuch");
+    ASSERT_FALSE(e.ok());
+    EXPECT_NE(e.status().cause().find("unknown workload 'nosuch'"),
+              std::string::npos);
+
+    Expected<const CatalogEntry *> ok = findWorkloadEx("gcc");
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value()->suite, "SPECint95");
+}
+
+TEST(Catalog, WorkloadNamesEnumerateWholeCatalog)
+{
+    std::vector<std::string> names = catalogWorkloadNames();
+    EXPECT_EQ(names.size(), workloadCatalog().size());
+    EXPECT_EQ(names.size(), 21u);
+    EXPECT_EQ(names.front(), "go");
+    EXPECT_EQ(names.back(), "falcon4");
 }
 
 TEST(Catalog, TraceLengthHonored)

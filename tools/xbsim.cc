@@ -23,6 +23,7 @@
 #include "common/interval_stats.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/signals.hh"
 #include "common/status.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
@@ -36,22 +37,14 @@ using namespace xbs;
 namespace
 {
 
-FrontendKind
-parseKind(const std::string &name)
-{
-    if (name == "ic")
-        return FrontendKind::Ic;
-    if (name == "dc")
-        return FrontendKind::Dc;
-    if (name == "tc")
-        return FrontendKind::Tc;
-    if (name == "bbtc")
-        return FrontendKind::Bbtc;
-    if (name == "xbc")
-        return FrontendKind::Xbc;
-    xbs_fatal("unknown frontend '%s' (ic|dc|tc|bbtc|xbc)",
-              name.c_str());
-}
+/**
+ * Graceful shutdown (see docs/MODEL.md "Batch execution"): SIGINT or
+ * SIGTERM raises this flag, the frontend run loop notices it at the
+ * next cycle boundary, and main() flushes interval stats, the event
+ * trace, and the audit report before exiting with kExitInterrupted —
+ * so a supervisor-timed-out job still leaves usable partial output.
+ */
+volatile std::sig_atomic_t g_stop = 0;
 
 void
 listWorkloads()
@@ -139,8 +132,17 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Install the shutdown flag early so a SIGTERM that lands during
+    // trace generation is remembered: the run loop then exits on its
+    // first cycle and the partial-output path below still runs.
+    installStopHandlers(&g_stop);
+
+    Expected<FrontendKind> kind = parseFrontendKind(frontend);
+    if (!kind.ok())
+        xbs_fatal("%s", kind.status().toString().c_str());
+
     SimConfig config;
-    config.kind = parseKind(frontend);
+    config.kind = kind.value();
     config.tc.capacityUops = (unsigned)capacity;
     config.xbc.capacityUops = (unsigned)capacity;
     config.dc.capacityUops = (unsigned)capacity;
@@ -235,7 +237,17 @@ main(int argc, char **argv)
     if (injector)
         fe->attachCycleObserver(injector.get());
 
+    fe->attachStopFlag(&g_stop);
+
     fe->run(trace);
+
+    // A raised flag means SIGINT/SIGTERM cut the run short at a
+    // cycle boundary: still flush everything below (interval stats,
+    // event trace, audit report, partial results) but report the
+    // distinct interrupted exit code.
+    const bool interrupted = g_stop != 0;
+    resetStopHandlers();
+
     fe->finishObservation();
     if (auditor)
         auditor->finishRun(*fe);
@@ -253,6 +265,9 @@ main(int argc, char **argv)
     // Exit-code gating: under injection only oracle violations count
     // (the injected corruption legitimately trips structural checks;
     // what must never happen is a change in the delivered stream).
+    // An interrupted run trumps the audit verdict: a partial run
+    // legitimately fails end-of-run completeness checks, and the
+    // supervisor needs to see "interrupted with partial output".
     int exit_code = kExitOk;
     std::size_t gated_violations = 0;
     if (auditor) {
@@ -262,6 +277,8 @@ main(int argc, char **argv)
         if (gated_violations)
             exit_code = kExitAudit;
     }
+    if (interrupted)
+        exit_code = kExitInterrupted;
 
     const auto &m = fe->metrics();
     if (json) {
@@ -276,6 +293,8 @@ main(int argc, char **argv)
         jw.field("overallIpc", m.overallIpc());
         jw.field("cycles", m.cycles.value());
         jw.field("condMispredictRate", m.condMispredictRate());
+        if (interrupted)
+            jw.field("interrupted", true);
         if (auditor) {
             jw.field("auditViolations",
                      (uint64_t)auditor->violations().size());
@@ -290,10 +309,11 @@ main(int argc, char **argv)
         if (auditor && !auditor->ok())
             auditor->report(std::cerr);
     } else {
-        std::printf("%s on '%s' (%llu uops, %llu cycles)\n",
+        std::printf("%s on '%s' (%llu uops, %llu cycles)%s\n",
                     frontend.c_str(), trace_name.c_str(),
                     (unsigned long long)total_uops,
-                    (unsigned long long)m.cycles.value());
+                    (unsigned long long)m.cycles.value(),
+                    interrupted ? "  [interrupted, partial]" : "");
         std::printf("  bandwidth: %.2f uops/cycle   miss rate: "
                     "%.2f%%   overall: %.2f uops/cycle\n",
                     m.bandwidth(), 100.0 * m.missRate(),
