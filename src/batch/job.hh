@@ -81,6 +81,14 @@ struct JobMetrics
     uint64_t totalUops = 0;
 };
 
+/** Per-child host resource usage (wait4; see batch/subprocess). */
+struct JobUsage
+{
+    uint64_t maxRssKb = 0;  ///< peak resident set, KiB
+    double userSec = 0.0;   ///< user CPU time
+    double sysSec = 0.0;    ///< system CPU time
+};
+
 /** What the supervisor remembers about one job across attempts. */
 struct JobRecord
 {
@@ -93,6 +101,8 @@ struct JobRecord
     double seconds = 0.0;      ///< last attempt's wall time
     bool hasMetrics = false;
     JobMetrics metrics;
+    bool hasUsage = false;     ///< last attempt's rusage captured
+    JobUsage usage;
     std::string note;          ///< first stderr line of a failure
     bool replayed = false;     ///< restored from a journal on resume
 };

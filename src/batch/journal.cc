@@ -76,6 +76,8 @@ SweepJournal::writeManifest(const std::string &dir,
         jw.field("timeoutSec", manifest.timeoutSec);
         jw.field("maxRetries", (uint64_t)manifest.maxRetries);
         jw.field("backoffMs", (uint64_t)manifest.backoffMs);
+        if (manifest.intervalCycles)
+            jw.field("intervalCycles", manifest.intervalCycles);
         jw.beginArray("jobs");
         for (const JobSpec &job : manifest.jobs) {
             jw.beginObject();
@@ -128,6 +130,8 @@ SweepJournal::readManifest(const std::string &dir)
         m.maxRetries = (unsigned)v->asUint();
     if (const JsonValue *v = root.find("backoffMs"))
         m.backoffMs = (unsigned)v->asUint();
+    if (const JsonValue *v = root.find("intervalCycles"))
+        m.intervalCycles = v->asUint();
 
     const JsonValue *jobs = root.find("jobs");
     if (!jobs || !jobs->isArray())
@@ -183,6 +187,11 @@ SweepJournal::append(JournalEvent &event)
             jw.field("seconds", event.seconds);
             if (event.hasMetrics)
                 writeMetricsFields(jw, event.metrics);
+            if (event.hasUsage) {
+                jw.field("maxRssKb", event.usage.maxRssKb);
+                jw.field("userSec", event.usage.userSec);
+                jw.field("sysSec", event.usage.sysSec);
+            }
             if (!event.note.empty())
                 jw.field("note", event.note);
         }
@@ -266,6 +275,14 @@ SweepJournal::replay(const std::string &dir)
         if (v.find("bandwidth") || v.find("cycles")) {
             ev.hasMetrics = true;
             ev.metrics = readMetricsFields(v);
+        }
+        if (const JsonValue *f = v.find("maxRssKb")) {
+            ev.hasUsage = true;
+            ev.usage.maxRssKb = f->asUint();
+            if (const JsonValue *u = v.find("userSec"))
+                ev.usage.userSec = u->asNumber();
+            if (const JsonValue *u = v.find("sysSec"))
+                ev.usage.sysSec = u->asNumber();
         }
         if (const JsonValue *f = v.find("note"))
             ev.note = f->asString();

@@ -53,6 +53,10 @@ struct SweepManifest
     double timeoutSec = 300.0;
     unsigned maxRetries = 1;
     unsigned backoffMs = 200;
+    /// Per-job interval-stats window (0: off). Optional in the file
+    /// so pre-existing manifests still parse; recorded so a resumed
+    /// sweep relaunches children with the same observation flags.
+    uint64_t intervalCycles = 0;
     std::vector<JobSpec> jobs;
 };
 
@@ -76,6 +80,8 @@ struct JournalEvent
     double seconds = 0.0;
     bool hasMetrics = false;
     JobMetrics metrics;
+    bool hasUsage = false;
+    JobUsage usage;            ///< child rusage (wait4) if captured
     std::string note;
 };
 

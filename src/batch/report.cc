@@ -39,7 +39,8 @@ summarizeSweep(const std::vector<JobRecord> &records, bool interrupted,
 
 std::string
 renderSweepReport(const std::vector<JobRecord> &records,
-                  const SweepSummary &summary)
+                  const SweepSummary &summary,
+                  const SweepReportInfo &info)
 {
     std::ostringstream os;
     {
@@ -47,6 +48,10 @@ renderSweepReport(const std::vector<JobRecord> &records,
         jw.beginObject();
         jw.field("version", (uint64_t)1);
         jw.field("interrupted", summary.interrupted);
+        if (info.hasBuild)
+            writeBuildInfoJson(jw, info.build);
+        if (info.intervalCycles)
+            jw.field("intervalCycles", info.intervalCycles);
 
         jw.beginObject("summary");
         jw.field("total", (uint64_t)summary.total);
@@ -95,6 +100,13 @@ renderSweepReport(const std::vector<JobRecord> &records,
                 jw.field("totalUops", rec.metrics.totalUops);
                 jw.endObject();
             }
+            if (rec.hasUsage) {
+                jw.beginObject("rusage");
+                jw.field("maxRssKb", rec.usage.maxRssKb);
+                jw.field("userSec", rec.usage.userSec);
+                jw.field("sysSec", rec.usage.sysSec);
+                jw.endObject();
+            }
             if (!rec.note.empty())
                 jw.field("note", rec.note);
             jw.endObject();
@@ -108,10 +120,11 @@ renderSweepReport(const std::vector<JobRecord> &records,
 Status
 writeSweepReport(const std::string &dir,
                  const std::vector<JobRecord> &records,
-                 const SweepSummary &summary)
+                 const SweepSummary &summary,
+                 const SweepReportInfo &info)
 {
     return writeFileAtomic(dir + "/report.json",
-                           renderSweepReport(records, summary));
+                           renderSweepReport(records, summary, info));
 }
 
 void

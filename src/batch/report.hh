@@ -15,6 +15,7 @@
 
 #include "batch/job.hh"
 #include "common/status.hh"
+#include "prof/build_info.hh"
 
 namespace xbs
 {
@@ -38,14 +39,24 @@ SweepSummary summarizeSweep(const std::vector<JobRecord> &records,
                             bool interrupted, unsigned retries,
                             double wall_seconds);
 
+/** Provenance stamped into the report (all optional, default off). */
+struct SweepReportInfo
+{
+    bool hasBuild = false;       ///< emit a buildInfo object
+    BuildInfo build;
+    uint64_t intervalCycles = 0; ///< per-job interval window (0: off)
+};
+
 /** Serialize summary + per-job results as the report JSON. */
 std::string renderSweepReport(const std::vector<JobRecord> &records,
-                              const SweepSummary &summary);
+                              const SweepSummary &summary,
+                              const SweepReportInfo &info = {});
 
 /** Atomically (re)write @p dir/report.json. */
 Status writeSweepReport(const std::string &dir,
                         const std::vector<JobRecord> &records,
-                        const SweepSummary &summary);
+                        const SweepSummary &summary,
+                        const SweepReportInfo &info = {});
 
 /** Human-readable per-job table + summary line (xbatch stdout). */
 void printSweepSummary(std::ostream &os,

@@ -91,6 +91,8 @@ SweepScheduler::restore(const std::vector<JournalEvent> &events)
                 rec.exitCode = ev.exitCode;
                 rec.termSignal = ev.termSignal;
                 rec.seconds = ev.seconds;
+                rec.hasUsage = ev.hasUsage;
+                rec.usage = ev.usage;
             }
             break;
           case JournalEvent::Kind::Final:
@@ -103,6 +105,8 @@ SweepScheduler::restore(const std::vector<JournalEvent> &events)
             rec.seconds = ev.seconds;
             rec.hasMetrics = ev.hasMetrics;
             rec.metrics = ev.metrics;
+            rec.hasUsage = ev.hasUsage;
+            rec.usage = ev.usage;
             rec.note = ev.note;
             break;
         }
@@ -142,8 +146,12 @@ SweepScheduler::launch(std::size_t idx)
     ev.attempt = attempt;
     journalAppend(ev);
 
-    Expected<Child> child =
-        spawnChild(rec.spec.argv(opts_.xbsimPath));
+    std::vector<std::string> argv = rec.spec.argv(opts_.xbsimPath);
+    if (opts_.extraArgs) {
+        for (std::string &flag : opts_.extraArgs(rec.spec))
+            argv.push_back(std::move(flag));
+    }
+    Expected<Child> child = spawnChild(argv);
     const auto now = Clock::now();
     if (!child.ok()) {
         // fork/pipe failure: record the attempt and finalize as
@@ -193,6 +201,8 @@ SweepScheduler::finalize(std::size_t idx, JobClass cls,
     ev.seconds = rec.seconds;
     ev.hasMetrics = has_metrics;
     ev.metrics = metrics;
+    ev.hasUsage = rec.hasUsage;
+    ev.usage = rec.usage;
     ev.note = rec.note;
     journalAppend(ev);
 
@@ -231,6 +241,12 @@ SweepScheduler::handleExit(Running &run, int raw_status)
     rec.exitCode = exited ? exit_code : -1;
     rec.termSignal = term_signal;
     rec.seconds = seconds;
+    rec.hasUsage = run.child.hasUsage;
+    if (rec.hasUsage) {
+        rec.usage.maxRssKb = run.child.maxRssKb;
+        rec.usage.userSec = run.child.userSec;
+        rec.usage.sysSec = run.child.sysSec;
+    }
     if (cls != JobClass::Ok)
         rec.note = firstLineOf(run.child.err);
 
@@ -244,6 +260,8 @@ SweepScheduler::handleExit(Running &run, int raw_status)
     ev.seconds = seconds;
     ev.hasMetrics = has_metrics;
     ev.metrics = metrics;
+    ev.hasUsage = rec.hasUsage;
+    ev.usage = rec.usage;
     ev.note = rec.note;
     journalAppend(ev);
 

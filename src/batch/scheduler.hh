@@ -55,6 +55,10 @@ struct SchedulerOptions
 
     /** Progress callback, fired at each job's final transition. */
     std::function<void(const JobRecord &)> onFinal;
+
+    /** Extra child flags appended per launch (e.g. interval-stats
+     *  output paths); nullptr/empty disables. */
+    std::function<std::vector<std::string>(const JobSpec &)> extraArgs;
 };
 
 class SweepScheduler

@@ -5,6 +5,7 @@
 
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -137,11 +138,22 @@ reapChild(Child &child, int *raw_status)
     if (!child.alive())
         return false;
     int status = 0;
-    pid_t r = ::waitpid(child.pid, &status, WNOHANG);
+    struct rusage ru;
+    std::memset(&ru, 0, sizeof(ru));
+    pid_t r = ::wait4(child.pid, &status, WNOHANG, &ru);
     if (r == 0)
         return false;
     if (r < 0 && errno == EINTR)
         return false;
+    if (r > 0) {
+        // Per-child host accounting (Linux: ru_maxrss is in KiB).
+        child.hasUsage = true;
+        child.maxRssKb = (uint64_t)ru.ru_maxrss;
+        child.userSec = (double)ru.ru_utime.tv_sec +
+                        (double)ru.ru_utime.tv_usec / 1e6;
+        child.sysSec = (double)ru.ru_stime.tv_sec +
+                       (double)ru.ru_stime.tv_usec / 1e6;
+    }
     // Exited (or waitpid lost it): drain the tail of both pipes and
     // close them.
     pumpChild(child);

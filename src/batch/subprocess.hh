@@ -13,6 +13,7 @@
 #ifndef XBS_BATCH_SUBPROCESS_HH
 #define XBS_BATCH_SUBPROCESS_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,14 @@ struct Child
     int errFd = -1;          ///< non-blocking read end of stderr
     std::string out;         ///< stdout captured so far
     std::string err;         ///< stderr captured so far
+
+    /// @{ Host resource usage captured via wait4() when the child is
+    ///    reaped (hasUsage false if the kernel gave none).
+    bool hasUsage = false;
+    uint64_t maxRssKb = 0;   ///< peak resident set, KiB
+    double userSec = 0.0;    ///< user CPU time
+    double sysSec = 0.0;     ///< system CPU time
+    /// @}
 
     bool alive() const { return pid > 0; }
 };

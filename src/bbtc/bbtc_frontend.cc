@@ -192,6 +192,7 @@ BbtcFrontend::run(const Trace &trace)
 
     while ((rec < num_records || buffer > 0) && !stopRequested()) {
         ++metrics_.cycles;
+        metrics_.traceRecords.set(rec);
         observeCycle();
         traceMode(mode == Mode::Build ? "build" : "delivery");
 
@@ -205,6 +206,7 @@ BbtcFrontend::run(const Trace &trace)
         if (mode == Mode::Delivery) {
             ++metrics_.deliveryCycles;
             if (buffer < params_.renamerWidth && rec < num_records) {
+                ScopedPhase arrayTimer(prof_, phArray_);
                 ++traceLookups;
                 TraceEntry *e = ttFind(trace.inst(rec).ip);
                 if (e) {
@@ -235,6 +237,7 @@ BbtcFrontend::run(const Trace &trace)
         } else {
             ++metrics_.buildCycles;
             std::size_t prev = rec;
+            ScopedPhase buildTimer(prof_, phBuild_);
             LegacyPipe::Result r = pipe_.cycle(trace, rec);
             metrics_.buildUops += r.uops;
             stall += r.stall;
@@ -249,6 +252,7 @@ BbtcFrontend::run(const Trace &trace)
             }
         }
     }
+    metrics_.traceRecords.set(rec);
     traceModeDone();
 }
 

@@ -54,6 +54,14 @@ class BbtcFrontend : public Frontend
     ScalarStat partialHits{&root_, "partialHits",
         "trace supplies cut short by path divergence"};
 
+  protected:
+    void
+    registerPhases(PhaseProfiler *prof) override
+    {
+        // The legacy pipe runs as this frontend's build path.
+        pipe_.attachProfiler(prof, phBuild_);
+    }
+
   private:
     enum class Mode { Build, Delivery };
 

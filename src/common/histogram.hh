@@ -40,6 +40,12 @@ class Histogram
     /** Smallest value v such that cdf(v) >= p, p in [0, 1]. */
     uint32_t percentile(double p) const;
 
+    /// @{ Conventional summary percentiles (rollup reports).
+    uint32_t p50() const { return percentile(0.50); }
+    uint32_t p95() const { return percentile(0.95); }
+    uint32_t p99() const { return percentile(0.99); }
+    /// @}
+
     /** Render as an ASCII bar chart, one row per non-empty bin. */
     std::string render(const std::string &label,
                        unsigned width = 50) const;

@@ -82,6 +82,8 @@ IntervalSampler::emitWindow(uint64_t start_cycle, uint64_t end_cycle)
                    d_total_uops
                        ? (double)d_build_uops / (double)d_total_uops
                        : 0.0);
+        if (annotator_)
+            annotator_(json);
         json.beginObject("deltas");
         for (std::size_t i = 0; i < stats_.size(); ++i) {
             uint64_t d = stats_[i]->value() - prev_[i];

@@ -17,6 +17,7 @@
 #define XBS_COMMON_INTERVAL_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -25,6 +26,8 @@
 
 namespace xbs
 {
+
+class JsonWriter;
 
 class IntervalSampler
 {
@@ -38,6 +41,18 @@ class IntervalSampler
 
     /** Set the JSONL destination (nullptr silences emission). */
     void setOutput(std::ostream *os) { os_ = os; }
+
+    /**
+     * Install a hook called while each window object is open, so a
+     * driver can append extra members (e.g. the "host" throughput
+     * sub-object from src/prof) without this class depending on it.
+     * The hook must add complete members only — no begin/end
+     * imbalance. Empty function detaches.
+     */
+    void setAnnotator(std::function<void(JsonWriter &)> fn)
+    {
+        annotator_ = std::move(fn);
+    }
 
     /**
      * Advance simulated time to @p cycle; emits one window per
@@ -70,6 +85,7 @@ class IntervalSampler
     uint64_t windows_ = 0;
     bool finished_ = false;
     std::ostream *os_ = nullptr;
+    std::function<void(JsonWriter &)> annotator_;
 
     std::vector<std::string> paths_;
     std::vector<const ScalarStat *> stats_;

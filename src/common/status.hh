@@ -44,6 +44,11 @@ enum ExitCode : int
     /// The process caught SIGINT/SIGTERM, flushed partial output
     /// (interval stats, audit report, journal) and stopped early.
     kExitInterrupted = 5,
+
+    /// A benchmark comparison found at least one gated metric
+    /// outside its tolerance (xbregress's failure outcome; the
+    /// delta table names the offenders).
+    kExitRegression = 6,
 };
 
 /** Success-or-error result with file/offset/cause context. */

@@ -552,6 +552,7 @@ XbcFrontend::buildCycle(const Trace &trace, std::size_t &rec,
 {
     ++metrics_.buildCycles;
     std::size_t prev_rec = rec;
+    ScopedPhase buildTimer(prof_, phBuild_);
     LegacyPipe::Result r = pipe_.cycle(trace, rec);
     metrics_.buildUops += r.uops;
     stall += r.stall;
@@ -587,6 +588,7 @@ XbcFrontend::run(const Trace &trace)
 
     while ((rec < num_records || buffer > 0) && !stopRequested()) {
         ++metrics_.cycles;
+        metrics_.traceRecords.set(rec);
         observeCycle();
         traceMode(mode == Mode::Build ? "build" : "delivery");
 
@@ -623,20 +625,24 @@ XbcFrontend::run(const Trace &trace)
         unsigned fetched = 0;
         cycleMux_.clear();
         prio_.reset();
-        for (unsigned slot = 0;
-             slot < xbcParams_.fetchXbsPerCycle && rec < num_records;
-             ++slot) {
-            if (!cur_.valid || stall > 0)
-                break;
-            if (buffer >= params_.renamerWidth)
-                break;
-            if (fetched >= xbcParams_.xbQuotaUops)
-                break;
-            unsigned got = supplySlot(trace, rec, fetched, stall);
-            metrics_.deliveryUops += got;
-            buffer += got;
-            if (got == 0)
-                break;
+        {
+            ScopedPhase arrayTimer(prof_, phArray_);
+            for (unsigned slot = 0;
+                 slot < xbcParams_.fetchXbsPerCycle &&
+                 rec < num_records;
+                 ++slot) {
+                if (!cur_.valid || stall > 0)
+                    break;
+                if (buffer >= params_.renamerWidth)
+                    break;
+                if (fetched >= xbcParams_.xbQuotaUops)
+                    break;
+                unsigned got = supplySlot(trace, rec, fetched, stall);
+                metrics_.deliveryUops += got;
+                buffer += got;
+                if (got == 0)
+                    break;
+            }
         }
 
         if (!cycleMux_.empty())
@@ -648,6 +654,7 @@ XbcFrontend::run(const Trace &trace)
             buffer -= drained;
         }
     }
+    metrics_.traceRecords.set(rec);
     traceModeDone();
 }
 

@@ -85,6 +85,14 @@ class XbcFrontend : public Frontend
         "successful build->delivery transitions"};
     /// @}
 
+  protected:
+    void
+    registerPhases(PhaseProfiler *prof) override
+    {
+        // The legacy pipe runs as this frontend's build path.
+        pipe_.attachProfiler(prof, phBuild_);
+    }
+
   private:
     enum class Mode { Build, Delivery };
 

@@ -97,7 +97,12 @@ DcFrontend::run(const Trace &trace)
 
         if (mode == Mode::Delivery) {
             bool miss = false;
-            unsigned got = supplyRun(trace, rec, stall, miss);
+            unsigned got;
+            {
+                ScopedPhase timer(prof_, phArray_);
+                got = supplyRun(trace, rec, stall, miss);
+            }
+            metrics_.traceRecords.set(rec);
             if (miss) {
                 mode = Mode::Build;
                 ++metrics_.modeSwitches;
@@ -110,6 +115,7 @@ DcFrontend::run(const Trace &trace)
         } else {
             ++metrics_.buildCycles;
             std::size_t prev = rec;
+            ScopedPhase timer(prof_, phBuild_);
             LegacyPipe::Result r = pipe_.cycle(trace, rec);
             metrics_.buildUops += r.uops;
             stall += r.stall;
@@ -117,6 +123,7 @@ DcFrontend::run(const Trace &trace)
                 oracleConsume(i, kNoTarget, 0);
                 dc_.fill(trace.inst(i), trace.record(i).staticIdx);
             }
+            metrics_.traceRecords.set(rec);
             // Return to delivery as soon as the next instruction's
             // window is cached (no trace/XB build boundary here).
             if (rec < num_records &&

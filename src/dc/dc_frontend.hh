@@ -28,6 +28,14 @@ class DcFrontend : public Frontend
 
     const DecodedCache &cache() const { return dc_; }
 
+  protected:
+    void
+    registerPhases(PhaseProfiler *prof) override
+    {
+        // The legacy pipe runs as this frontend's build path.
+        pipe_.attachProfiler(prof, phBuild_);
+    }
+
   private:
     enum class Mode { Build, Delivery };
 

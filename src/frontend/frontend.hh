@@ -33,6 +33,7 @@
 #include "frontend/metrics.hh"
 #include "frontend/oracle.hh"
 #include "frontend/params.hh"
+#include "prof/phase_profiler.hh"
 #include "trace/trace.hh"
 
 namespace xbs
@@ -138,6 +139,29 @@ class Frontend
     /// @}
 
     /**
+     * Attach (or detach, with nullptr) a host-time phase profiler
+     * (src/prof). Registers this frontend's standard phase tree —
+     * fetch (legacy IC pipe), build (structure construction), array
+     * (decoded-structure delivery) — and lets the concrete frontend
+     * hook component sub-phases ("predict") via registerPhases().
+     * Detached, every instrumented scope costs one branch.
+     */
+    void
+    attachProfiler(PhaseProfiler *prof)
+    {
+        prof_ = prof;
+        phFetch_ = phBuild_ = phArray_ = PhaseProfiler::kNoPhase;
+        if (prof) {
+            phFetch_ = prof->definePhase("fetch");
+            phBuild_ = prof->definePhase("build");
+            phArray_ = prof->definePhase("array");
+        }
+        registerPhases(prof);
+    }
+
+    PhaseProfiler *profiler() { return prof_; }
+
+    /**
      * Flush observation state after run(): emits the sampler's final
      * partial window. Drivers that attached a sampler call this once
      * per run before reading the outputs.
@@ -150,6 +174,11 @@ class Frontend
     }
 
   protected:
+    /** Derived frontends register component sub-phases here (e.g.
+     *  LegacyPipe's "predict" under fetch); called with nullptr on
+     *  detach so components drop their phase handles too. */
+    virtual void registerPhases(PhaseProfiler *prof) { (void)prof; }
+
     /** Per-cycle observation hook; run loops call this right after
      *  advancing metrics_.cycles. One branch when nothing attached. */
     void
@@ -208,6 +237,13 @@ class Frontend
     FrontendParams params_;
     ProbeManager probes_;
     ProbePoint modeProbe_{&probes_, "mode", "mode"};
+
+    /// @{ Host-time profiling (null/kNoPhase when detached).
+    PhaseProfiler *prof_ = nullptr;
+    unsigned phFetch_ = PhaseProfiler::kNoPhase;
+    unsigned phBuild_ = PhaseProfiler::kNoPhase;
+    unsigned phArray_ = PhaseProfiler::kNoPhase;
+    /// @}
 
   private:
     IntervalSampler *sampler_ = nullptr;

@@ -65,6 +65,12 @@ class FrontendMetrics : public StatGroup
     ScalarStat modeSwitches{this, "modeSwitches",
         "delivery->build transitions"};
 
+    /// Trace position (records consumed so far); monotone like every
+    /// other counter here so interval deltas stay exact. Feeds the
+    /// records/sec throughput rate (src/prof).
+    ScalarStat traceRecords{this, "traceRecords",
+        "dynamic trace records consumed"};
+
     /// @{ Derived statistics: the same quantities as the accessor
     ///    functions below, registered so dump()/dumpJson() output and
     ///    StatGroup::find include the headline metrics directly.

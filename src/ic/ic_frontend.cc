@@ -15,9 +15,14 @@ IcFrontend::run(const Trace &trace)
     std::size_t rec = 0;
     while (rec < trace.numRecords() && !stopRequested()) {
         std::size_t prev = rec;
-        LegacyPipe::Result r = pipe_.cycle(trace, rec);
+        LegacyPipe::Result r;
+        {
+            ScopedPhase timer(prof_, phFetch_);
+            r = pipe_.cycle(trace, rec);
+        }
         for (std::size_t i = prev; i < rec; ++i)
             oracleConsume(i, kNoTarget, 0);
+        metrics_.traceRecords.set(rec);
         ++metrics_.cycles;
         // The IC baseline has no decoded-cache structure; count its
         // supply as "delivery" so bandwidth() reports its uops/cycle.

@@ -26,6 +26,13 @@ class IcFrontend : public Frontend
     const PredictorBank &predictors() const { return preds_; }
     const InstCache &icache() const { return pipe_.icache(); }
 
+  protected:
+    void
+    registerPhases(PhaseProfiler *prof) override
+    {
+        pipe_.attachProfiler(prof, phFetch_);
+    }
+
   private:
     PredictorBank preds_;
     LegacyPipe pipe_;

@@ -23,6 +23,7 @@ LegacyPipe::LegacyPipe(const FrontendParams &params,
 unsigned
 LegacyPipe::handleControl(const Trace &trace, std::size_t rec)
 {
+    ScopedPhase timer(prof_, phPredict_);
     unsigned penalty = predictControl(params_, metrics_, preds_,
                                       trace, rec,
                                       /*legacy_path=*/true);

@@ -22,6 +22,7 @@
 #include "frontend/predictors.hh"
 #include "ic/inst_cache.hh"
 #include "isa/decoder.hh"
+#include "prof/phase_profiler.hh"
 #include "trace/trace.hh"
 
 namespace xbs
@@ -65,6 +66,16 @@ class LegacyPipe
         l2_.reset();
     }
 
+    /** Register the "predict" sub-phase under @p parent and time the
+     *  branch-prediction work inside cycle(). nullptr detaches. */
+    void
+    attachProfiler(PhaseProfiler *prof, unsigned parent)
+    {
+        prof_ = prof;
+        phPredict_ = prof ? prof->definePhase("predict", parent)
+                          : PhaseProfiler::kNoPhase;
+    }
+
   private:
     /**
      * Predict and train on the control instruction at record @p rec;
@@ -84,6 +95,9 @@ class LegacyPipe
     ProbePoint icMissProbe_;
     ProbePoint resteerProbe_;
     /// @}
+
+    PhaseProfiler *prof_ = nullptr;
+    unsigned phPredict_ = PhaseProfiler::kNoPhase;
 };
 
 } // namespace xbs

@@ -1,0 +1,122 @@
+#include "prof/build_info.hh"
+
+// The provenance macros are injected for this one translation unit by
+// src/prof/CMakeLists.txt so a configure-time change rebuilds only
+// this file.
+#ifndef XBS_BUILD_TYPE
+#define XBS_BUILD_TYPE "unknown"
+#endif
+#ifndef XBS_SOURCE_REV
+#define XBS_SOURCE_REV "unknown"
+#endif
+#ifndef XBS_CXX_FLAGS
+#define XBS_CXX_FLAGS ""
+#endif
+
+namespace xbs
+{
+
+namespace
+{
+
+std::string
+compilerString()
+{
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("gcc ") + __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+bool
+isSanitized()
+{
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+    return true;
+#endif
+#endif
+    // UBSan defines no feature macro with gcc; fall back to the
+    // configure-time flags.
+    return std::string(XBS_CXX_FLAGS).find("-fsanitize") !=
+           std::string::npos;
+}
+
+} // anonymous namespace
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info = [] {
+        BuildInfo b;
+        b.compiler = compilerString();
+        b.buildType = XBS_BUILD_TYPE;
+        b.flags = XBS_CXX_FLAGS;
+        b.source = XBS_SOURCE_REV;
+        b.cxxStandard = (uint64_t)__cplusplus;
+        b.sanitized = isSanitized();
+        return b;
+    }();
+    return info;
+}
+
+void
+writeBuildInfoJson(JsonWriter &jw, const BuildInfo &info,
+                   const std::string &key)
+{
+    jw.beginObject(key);
+    jw.field("compiler", info.compiler);
+    jw.field("buildType", info.buildType);
+    jw.field("flags", info.flags);
+    jw.field("source", info.source);
+    jw.field("cxxStandard", info.cxxStandard);
+    jw.field("sanitized", info.sanitized);
+    jw.endObject();
+}
+
+BuildInfo
+parseBuildInfoJson(const JsonValue &obj)
+{
+    BuildInfo b;
+    if (const JsonValue *v = obj.find("compiler"))
+        b.compiler = v->asString();
+    if (const JsonValue *v = obj.find("buildType"))
+        b.buildType = v->asString();
+    if (const JsonValue *v = obj.find("flags"))
+        b.flags = v->asString();
+    if (const JsonValue *v = obj.find("source"))
+        b.source = v->asString();
+    if (const JsonValue *v = obj.find("cxxStandard"))
+        b.cxxStandard = v->asUint();
+    if (const JsonValue *v = obj.find("sanitized"))
+        b.sanitized = v->isBool() && v->boolValue;
+    return b;
+}
+
+bool
+buildCompatible(const BuildInfo &a, const BuildInfo &b,
+                std::vector<std::string> *soft_diffs)
+{
+    if (soft_diffs) {
+        if (a.compiler != b.compiler) {
+            soft_diffs->push_back("compiler: '" + a.compiler +
+                                  "' vs '" + b.compiler + "'");
+        }
+        if (a.flags != b.flags) {
+            soft_diffs->push_back("flags: '" + a.flags + "' vs '" +
+                                  b.flags + "'");
+        }
+        if (a.source != b.source) {
+            soft_diffs->push_back("source: '" + a.source + "' vs '" +
+                                  b.source + "'");
+        }
+    }
+    return a.buildType == b.buildType && a.sanitized == b.sanitized;
+}
+
+} // namespace xbs

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Build provenance: which compiler, flags, build type, and source
+ * revision produced this binary. Every performance artifact (stats
+ * JSON, xbatch report.json, bench.json) is stamped with it so a
+ * regression gate can refuse to compare numbers across incompatible
+ * builds — a Debug or sanitized binary is 5-50x slower than Release
+ * and would make any host-throughput baseline meaningless, and even
+ * paper metrics can shift across source revisions.
+ *
+ * Compatibility policy (buildCompatible): build type and sanitizer
+ * state must match *exactly* — a mismatch is a gate failure, not a
+ * warning. Compiler version, flags, and source revision are reported
+ * as soft differences: CI runners and dev machines legitimately
+ * differ there, and the paper metrics are integer-deterministic
+ * across compilers.
+ */
+
+#ifndef XBS_PROF_BUILD_INFO_HH
+#define XBS_PROF_BUILD_INFO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace xbs
+{
+
+struct BuildInfo
+{
+    std::string compiler;   ///< "gcc 13.2.0" / "clang 17.0.1"
+    std::string buildType;  ///< CMAKE_BUILD_TYPE ("Release", ...)
+    std::string flags;      ///< CMAKE_CXX_FLAGS at configure time
+    std::string source;     ///< git short rev, or "unknown"
+    uint64_t cxxStandard = 0;  ///< __cplusplus
+    bool sanitized = false;    ///< ASan/UBSan baked in
+};
+
+/** This binary's provenance (baked in at compile time). */
+const BuildInfo &buildInfo();
+
+/** Emit as an object member @p key. */
+void writeBuildInfoJson(JsonWriter &jw, const BuildInfo &info,
+                        const std::string &key = "buildInfo");
+
+/** Parse a previously emitted buildInfo object (absent fields stay
+ *  at their defaults). */
+BuildInfo parseBuildInfoJson(const JsonValue &obj);
+
+/**
+ * True when @p a and @p b may be compared metric-for-metric: build
+ * type and sanitizer state match. Soft differences (compiler, flags,
+ * source revision) are appended to @p soft_diffs when given.
+ */
+bool buildCompatible(const BuildInfo &a, const BuildInfo &b,
+                     std::vector<std::string> *soft_diffs = nullptr);
+
+} // namespace xbs
+
+#endif // XBS_PROF_BUILD_INFO_HH

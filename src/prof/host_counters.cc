@@ -1,0 +1,103 @@
+#include "prof/host_counters.hh"
+
+#include <sys/resource.h>
+
+namespace xbs
+{
+
+HostCounters
+HostCounters::fromRusage(const ::rusage &ru)
+{
+    HostCounters hc;
+    // Linux reports ru_maxrss in KiB already.
+    hc.maxRssKb = (uint64_t)ru.ru_maxrss;
+    hc.userSec = (double)ru.ru_utime.tv_sec +
+                 (double)ru.ru_utime.tv_usec / 1e6;
+    hc.sysSec = (double)ru.ru_stime.tv_sec +
+                (double)ru.ru_stime.tv_usec / 1e6;
+    hc.minorFaults = (uint64_t)ru.ru_minflt;
+    hc.majorFaults = (uint64_t)ru.ru_majflt;
+    hc.volCtxSw = (uint64_t)ru.ru_nvcsw;
+    hc.involCtxSw = (uint64_t)ru.ru_nivcsw;
+    return hc;
+}
+
+HostCounters
+HostCounters::self()
+{
+    struct rusage ru;
+    if (::getrusage(RUSAGE_SELF, &ru) != 0)
+        return HostCounters{};
+    return fromRusage(ru);
+}
+
+void
+HostCounters::writeJson(JsonWriter &jw, const std::string &key) const
+{
+    jw.beginObject(key);
+    jw.field("maxRssKb", maxRssKb);
+    jw.field("userSec", userSec);
+    jw.field("sysSec", sysSec);
+    jw.field("minorFaults", minorFaults);
+    jw.field("majorFaults", majorFaults);
+    jw.field("volCtxSw", volCtxSw);
+    jw.field("involCtxSw", involCtxSw);
+    jw.endObject();
+}
+
+void
+ThroughputMeter::reset()
+{
+    start_ = Clock::now();
+    last_ = start_;
+    lastCycles_ = 0;
+    lastUops_ = 0;
+    lastRecords_ = 0;
+    running_ = true;
+}
+
+ThroughputMeter::Rates
+ThroughputMeter::sample(uint64_t cycles, uint64_t uops,
+                        uint64_t records)
+{
+    if (!running_)
+        reset();
+    const auto now = Clock::now();
+    Rates r;
+    r.wallSeconds =
+        std::chrono::duration<double>(now - start_).count();
+    r.windowSeconds =
+        std::chrono::duration<double>(now - last_).count();
+    if (r.windowSeconds > 0.0) {
+        r.cyclesPerSec =
+            (double)(cycles - lastCycles_) / r.windowSeconds;
+        r.uopsPerSec = (double)(uops - lastUops_) / r.windowSeconds;
+        r.recordsPerSec =
+            (double)(records - lastRecords_) / r.windowSeconds;
+    }
+    last_ = now;
+    lastCycles_ = cycles;
+    lastUops_ = uops;
+    lastRecords_ = records;
+    return r;
+}
+
+ThroughputMeter::Rates
+ThroughputMeter::overall(uint64_t cycles, uint64_t uops,
+                         uint64_t records) const
+{
+    Rates r;
+    if (!running_)
+        return r;
+    r.wallSeconds = std::chrono::duration<double>(Clock::now() -
+                                                  start_).count();
+    r.windowSeconds = r.wallSeconds;
+    if (r.wallSeconds > 0.0) {
+        r.cyclesPerSec = (double)cycles / r.wallSeconds;
+        r.uopsPerSec = (double)uops / r.wallSeconds;
+        r.recordsPerSec = (double)records / r.wallSeconds;
+    }
+    return r;
+}
+
+} // namespace xbs

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Host-side resource accounting for a run: getrusage() snapshots of
+ * the simulator process itself (peak RSS, user/sys CPU time, page
+ * faults) and a ThroughputMeter that converts simulated progress
+ * (cycles, uops, trace records) into host-time rates on the interval
+ * stats cadence.
+ *
+ * The batch layer records the same counters per child via wait4()
+ * (see batch/subprocess), so a hung-but-idle job and a CPU-burning
+ * job are distinguishable in the sweep report.
+ */
+
+#ifndef XBS_PROF_HOST_COUNTERS_HH
+#define XBS_PROF_HOST_COUNTERS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/json.hh"
+
+struct rusage; // <sys/resource.h>
+
+namespace xbs
+{
+
+/** One resource-usage snapshot (self or a reaped child). */
+struct HostCounters
+{
+    uint64_t maxRssKb = 0;     ///< peak resident set, KiB
+    double userSec = 0.0;      ///< user CPU time
+    double sysSec = 0.0;       ///< system CPU time
+    uint64_t minorFaults = 0;  ///< page reclaims (no I/O)
+    uint64_t majorFaults = 0;  ///< page faults that hit storage
+    uint64_t volCtxSw = 0;     ///< voluntary context switches
+    uint64_t involCtxSw = 0;   ///< involuntary context switches
+
+    /** Snapshot the calling process (getrusage(RUSAGE_SELF)). */
+    static HostCounters self();
+
+    /** Convert a wait4()/getrusage() result. */
+    static HostCounters fromRusage(const ::rusage &ru);
+
+    double cpuSec() const { return userSec + sysSec; }
+
+    /** Emit as an object member @p key. */
+    void writeJson(JsonWriter &jw,
+                   const std::string &key = "host") const;
+};
+
+/**
+ * Simulated-progress-per-host-second meter. Call sample() with the
+ * current cumulative counters (typically on interval-stats window
+ * boundaries); each call reports the rates over the window since the
+ * previous call plus cumulative rates since reset().
+ */
+class ThroughputMeter
+{
+  public:
+    struct Rates
+    {
+        double wallSeconds = 0.0;      ///< since reset()
+        double windowSeconds = 0.0;    ///< since the previous sample
+        double cyclesPerSec = 0.0;     ///< window rate
+        double uopsPerSec = 0.0;       ///< window rate
+        double recordsPerSec = 0.0;    ///< window rate
+    };
+
+    /** Start (or restart) the clock; zeroes the cumulative state. */
+    void reset();
+
+    /** Report rates for the window ending now. */
+    Rates sample(uint64_t cycles, uint64_t uops, uint64_t records);
+
+    /** Cumulative rates since reset(), ending now. */
+    Rates overall(uint64_t cycles, uint64_t uops,
+                  uint64_t records) const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    Clock::time_point start_{};
+    Clock::time_point last_{};
+    uint64_t lastCycles_ = 0;
+    uint64_t lastUops_ = 0;
+    uint64_t lastRecords_ = 0;
+    bool running_ = false;
+};
+
+} // namespace xbs
+
+#endif // XBS_PROF_HOST_COUNTERS_HH

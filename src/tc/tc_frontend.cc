@@ -115,6 +115,7 @@ TcFrontend::run(const Trace &trace)
 
     while ((rec < num_records || buffer > 0) && !stopRequested()) {
         ++metrics_.cycles;
+        metrics_.traceRecords.set(rec);
         observeCycle();
         traceMode(mode == Mode::Build ? "build" : "delivery");
 
@@ -132,6 +133,7 @@ TcFrontend::run(const Trace &trace)
             ++metrics_.deliveryCycles;
 
             if (buffer < params_.renamerWidth && rec < num_records) {
+                ScopedPhase arrayTimer(prof_, phArray_);
                 const TraceLine *line = selectLine(trace, rec);
                 if (line) {
                     std::size_t prev = rec;
@@ -162,6 +164,7 @@ TcFrontend::run(const Trace &trace)
                     --metrics_.deliveryCycles;
                     ++metrics_.buildCycles;
                     std::size_t prev = rec;
+                    ScopedPhase buildTimer(prof_, phBuild_);
                     LegacyPipe::Result r = pipe_.cycle(trace, rec);
                     metrics_.buildUops += r.uops;
                     stall += r.stall;
@@ -190,6 +193,7 @@ TcFrontend::run(const Trace &trace)
         } else {
             ++metrics_.buildCycles;
             std::size_t prev = rec;
+            ScopedPhase buildTimer(prof_, phBuild_);
             LegacyPipe::Result r = pipe_.cycle(trace, rec);
             metrics_.buildUops += r.uops;
             stall += r.stall;
@@ -208,6 +212,7 @@ TcFrontend::run(const Trace &trace)
             }
         }
     }
+    metrics_.traceRecords.set(rec);
     traceModeDone();
 }
 

@@ -52,6 +52,14 @@ class TcFrontend : public Frontend
     /** Uops supplied by partially matching traces. */
     uint64_t partialHitUops() const { return partialHitUops_; }
 
+  protected:
+    void
+    registerPhases(PhaseProfiler *prof) override
+    {
+        // The legacy pipe runs as this frontend's build path.
+        pipe_.attachProfiler(prof, phBuild_);
+    }
+
   private:
     enum class Mode { Build, Delivery };
 

@@ -284,6 +284,25 @@ TEST(Histogram, Percentile)
     EXPECT_EQ(h.percentile(1.0), 10u);
 }
 
+TEST(Histogram, SummaryPercentiles)
+{
+    Histogram h(200);
+    for (uint32_t v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.p50(), 50u);
+    EXPECT_EQ(h.p95(), 95u);
+    EXPECT_EQ(h.p99(), 99u);
+}
+
+TEST(Histogram, SummaryPercentilesSingleBin)
+{
+    Histogram h(16);
+    h.add(7, 1000);
+    EXPECT_EQ(h.p50(), 7u);
+    EXPECT_EQ(h.p95(), 7u);
+    EXPECT_EQ(h.p99(), 7u);
+}
+
 TEST(Histogram, RenderContainsBars)
 {
     Histogram h(16);

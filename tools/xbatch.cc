@@ -27,6 +27,7 @@
 #include "common/fs.hh"
 #include "common/signals.hh"
 #include "common/status.hh"
+#include "prof/build_info.hh"
 #include "workload/catalog.hh"
 
 using namespace xbs;
@@ -79,6 +80,7 @@ main(int argc, char **argv)
     std::string frontends_csv = "ic,dc,tc,bbtc,xbc";
     std::string capacities_csv = "32768";
     uint64_t insts = 0;
+    uint64_t intervals = 0;
     uint64_t jobs = 2;
     double timeout = 300.0;
     uint64_t retries = 1;
@@ -100,6 +102,9 @@ main(int argc, char **argv)
                    "comma-separated capacities in uops");
     args.addUint("insts", &insts,
                  "instructions per job (0 = xbsim default)");
+    args.addUint("intervals", &intervals,
+                 "per-job interval-stats window in cycles, written "
+                 "to <out>/intervals/job-<id>.jsonl (0 = off)");
     args.addUint("jobs", &jobs, "concurrent worker processes");
     args.addDouble("timeout", &timeout,
                    "per-job wall-clock timeout in seconds");
@@ -176,6 +181,7 @@ main(int argc, char **argv)
         manifest.timeoutSec = timeout;
         manifest.maxRetries = (unsigned)retries;
         manifest.backoffMs = (unsigned)backoff_ms;
+        manifest.intervalCycles = intervals;
         manifest.jobs = buildJobMatrix(workloads, frontends,
                                        capacities.value(), insts);
 
@@ -185,6 +191,14 @@ main(int argc, char **argv)
             !st.isOk()) {
             return fail(st);
         }
+    }
+
+    // Interval capture: each child streams its windows to its own
+    // file under <dir>/intervals (resume reuses the manifest's
+    // window so replayed and fresh jobs observe alike).
+    if (manifest.intervalCycles) {
+        if (Status st = ensureDir(dir + "/intervals"); !st.isOk())
+            return fail(st);
     }
 
     SweepJournal journal;
@@ -201,6 +215,18 @@ main(int argc, char **argv)
     opts.backoffMs = manifest.backoffMs;
     opts.graceSec = grace;
     opts.stopFlag = &g_stop;
+    if (manifest.intervalCycles) {
+        const uint64_t window = manifest.intervalCycles;
+        opts.extraArgs = [dir, window](const JobSpec &spec) {
+            std::vector<std::string> extra;
+            extra.push_back("--interval-stats=" +
+                            std::to_string(window));
+            extra.push_back("--interval-out=" + dir +
+                            "/intervals/job-" +
+                            std::to_string(spec.id) + ".jsonl");
+            return extra;
+        };
+    }
     const std::size_t total = manifest.jobs.size();
     opts.onFinal = [total](const JobRecord &rec) {
         if (rec.replayed)
@@ -236,7 +262,12 @@ main(int argc, char **argv)
     SweepSummary summary =
         summarizeSweep(sched.records(), sched.interrupted(),
                        sched.totalRetries(), wall);
-    if (Status st = writeSweepReport(dir, sched.records(), summary);
+    SweepReportInfo report_info;
+    report_info.hasBuild = true;
+    report_info.build = buildInfo();
+    report_info.intervalCycles = manifest.intervalCycles;
+    if (Status st = writeSweepReport(dir, sched.records(), summary,
+                                     report_info);
         !st.isOk()) {
         std::fprintf(stderr, "xbatch: cannot write report: %s\n",
                      st.toString().c_str());

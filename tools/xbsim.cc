@@ -25,6 +25,9 @@
 #include "common/logging.hh"
 #include "common/signals.hh"
 #include "common/status.hh"
+#include "prof/build_info.hh"
+#include "prof/host_counters.hh"
+#include "prof/phase_profiler.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "trace/trace_io.hh"
@@ -82,6 +85,8 @@ main(int argc, char **argv)
     uint64_t audit_interval = 100000;
     std::string inject_spec;
     uint64_t inject_seed = 1;
+    bool profile = false;
+    bool build_info_only = false;
 
     ArgParser args("xbsim",
                    "trace-driven frontend simulator (XBC, HPCA 2000)");
@@ -124,8 +129,22 @@ main(int argc, char **argv)
                    "trace-flip|trace-trunc");
     args.addUint("inject-seed", &inject_seed,
                  "deterministic fault-injection seed");
+    args.addBool("profile", &profile,
+                 "time simulator phases (predict/fetch/build/array/"
+                 "trace-decode) on the host clock");
+    args.addBool("build-info", &build_info_only,
+                 "print build provenance as JSON and exit");
     if (!args.parse(argc, argv))
         return 0;
+
+    if (build_info_only) {
+        JsonWriter jw(std::cout);
+        jw.beginObject();
+        writeBuildInfoJson(jw, buildInfo());
+        jw.endObject();
+        std::cout << "\n";
+        return 0;
+    }
 
     if (list) {
         listWorkloads();
@@ -180,6 +199,15 @@ main(int argc, char **argv)
 
     auto fe = makeFrontend(config);
 
+    // Host-time profiling (src/prof): phase timers inside the run
+    // loops plus a "trace-decode" phase around input materialization.
+    PhaseProfiler prof;
+    unsigned ph_decode = PhaseProfiler::kNoPhase;
+    if (profile) {
+        ph_decode = prof.definePhase("trace-decode");
+        fe->attachProfiler(&prof);
+    }
+
     // Observability: an event-trace sink on the probe registry and/or
     // an interval sampler over the stat tree, both opt-in via flags.
     std::unique_ptr<EventTraceSink> sink;
@@ -201,27 +229,30 @@ main(int argc, char **argv)
     }
 
     std::optional<Trace> trace_opt;
-    if (!trace_path.empty()) {
-        Expected<Trace> tr = readTraceEx(trace_path);
-        if (!tr.ok()) {
-            std::fprintf(stderr, "xbsim: %s\n",
-                         tr.status().toString().c_str());
-            return kExitData;
+    {
+        ScopedPhase decode_timer(profile ? &prof : nullptr, ph_decode);
+        if (!trace_path.empty()) {
+            Expected<Trace> tr = readTraceEx(trace_path);
+            if (!tr.ok()) {
+                std::fprintf(stderr, "xbsim: %s\n",
+                             tr.status().toString().c_str());
+                return kExitData;
+            }
+            trace_opt.emplace(tr.take());
+        } else {
+            if (!findWorkloadPtr(workload)) {
+                std::fprintf(stderr,
+                             "xbsim: unknown workload '%s' "
+                             "(see --list-workloads)\n",
+                             workload.c_str());
+                return kExitUsage;
+            }
+            trace_opt.emplace(makeCatalogTrace(workload, insts));
         }
-        trace_opt.emplace(tr.take());
-    } else {
-        if (!findWorkloadPtr(workload)) {
-            std::fprintf(stderr,
-                         "xbsim: unknown workload '%s' "
-                         "(see --list-workloads)\n",
-                         workload.c_str());
-            return kExitUsage;
+        if (injector && injector->plan().hasTraceActions()) {
+            Trace injected = injector->prepareTrace(*trace_opt);
+            trace_opt.emplace(std::move(injected));
         }
-        trace_opt.emplace(makeCatalogTrace(workload, insts));
-    }
-    if (injector && injector->plan().hasTraceActions()) {
-        Trace injected = injector->prepareTrace(*trace_opt);
-        trace_opt.emplace(std::move(injected));
     }
     const Trace &trace = *trace_opt;
     const std::string trace_name = trace.name();
@@ -239,6 +270,36 @@ main(int argc, char **argv)
 
     fe->attachStopFlag(&g_stop);
 
+    // Simulated-progress-per-host-second rates, sampled on the
+    // interval-stats cadence: each window gets a "host" sub-object
+    // and the "host" probe track mirrors the rates into the event
+    // trace as counter series.
+    ThroughputMeter meter;
+    ProbePoint host_uops_rate(&fe->probes(), "host", "uopsPerSec");
+    ProbePoint host_rec_rate(&fe->probes(), "host", "recordsPerSec");
+    ProbePoint host_cyc_rate(&fe->probes(), "host", "cyclesPerSec");
+    if (sampler) {
+        Frontend *fe_ptr = fe.get();
+        sampler->setAnnotator([&, fe_ptr](JsonWriter &jw) {
+            const FrontendMetrics &mm = fe_ptr->metrics();
+            ThroughputMeter::Rates r = meter.sample(
+                mm.cycles.value(),
+                mm.deliveryUops.value() + mm.buildUops.value(),
+                mm.traceRecords.value());
+            jw.beginObject("host");
+            jw.field("wallSeconds", r.wallSeconds);
+            jw.field("windowSeconds", r.windowSeconds);
+            jw.field("cyclesPerSec", r.cyclesPerSec);
+            jw.field("uopsPerSec", r.uopsPerSec);
+            jw.field("recordsPerSec", r.recordsPerSec);
+            jw.endObject();
+            host_uops_rate.fire((int64_t)r.uopsPerSec);
+            host_rec_rate.fire((int64_t)r.recordsPerSec);
+            host_cyc_rate.fire((int64_t)r.cyclesPerSec);
+        });
+    }
+
+    meter.reset();
     fe->run(trace);
 
     // A raised flag means SIGINT/SIGTERM cut the run short at a
@@ -281,6 +342,11 @@ main(int argc, char **argv)
         exit_code = kExitInterrupted;
 
     const auto &m = fe->metrics();
+    const HostCounters hc = HostCounters::self();
+    const ThroughputMeter::Rates overall = meter.overall(
+        m.cycles.value(),
+        m.deliveryUops.value() + m.buildUops.value(),
+        m.traceRecords.value());
     if (json) {
         JsonWriter jw(std::cout);
         jw.beginObject();
@@ -293,6 +359,21 @@ main(int argc, char **argv)
         jw.field("overallIpc", m.overallIpc());
         jw.field("cycles", m.cycles.value());
         jw.field("condMispredictRate", m.condMispredictRate());
+        writeBuildInfoJson(jw, buildInfo());
+        hc.writeJson(jw, "host");
+        jw.beginObject("throughput");
+        jw.field("wallSeconds", overall.wallSeconds);
+        jw.field("cyclesPerSec", overall.cyclesPerSec);
+        jw.field("uopsPerSec", overall.uopsPerSec);
+        jw.field("recordsPerSec", overall.recordsPerSec);
+        jw.endObject();
+        if (profile) {
+            jw.beginObject("profile");
+            jw.field("totalEstimatedMs",
+                     (double)prof.totalEstimatedNs() / 1e6);
+            prof.writeJson(jw, "phases");
+            jw.endObject();
+        }
         if (interrupted)
             jw.field("interrupted", true);
         if (auditor) {
@@ -323,6 +404,13 @@ main(int argc, char **argv)
                         (unsigned long long)injector->injections(),
                         injector->summary().c_str());
         }
+        std::printf("  host: %.2fs wall, %.2fs cpu, %llu KiB peak "
+                    "RSS, %.2f Muops/s\n",
+                    overall.wallSeconds, hc.cpuSec(),
+                    (unsigned long long)hc.maxRssKb,
+                    overall.uopsPerSec / 1e6);
+        if (profile)
+            std::fputs(prof.render().c_str(), stdout);
         if (auditor)
             auditor->report(std::cout);
         if (stats)
