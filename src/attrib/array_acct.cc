@@ -1,0 +1,188 @@
+#include "attrib/array_acct.hh"
+
+#include <algorithm>
+
+#include "common/json.hh"
+
+namespace xbs
+{
+
+namespace
+{
+
+constexpr uint32_t kBuildToFirstHitMax = 4096;
+constexpr uint32_t kHitsBeforeEvictMax = 512;
+
+void
+writeHeat(JsonWriter &json, const std::string &key,
+          const std::vector<uint64_t> &heat, unsigned banks,
+          std::size_t sets)
+{
+    json.beginArray(key);
+    for (unsigned b = 0; b < banks; ++b) {
+        json.beginArray();
+        for (std::size_t s = 0; s < sets; ++s)
+            json.field("", heat[(std::size_t)b * sets + s]);
+        json.endArray();
+    }
+    json.endArray();
+}
+
+void
+writeHistSummary(JsonWriter &json, const std::string &key,
+                 const Histogram &h)
+{
+    json.beginObject(key);
+    json.field("samples", h.total());
+    json.field("mean", h.mean());
+    json.field("p50", (uint64_t)h.p50());
+    json.field("p95", (uint64_t)h.p95());
+    json.field("p99", (uint64_t)h.p99());
+    json.endObject();
+}
+
+} // namespace
+
+ArrayAccounting::ArrayAccounting(StatGroup *parent,
+                                 const ScalarStat *cycles,
+                                 unsigned banks, std::size_t sets,
+                                 std::size_t lines)
+    : StatGroup("array", parent),
+      headEvictions(this, "headEvictions",
+                    "evicted lines that headed a variant"),
+      nonHeadEvictions(this, "nonHeadEvictions",
+                       "evicted lines that headed no variant"),
+      zeroHitEvictions(this, "zeroHitEvictions",
+                       "XBs evicted before their first delivery hit"),
+      cycles_(cycles),
+      banks_(banks),
+      sets_(sets),
+      shadowCapacity_(lines),
+      allocHeat_((std::size_t)banks * sets, 0),
+      evictHeat_((std::size_t)banks * sets, 0),
+      conflictHeat_((std::size_t)banks * sets, 0),
+      buildToFirstHit_(kBuildToFirstHitMax),
+      hitsBeforeEvict_(kHitsBeforeEvictMax)
+{
+}
+
+void
+ArrayAccounting::onAlloc(uint64_t tag, unsigned bank, std::size_t set)
+{
+    // Every fresh line of an XB opens (or refreshes) its lifetime
+    // record; try_emplace keeps the original build stamp for
+    // multi-line XBs and extensions.
+    onBuild(tag);
+    ++allocHeat_[cell(bank, set)];
+}
+
+void
+ArrayAccounting::onEvict(uint64_t tag, unsigned bank, std::size_t set,
+                         bool head, bool last_gone)
+{
+    ++evictHeat_[cell(bank, set)];
+    if (head)
+        ++headEvictions;
+    else
+        ++nonHeadEvictions;
+
+    if (!last_gone)
+        return;
+
+    auto it = live_.find(tag);
+    if (it != live_.end()) {
+        uint64_t hits = it->second.hits;
+        hitsBeforeEvict_.add(
+            (uint32_t)std::min<uint64_t>(hits, kHitsBeforeEvictMax));
+        if (hits == 0)
+            ++zeroHitEvictions;
+        live_.erase(it);
+    }
+    shadowInsert(tag);
+}
+
+void
+ArrayAccounting::onConflict(unsigned bank, std::size_t set)
+{
+    ++conflictHeat_[cell(bank, set)];
+}
+
+void
+ArrayAccounting::onBuild(uint64_t tag)
+{
+    everBuilt_.insert(tag);
+    shadowErase(tag);
+    // Rebuilding a resident tag extends it; keep the original
+    // lifetime record so hits accumulate across extensions.
+    auto [it, inserted] = live_.try_emplace(tag);
+    if (inserted)
+        it->second.buildCycle = now();
+}
+
+void
+ArrayAccounting::onHit(uint64_t tag)
+{
+    auto it = live_.find(tag);
+    if (it == live_.end())
+        return;
+    if (it->second.hits == 0) {
+        it->second.firstHitCycle = now();
+        uint64_t lat = it->second.firstHitCycle - it->second.buildCycle;
+        buildToFirstHit_.add(
+            (uint32_t)std::min<uint64_t>(lat, kBuildToFirstHitMax));
+    }
+    ++it->second.hits;
+}
+
+Cause
+ArrayAccounting::classifyMiss(uint64_t tag) const
+{
+    if (!everBuilt(tag))
+        return Cause::XbcCompulsory;
+    if (inShadow(tag))
+        return Cause::XbcConflict;
+    return Cause::XbcCapacity;
+}
+
+void
+ArrayAccounting::shadowInsert(uint64_t tag)
+{
+    shadowErase(tag);
+    shadowLru_.push_front(tag);
+    shadowIndex_[tag] = shadowLru_.begin();
+    while (shadowLru_.size() > shadowCapacity_) {
+        shadowIndex_.erase(shadowLru_.back());
+        shadowLru_.pop_back();
+    }
+}
+
+void
+ArrayAccounting::shadowErase(uint64_t tag)
+{
+    auto it = shadowIndex_.find(tag);
+    if (it == shadowIndex_.end())
+        return;
+    shadowLru_.erase(it->second);
+    shadowIndex_.erase(it);
+}
+
+void
+ArrayAccounting::writeJson(JsonWriter &json) const
+{
+    json.beginObject("array");
+    json.field("banks", (uint64_t)banks_);
+    json.field("sets", (uint64_t)sets_);
+    json.field("shadowCapacity", (uint64_t)shadowCapacity_);
+    json.field("liveTags", (uint64_t)live_.size());
+    json.field("headEvictions", headEvictions.value());
+    json.field("nonHeadEvictions", nonHeadEvictions.value());
+    json.field("zeroHitEvictions", zeroHitEvictions.value());
+    writeHistSummary(json, "buildToFirstHit", buildToFirstHit_);
+    writeHistSummary(json, "hitsBeforeEvict", hitsBeforeEvict_);
+    writeHeat(json, "allocsBySet", allocHeat_, banks_, sets_);
+    writeHeat(json, "evictsBySet", evictHeat_, banks_, sets_);
+    writeHeat(json, "conflictsBySet", conflictHeat_, banks_, sets_);
+    json.endObject();
+}
+
+} // namespace xbs

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Per-structure accounting for the XBC data array.
+ *
+ * Subscribes to the array's structural events (ArrayEventSink) and
+ * maintains:
+ *
+ *  - set/bank heatmaps: allocations and evictions per (bank, set)
+ *    plus bank-conflict deferrals per (bank, set), emitted as
+ *    bank-major JSON matrices;
+ *  - per-XB lifetime records: build->first-hit latency and
+ *    hits-before-evict histograms, head vs non-head eviction split;
+ *  - the *evicted-tag shadow directory*: a bounded LRU of recently
+ *    evicted tags, capacity equal to the array's total line count,
+ *    that classifies an array miss as compulsory (tag never built),
+ *    conflict (tag evicted recently enough to still be in the
+ *    shadow), or capacity (evicted longer ago). This is the
+ *    standard bounded-shadow approximation of the 3C model for a
+ *    variant-grouped structure with no single canonical LRU stack.
+ */
+
+#ifndef XBS_ATTRIB_ARRAY_ACCT_HH
+#define XBS_ATTRIB_ARRAY_ACCT_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "attrib/array_sink.hh"
+#include "attrib/taxonomy.hh"
+#include "common/histogram.hh"
+#include "common/stats.hh"
+
+namespace xbs
+{
+
+class JsonWriter;
+
+class ArrayAccounting : public StatGroup, public ArrayEventSink
+{
+  public:
+    /**
+     * @param parent stat tree parent (the frontend's AttribRecorder)
+     * @param cycles timestamp source (the frontend's cycle counter)
+     * @param banks  array bank count (heatmap geometry)
+     * @param sets   array set count
+     * @param lines  total line count (shadow-directory capacity)
+     */
+    ArrayAccounting(StatGroup *parent, const ScalarStat *cycles,
+                    unsigned banks, std::size_t sets,
+                    std::size_t lines);
+
+    /// @{ ArrayEventSink
+    void onAlloc(uint64_t tag, unsigned bank,
+                 std::size_t set) override;
+    void onEvict(uint64_t tag, unsigned bank, std::size_t set,
+                 bool head, bool last_gone) override;
+    void onConflict(unsigned bank, std::size_t set) override;
+    /// @}
+
+    /** An XB with @p tag finished building (entered the array). */
+    void onBuild(uint64_t tag);
+
+    /** A delivery-mode lookup for @p tag hit the array. */
+    void onHit(uint64_t tag);
+
+    /**
+     * Classify a delivery-mode array miss for @p tag:
+     * XbcCompulsory if the tag was never built, XbcConflict if it
+     * sits in the evicted-tag shadow, XbcCapacity otherwise.
+     */
+    Cause classifyMiss(uint64_t tag) const;
+
+    bool everBuilt(uint64_t tag) const
+    {
+        return everBuilt_.count(tag) != 0;
+    }
+    bool inShadow(uint64_t tag) const
+    {
+        return shadowIndex_.count(tag) != 0;
+    }
+    std::size_t shadowSize() const { return shadowLru_.size(); }
+
+    const Histogram &buildToFirstHit() const { return buildToFirstHit_; }
+    const Histogram &hitsBeforeEvict() const { return hitsBeforeEvict_; }
+
+    /** Emit the "array" JSON member (heatmaps + lifetime summary). */
+    void writeJson(JsonWriter &json) const;
+
+    ScalarStat headEvictions;
+    ScalarStat nonHeadEvictions;
+    ScalarStat zeroHitEvictions;
+
+  private:
+    std::size_t cell(unsigned bank, std::size_t set) const
+    {
+        return (std::size_t)bank * sets_ + set;
+    }
+    void shadowInsert(uint64_t tag);
+    void shadowErase(uint64_t tag);
+    uint64_t now() const { return cycles_ ? cycles_->value() : 0; }
+
+    const ScalarStat *cycles_;
+    unsigned banks_;
+    std::size_t sets_;
+    std::size_t shadowCapacity_;
+
+    std::vector<uint64_t> allocHeat_;    ///< bank-major [banks][sets]
+    std::vector<uint64_t> evictHeat_;
+    std::vector<uint64_t> conflictHeat_;
+
+    struct LifeRec
+    {
+        uint64_t buildCycle = 0;
+        uint64_t firstHitCycle = 0;
+        uint64_t hits = 0;
+    };
+    std::unordered_map<uint64_t, LifeRec> live_;
+    std::unordered_set<uint64_t> everBuilt_;
+
+    /** LRU list of evicted tags, most recent at the front. */
+    std::list<uint64_t> shadowLru_;
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator>
+        shadowIndex_;
+
+    Histogram buildToFirstHit_;
+    Histogram hitsBeforeEvict_;
+};
+
+} // namespace xbs
+
+#endif // XBS_ATTRIB_ARRAY_ACCT_HH

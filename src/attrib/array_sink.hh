@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Observer interface for XBC data-array structural events.
+ *
+ * The data array fires these on line allocation, line eviction, and
+ * bank-conflict deferral so the attribution layer can keep
+ * set/bank heatmaps, per-XB lifetime histograms, and the evicted-tag
+ * shadow directory without the array knowing anything about
+ * attribution. Header-only and dependency-free so core can include
+ * it without linking the attrib library.
+ */
+
+#ifndef XBS_ATTRIB_ARRAY_SINK_HH
+#define XBS_ATTRIB_ARRAY_SINK_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xbs
+{
+
+class ArrayEventSink
+{
+  public:
+    virtual ~ArrayEventSink() = default;
+
+    /** A line of XB @p tag was allocated in (@p bank, @p set). */
+    virtual void onAlloc(uint64_t tag, unsigned bank,
+                         std::size_t set) = 0;
+
+    /**
+     * A valid line of XB @p tag in (@p bank, @p set) was evicted.
+     *
+     * @param head      the line was the head (first) line of at
+     *                  least one variant of the tag
+     * @param last_gone no variant of the tag survives the eviction
+     */
+    virtual void onEvict(uint64_t tag, unsigned bank, std::size_t set,
+                         bool head, bool last_gone) = 0;
+
+    /** A supply from (@p bank, @p set) was deferred by a bank
+     *  conflict this cycle. */
+    virtual void onConflict(unsigned bank, std::size_t set) = 0;
+};
+
+} // namespace xbs
+
+#endif // XBS_ATTRIB_ARRAY_SINK_HH

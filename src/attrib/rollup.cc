@@ -1,0 +1,100 @@
+#include "attrib/rollup.hh"
+
+#include "common/json.hh"
+
+namespace xbs
+{
+
+namespace
+{
+
+uint64_t
+sumOf(const std::vector<std::pair<std::string, uint64_t>> &cats)
+{
+    uint64_t sum = 0;
+    for (const auto &[name, count] : cats)
+        sum += count;
+    return sum;
+}
+
+void
+parseCategories(const JsonValue *obj,
+                std::vector<std::pair<std::string, uint64_t>> *out)
+{
+    if (!obj || !obj->isObject())
+        return;
+    for (const auto &[name, value] : obj->members) {
+        uint64_t count = value.asUint();
+        if (count)
+            out->emplace_back(name, count);
+    }
+}
+
+void
+writeCategories(
+    JsonWriter &jw, const std::string &key,
+    const std::vector<std::pair<std::string, uint64_t>> &cats)
+{
+    jw.beginObject(key);
+    for (const auto &[name, count] : cats)
+        jw.field(name, count);
+    jw.endObject();
+}
+
+} // anonymous namespace
+
+uint64_t
+AttribRollup::uopSum() const
+{
+    return sumOf(uops);
+}
+
+uint64_t
+AttribRollup::cycleSum() const
+{
+    return sumOf(cycles);
+}
+
+std::string
+AttribRollup::dominantUopCause() const
+{
+    std::string best;
+    uint64_t most = 0;
+    for (const auto &[name, count] : uops) {
+        if (count > most) {
+            most = count;
+            best = name;
+        }
+    }
+    return best;
+}
+
+AttribRollup
+parseAttribRollup(const JsonValue &obj)
+{
+    AttribRollup r;
+    if (!obj.isObject())
+        return r;
+    r.has = true;
+    if (const JsonValue *v = obj.find("buildUops"))
+        r.buildUops = v->asUint();
+    if (const JsonValue *v = obj.find("silentCycles"))
+        r.silentCycles = v->asUint();
+    parseCategories(obj.find("uops"), &r.uops);
+    parseCategories(obj.find("cycles"), &r.cycles);
+    return r;
+}
+
+void
+writeAttribRollup(JsonWriter &jw, const AttribRollup &r,
+                  const std::string &key)
+{
+    jw.beginObject(key);
+    jw.field("buildUops", r.buildUops);
+    jw.field("silentCycles", r.silentCycles);
+    writeCategories(jw, "uops", r.uops);
+    writeCategories(jw, "cycles", r.cycles);
+    jw.endObject();
+}
+
+} // namespace xbs

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "attrib/rollup.hh"
 #include "common/status.hh"
 #include "sim/config.hh"
 
@@ -79,6 +80,8 @@ struct JobMetrics
     double overallIpc = 0.0;
     uint64_t cycles = 0;
     uint64_t totalUops = 0;
+    /** Root-cause rollup (src/attrib); has==false on old children. */
+    AttribRollup attrib;
 };
 
 /** Per-child host resource usage (wait4; see batch/subprocess). */

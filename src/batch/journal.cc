@@ -18,6 +18,8 @@ writeMetricsFields(JsonWriter &jw, const JobMetrics &m)
     jw.field("overallIpc", m.overallIpc);
     jw.field("cycles", m.cycles);
     jw.field("totalUops", m.totalUops);
+    if (m.attrib.has)
+        writeAttribRollup(jw, m.attrib);
 }
 
 JobMetrics
@@ -34,6 +36,8 @@ readMetricsFields(const JsonValue &v)
         m.cycles = f->asUint();
     if (const JsonValue *f = v.find("totalUops"))
         m.totalUops = f->asUint();
+    if (const JsonValue *f = v.find("attrib"))
+        m.attrib = parseAttribRollup(*f);
     return m;
 }
 

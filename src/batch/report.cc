@@ -98,6 +98,8 @@ renderSweepReport(const std::vector<JobRecord> &records,
                 jw.field("overallIpc", rec.metrics.overallIpc);
                 jw.field("cycles", rec.metrics.cycles);
                 jw.field("totalUops", rec.metrics.totalUops);
+                if (rec.metrics.attrib.has)
+                    writeAttribRollup(jw, rec.metrics.attrib);
                 jw.endObject();
             }
             if (rec.hasUsage) {

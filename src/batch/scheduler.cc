@@ -32,6 +32,8 @@ parseChildMetrics(const std::string &out, JobMetrics *metrics)
         metrics->cycles = f->asUint();
     if (const JsonValue *f = v.find("totalUops"))
         metrics->totalUops = f->asUint();
+    if (const JsonValue *f = v.find("attrib"))
+        metrics->attrib = parseAttribRollup(*f);
     return v.find("bandwidth") != nullptr;
 }
 

@@ -17,6 +17,7 @@ BbtcFrontend::BbtcFrontend(const FrontendParams &params,
       preds_(params_), pipe_(params_, metrics_, preds_, &probes_),
       blocks_(bbtc_params.blocks, &root_)
 {
+    pipe_.attachAttrib(&attrib_);
     ttSets_ = 1u << floorLog2(std::max(
                   1u, bbtcParams_.traceTableEntries /
                           bbtcParams_.traceTableWays));
@@ -128,6 +129,7 @@ BbtcFrontend::supplyTrace(const Trace &trace, const TraceEntry &entry,
 {
     unsigned supplied = 0;
     bool full = true;
+    attrib_.clearDisruption();
 
     for (uint64_t block_ip : entry.blockIps) {
         if (rec >= trace.numRecords())
@@ -135,6 +137,7 @@ BbtcFrontend::supplyTrace(const Trace &trace, const TraceEntry &entry,
         if (trace.inst(rec).ip != block_ip) {
             // Path divergence at block granularity: partial hit.
             full = false;
+            attrib_.noteDisruption(Cause::PartialHit);
             break;
         }
         const CachedBlock *blk = blocks_.lookup(block_ip);
@@ -143,6 +146,7 @@ BbtcFrontend::supplyTrace(const Trace &trace, const TraceEntry &entry,
             // remainder comes from the legacy path.
             ++blockMisses;
             full = false;
+            attrib_.noteDisruption(Cause::StructMiss);
             break;
         }
 
@@ -151,6 +155,7 @@ BbtcFrontend::supplyTrace(const Trace &trace, const TraceEntry &entry,
             if (rec >= trace.numRecords() ||
                 trace.record(rec).staticIdx != bidx) {
                 diverged = true;
+                attrib_.noteDisruption(Cause::PartialHit);
                 break;
             }
             const StaticInst &si = trace.inst(rec);
@@ -158,7 +163,8 @@ BbtcFrontend::supplyTrace(const Trace &trace, const TraceEntry &entry,
             if (si.isControl()) {
                 penalty = predictControl(params_, metrics_, preds_,
                                          trace, rec,
-                                         /*legacy_path=*/false);
+                                         /*legacy_path=*/false,
+                                         &attrib_);
             }
             oracleConsume(rec, bidx, si.numUops);
             supplied += si.numUops;
@@ -189,6 +195,7 @@ BbtcFrontend::run(const Trace &trace)
     unsigned buffer = 0;
     unsigned stall = 0;
     restartFill();
+    attrib_.enterBuild(Cause::ColdStart);
 
     while ((rec < num_records || buffer > 0) && !stopRequested()) {
         ++metrics_.cycles;
@@ -199,6 +206,7 @@ BbtcFrontend::run(const Trace &trace)
         if (stall > 0) {
             --stall;
             ++metrics_.stallCycles;
+            attrib_.chargeSilentCycle();
             buffer -= std::min(buffer, params_.renamerWidth);
             continue;
         }
@@ -218,6 +226,7 @@ BbtcFrontend::run(const Trace &trace)
                         mode = Mode::Build;
                         ++metrics_.modeSwitches;
                         restartFill();
+                        attrib_.enterBuild(Cause::PartialHit);
                         --metrics_.deliveryCycles;
                         continue;
                     }
@@ -227,6 +236,7 @@ BbtcFrontend::run(const Trace &trace)
                     mode = Mode::Build;
                     ++metrics_.modeSwitches;
                     restartFill();
+                    attrib_.enterBuild(Cause::StructMiss);
                     --metrics_.deliveryCycles;
                     continue;
                 }
@@ -236,10 +246,12 @@ BbtcFrontend::run(const Trace &trace)
             buffer -= drained;
         } else {
             ++metrics_.buildCycles;
+            attrib_.chargeBuildCycle();
             std::size_t prev = rec;
             ScopedPhase buildTimer(prof_, phBuild_);
             LegacyPipe::Result r = pipe_.cycle(trace, rec);
             metrics_.buildUops += r.uops;
+            attrib_.chargeBuildUops(r.uops);
             stall += r.stall;
             bool completed = false;
             for (std::size_t i = prev; i < rec; ++i) {

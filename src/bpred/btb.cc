@@ -102,8 +102,10 @@ ReturnStack::push(uint64_t return_ip)
 uint64_t
 ReturnStack::pop()
 {
-    if (size_ == 0)
+    if (size_ == 0) {
+        ++underflows_;
         return 0;
+    }
     uint64_t v = stack_[topIdx_];
     topIdx_ = (topIdx_ + stack_.size() - 1) % stack_.size();
     --size_;
@@ -121,6 +123,7 @@ ReturnStack::reset()
 {
     topIdx_ = 0;
     size_ = 0;
+    underflows_ = 0;
 }
 
 IndirectPredictor::IndirectPredictor(unsigned num_sets, unsigned ways)

@@ -73,12 +73,19 @@ class ReturnStack
     uint64_t top() const;
 
     unsigned size() const { return size_; }
+
+    /** Pops that found the stack empty (deep call chains wrapping
+     *  the circular stack; attribution splits return mispredicts on
+     *  this). */
+    uint64_t underflows() const { return underflows_; }
+
     void reset();
 
   private:
     std::vector<uint64_t> stack_;
     unsigned topIdx_ = 0;
     unsigned size_ = 0;
+    uint64_t underflows_ = 0;
 };
 
 /**

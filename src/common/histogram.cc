@@ -1,6 +1,7 @@
 #include "common/histogram.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/logging.hh"
@@ -9,7 +10,7 @@ namespace xbs
 {
 
 Histogram::Histogram(uint32_t max_value)
-    : bins_(max_value + 1, 0)
+    : bins_((std::size_t)max_value + 1, 0)
 {
 }
 
@@ -57,7 +58,14 @@ Histogram::percentile(double p) const
 {
     if (!total_)
         return 0;
-    uint64_t target = (uint64_t)(p * (double)total_);
+    p = std::clamp(p, 0.0, 1.0);
+    // cdf(v) = acc/total >= p with integer acc is exactly
+    // acc >= ceil(p * total); truncation instead would return a bin
+    // below the requested rank for any fractional target (and bin 0
+    // for small totals before any mass is accumulated).
+    uint64_t target = (uint64_t)std::ceil(p * (double)total_);
+    if (target == 0)
+        target = 1;
     uint64_t acc = 0;
     for (uint32_t v = 0; v < bins_.size(); ++v) {
         acc += bins_[v];

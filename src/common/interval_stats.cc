@@ -118,8 +118,14 @@ IntervalSampler::finish(uint64_t cycle)
     finished_ = true;
     tick(cycle);
     // Residual partial window (also emitted when empty so the stream
-    // always covers [0, cycle] completely).
-    if (cycle > windowStart_ || windows_ == 0)
+    // always covers [0, cycle] completely). A run ending exactly on a
+    // boundary can still have uncommitted deltas — counters bumped
+    // after the boundary tick — which must not be dropped, or the
+    // sum-of-windows == aggregate guarantee breaks.
+    bool pending = false;
+    for (std::size_t i = 0; i < stats_.size() && !pending; ++i)
+        pending = stats_[i]->value() != prev_[i];
+    if (cycle > windowStart_ || windows_ == 0 || pending)
         emitWindow(windowStart_, cycle);
     if (os_)
         os_->flush();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/fs.hh"
 #include "common/logging.hh"
 
 namespace xbs
@@ -448,6 +449,57 @@ parseJson(const std::string &text, JsonValue *out, std::string *error)
     JsonParser parser(text, error);
     *out = JsonValue{};
     return parser.parse(out);
+}
+
+Expected<JsonValue>
+readJsonFile(const std::string &path)
+{
+    Expected<std::string> text = readFileToString(path);
+    if (!text.ok())
+        return text.status();
+    JsonValue doc;
+    std::string err;
+    if (!parseJson(text.value(), &doc, &err))
+        return Status::error("malformed JSON: " + err).withFile(path);
+    return doc;
+}
+
+JsonlScan
+forEachJsonLine(std::istream &is,
+                const std::function<bool(const JsonValue &)> &fn)
+{
+    JsonlScan scan;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        JsonValue doc;
+        std::string err;
+        if (!parseJson(line, &doc, &err) || !doc.isObject()) {
+            scan.badLine = lineno;
+            scan.error = err.empty() ? "not a JSON object" : err;
+            break;
+        }
+        ++scan.objects;
+        if (!fn(doc))
+            break;
+    }
+    return scan;
+}
+
+const JsonValue *
+findBySuffix(const JsonValue &obj, const std::string &suffix)
+{
+    for (const auto &[key, value] : obj.members) {
+        if (key.size() >= suffix.size() &&
+            key.compare(key.size() - suffix.size(), suffix.size(),
+                        suffix) == 0) {
+            return &value;
+        }
+    }
+    return nullptr;
 }
 
 } // namespace xbs

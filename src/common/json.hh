@@ -11,9 +11,13 @@
 #define XBS_COMMON_JSON_HH
 
 #include <cstdint>
+#include <functional>
+#include <istream>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "common/status.hh"
 
 namespace xbs
 {
@@ -111,6 +115,36 @@ struct JsonValue
  */
 bool parseJson(const std::string &text, JsonValue *out,
                std::string *error = nullptr);
+
+/** Slurp @p path and parse it as one JSON document. */
+Expected<JsonValue> readJsonFile(const std::string &path);
+
+/** Outcome of a JSONL scan (see forEachJsonLine). */
+struct JsonlScan
+{
+    std::size_t objects = 0;  ///< complete objects delivered
+    std::size_t badLine = 0;  ///< 1-based first malformed line (0: none)
+    std::string error;        ///< parse diagnostic for badLine
+
+    bool clean() const { return badLine == 0; }
+};
+
+/**
+ * Iterate a JSONL stream: parse each non-empty line as one JSON
+ * object and hand it to @p fn (return false to stop early). The scan
+ * stops at the first malformed or non-object line — a torn tail from
+ * a crashed writer — keeping every complete object before it; the
+ * damage is reported in the result rather than thrown, so callers
+ * choose between tolerating (bench rollups) and failing (reports).
+ */
+JsonlScan forEachJsonLine(
+    std::istream &is,
+    const std::function<bool(const JsonValue &)> &fn);
+
+/** Object member whose key *ends with* @p suffix, or nullptr; used
+ *  to pick one stat out of a dotted-path delta map. */
+const JsonValue *findBySuffix(const JsonValue &obj,
+                              const std::string &suffix);
 
 } // namespace xbs
 

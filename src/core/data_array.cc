@@ -97,11 +97,16 @@ void
 XbcDataArray::dropVariantsUsing(uint64_t tag, std::size_t set,
                                 unsigned bank, unsigned way)
 {
-    (void)set;
     auto it = directory_.find(tag);
-    if (it == directory_.end())
+    if (it == directory_.end()) {
+        // Line outlived every variant of its tag; still an eviction
+        // for the structure-accounting heatmap.
+        if (sink_)
+            sink_->onEvict(tag, bank, set, false, false);
         return;
+    }
     auto &vars = it->second;
+    bool head = false;
 
     // Paper section 3.10: evicting a head line still leaves the XB
     // enterable in its middle, so a variant losing a line keeps its
@@ -117,6 +122,8 @@ XbcDataArray::dropVariantsUsing(uint64_t tag, std::size_t set,
         }
         if (hit == v.lines.size())
             continue;
+        if (hit == 0)
+            head = true;
         ++variantDrops;
         std::size_t keep_uops = 0;
         for (std::size_t i = hit + 1; i < v.lines.size(); ++i)
@@ -147,8 +154,11 @@ XbcDataArray::dropVariantsUsing(uint64_t tag, std::size_t set,
             }
         }
     }
-    if (vars.empty())
+    bool last_gone = vars.empty();
+    if (last_gone)
         directory_.erase(it);
+    if (sink_)
+        sink_->onEvict(tag, bank, set, head, last_gone);
 }
 
 std::optional<XbcDataArray::LineUse>
@@ -206,6 +216,8 @@ XbcDataArray::allocLine(uint64_t tag, std::size_t set,
         victim->lru = ++clock_;
         victim->conflict = 0;
         victim->slots.clear();
+        if (sink_)
+            sink_->onAlloc(tag, ref.bank, set);
         return ref;
     }
     return std::nullopt;
@@ -573,6 +585,8 @@ XbcDataArray::noteConflict(const Variant &variant,
     BankLine &l = line(lu, set);
     ++l.conflict;
     conflictProbe_.fire((int64_t)line_pos);
+    if (sink_)
+        sink_->onConflict(lu.bank, set);
     if (!params_.dynamicPlacement ||
         l.conflict < params_.dynamicPlacementThreshold) {
         return false;

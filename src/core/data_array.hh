@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "attrib/array_sink.hh"
 #include "common/probe.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -161,6 +162,11 @@ class XbcDataArray : public StatGroup
     unsigned numSets() const { return numSets_; }
     std::size_t setOf(uint64_t tag) const;
 
+    /** Attach (or detach, with nullptr) a structural-event observer
+     *  (src/attrib's ArrayAccounting): allocation, eviction, and
+     *  bank-conflict events with their (bank, set) coordinates. */
+    void setEventSink(ArrayEventSink *sink) { sink_ = sink; }
+
     /**
      * Non-aborting structural audit: walks every variant and line,
      * checking the paper's invariants — single exit, the 16-uop
@@ -247,7 +253,9 @@ class XbcDataArray : public StatGroup
                          unsigned way) const;
     BankLine &line(const LineUse &lu, std::size_t set);
 
-    /** Remove variants of @p tag that reference (bank, way). */
+    /** Remove variants of @p tag that reference (bank, way). Called
+     *  exactly once per line eviction, so it also fires the event
+     *  sink's onEvict with head/last-variant classification. */
     void dropVariantsUsing(uint64_t tag, std::size_t set,
                            unsigned bank, unsigned way);
 
@@ -309,6 +317,8 @@ class XbcDataArray : public StatGroup
     ProbePoint conflictProbe_;
     ProbePoint occupancyProbe_;
     /// @}
+
+    ArrayEventSink *sink_ = nullptr;
 };
 
 } // namespace xbs

@@ -18,8 +18,14 @@ XbcFrontend::XbcFrontend(const FrontendParams &params,
       xrsb_(xbcParams_.xrsbDepth),
       fill_(xbcParams_, array_, xbtb_, &root_, &probes_),
       outMux_(xbcParams_, &root_),
-      prio_(xbcParams_.numBanks, &root_)
+      prio_(xbcParams_.numBanks, &root_),
+      arrayAcct_(&attrib_, &metrics_.cycles, xbcParams_.numBanks,
+                 array_.numSets(),
+                 (std::size_t)xbcParams_.numBanks *
+                     array_.numSets() * xbcParams_.ways)
 {
+    pipe_.attachAttrib(&attrib_);
+    array_.setEventSink(&arrayAcct_);
 }
 
 void
@@ -110,6 +116,10 @@ XbcFrontend::handleXbEnd(const Trace &trace, std::size_t end_rec)
 
     Xbtb::Entry *e = xbtb_.lookup(si.ip);
 
+    // Root cause a build entry from this resolution would have: a
+    // missing/stale XBTB pointer unless a predictor misfired first.
+    Cause build_cause = Cause::XbtbMiss;
+
     auto accept = [&](const XbPointer &cand) {
         if (cand.valid && cand.entryIdx == actual_next) {
             r.next = cand;
@@ -127,6 +137,9 @@ XbcFrontend::handleXbEnd(const Trace &trace, std::size_t end_rec)
             ++metrics_.condMispredicts;
             r.penalty += params_.mispredictPenalty;
             condMispredProbe_.fire((int64_t)params_.mispredictPenalty);
+            attrib_.noteStall(Cause::CondMispredict,
+                              params_.mispredictPenalty);
+            build_cause = Cause::CondMispredict;
         }
         if (e) {
             e->trainCounter(taken);
@@ -156,6 +169,9 @@ XbcFrontend::handleXbEnd(const Trace &trace, std::size_t end_rec)
             r.penalty += params_.mispredictPenalty;
             indirectMispredProbe_.fire(
                 (int64_t)params_.mispredictPenalty);
+            attrib_.noteStall(Cause::IndirectMispredict,
+                              params_.mispredictPenalty);
+            build_cause = Cause::IndirectMispredict;
             r.toBuild = true;   // misfetch: target XB unknown
         } else {
             r.next = cand;
@@ -179,6 +195,11 @@ XbcFrontend::handleXbEnd(const Trace &trace, std::size_t end_rec)
             r.penalty += params_.mispredictPenalty;
             returnMispredProbe_.fire(
                 (int64_t)params_.mispredictPenalty);
+            attrib_.noteStall(Cause::ReturnMispredict,
+                              params_.mispredictPenalty);
+            build_cause = Cause::ReturnMispredict;
+            if (call_ip == 0)
+                attrib_.noteRsbUnderflow();
             r.toBuild = true;
         } else {
             r.next = cand;
@@ -200,6 +221,8 @@ XbcFrontend::handleXbEnd(const Trace &trace, std::size_t end_rec)
         xbs_panic("unexpected XB end class");
     }
 
+    if (r.toBuild)
+        attrib_.noteDisruption(build_cause);
     if (r.next.valid)
         linkPrev(r.next);  // refresh the pointer we will follow
     return r;
@@ -241,6 +264,8 @@ XbcFrontend::supplySlot(const Trace &trace, std::size_t &rec,
             // repaired, supply resumes next cycle.
             stall += xbcParams_.setSearchPenalty;
             setSearchPenalties += xbcParams_.setSearchPenalty;
+            attrib_.noteStall(Cause::SetSearch,
+                              xbcParams_.setSearchPenalty);
             cur_.mask = acc.variant->mask;
             linkPrev(cur_);
             return 0;
@@ -248,15 +273,19 @@ XbcFrontend::supplySlot(const Trace &trace, std::size_t &rec,
     }
     if (!acc.variant) {
         cur_.valid = false;  // XBC miss: switch to build when drained
+        attrib_.noteDisruption(arrayAcct_.classifyMiss(cur_.xbIp));
         return 0;
     }
 
     const XbcDataArray::Variant &v = *acc.variant;
     const std::size_t entry_pos = acc.entryPos;
-    if (curIsContinuation_)
+    attrib_.clearDisruption();
+    if (curIsContinuation_) {
         ++xbContinuations;
-    else
+    } else {
         ++xbSupplies;
+        arrayAcct_.onHit(v.tag);
+    }
 
     // Bank-conflict horizon (section 3.6): the priority encoder
     // serves one line per bank per cycle, so the first needed line
@@ -324,6 +353,7 @@ XbcFrontend::supplySlot(const Trace &trace, std::size_t &rec,
                 // delivered stream.
                 ++staleSupplies;
                 cur_.valid = false;
+                attrib_.noteDisruption(Cause::PartialHit);
                 xb_ended = true;
                 break;
             }
@@ -333,6 +363,8 @@ XbcFrontend::supplySlot(const Trace &trace, std::size_t &rec,
                 promotedWrongProbe_.fire(
                     (int64_t)params_.mispredictPenalty);
                 stall += params_.mispredictPenalty;
+                attrib_.noteStall(Cause::PromotionRecovery,
+                                  params_.mispredictPenalty);
                 bool br_taken = trace.record(rec - 1).taken != 0;
                 Xbtb::Entry *be = xbtb_.find(br.ip);
                 prev_.kind = br_taken ? PrevLink::Kind::Taken
@@ -347,10 +379,12 @@ XbcFrontend::supplySlot(const Trace &trace, std::size_t &rec,
                     linkPrev(cur_);
                 } else {
                     cur_.valid = false;
+                    attrib_.noteDisruption(Cause::PromotionRecovery);
                 }
             } else {
                 ++staleSupplies;
                 cur_.valid = false;
+                attrib_.noteDisruption(Cause::PartialHit);
             }
             xb_ended = true;
             break;
@@ -446,6 +480,7 @@ XbcFrontend::supplySlot(const Trace &trace, std::size_t &rec,
         // at the first unsupplied instruction.
         if (conflicted && p >= limit) {
             ++bankConflictDefers;
+            ++attrib_.bankConflictDefers;
             uint32_t all = (uint32_t)mask(xbcParams_.numBanks);
             array_.noteConflict(v, conflict_line,
                                 all & ~prio_.busyMask());
@@ -551,10 +586,12 @@ XbcFrontend::buildCycle(const Trace &trace, std::size_t &rec,
                         unsigned &stall, Mode &mode)
 {
     ++metrics_.buildCycles;
+    attrib_.chargeBuildCycle();
     std::size_t prev_rec = rec;
     ScopedPhase buildTimer(prof_, phBuild_);
     LegacyPipe::Result r = pipe_.cycle(trace, rec);
     metrics_.buildUops += r.uops;
+    attrib_.chargeBuildUops(r.uops);
     stall += r.stall;
     for (std::size_t i = prev_rec; i < rec; ++i) {
         oracleConsume(i, kNoTarget, 0);
@@ -585,6 +622,7 @@ XbcFrontend::run(const Trace &trace)
     curIsContinuation_ = false;
     prev_ = PrevLink{};
     fill_.restart();
+    attrib_.enterBuild(Cause::ColdStart);
 
     while ((rec < num_records || buffer > 0) && !stopRequested()) {
         ++metrics_.cycles;
@@ -598,6 +636,7 @@ XbcFrontend::run(const Trace &trace)
             // steady-state bandwidth metric.
             --stall;
             ++metrics_.stallCycles;
+            attrib_.chargeSilentCycle();
             buffer -= std::min(buffer, params_.renamerWidth);
             continue;
         }
@@ -617,6 +656,9 @@ XbcFrontend::run(const Trace &trace)
             --metrics_.deliveryCycles;
             ++metrics_.modeSwitches;
             fill_.restart();
+            // The real cause was noted at the invalidating event;
+            // Unattributed only backstops an unnoted invalidation.
+            attrib_.enterBuild(Cause::Unattributed);
             mode = Mode::Build;
             buildCycle(trace, rec, stall, mode);
             continue;

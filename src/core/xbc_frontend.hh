@@ -23,6 +23,7 @@
 #ifndef XBS_CORE_XBC_FRONTEND_HH
 #define XBS_CORE_XBC_FRONTEND_HH
 
+#include "attrib/array_acct.hh"
 #include "core/data_array.hh"
 #include "core/fill_unit.hh"
 #include "core/out_mux.hh"
@@ -50,6 +51,12 @@ class XbcFrontend : public Frontend
     const OutMux &outMux() const { return outMux_; }
     const PriorityEncoder &priorityEncoder() const { return prio_; }
     const XbcParams &xbcParams() const { return xbcParams_; }
+
+    /** Structure accounting (heatmaps, lifetimes, shadow 3C). */
+    const ArrayAccounting *arrayAccounting() const override
+    {
+        return &arrayAcct_;
+    }
 
     /// @{ Verification interface (src/verify): mutable access for
     ///    the fault injectors and the invariant auditor's tamper
@@ -163,6 +170,7 @@ class XbcFrontend : public Frontend
     XbcFillUnit fill_;
     OutMux outMux_;
     PriorityEncoder prio_;
+    ArrayAccounting arrayAcct_;
 
     /** Per-cycle line contributions for the OUT_MUX model. */
     std::vector<MuxInput> cycleMux_;

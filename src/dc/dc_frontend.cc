@@ -12,6 +12,7 @@ DcFrontend::DcFrontend(const FrontendParams &params,
     : Frontend("dcfe", params), dcParams_(dc_params), preds_(params_),
       pipe_(params_, metrics_, preds_, &probes_), dc_(dcParams_, &root_)
 {
+    pipe_.attachAttrib(&attrib_);
 }
 
 unsigned
@@ -40,6 +41,7 @@ DcFrontend::supplyRun(const Trace &trace, std::size_t &rec,
                 miss = supplied == 0;
                 break;
             }
+            attrib_.clearDisruption();
             line = l;
             cur_window = window;
         } else {
@@ -68,7 +70,8 @@ DcFrontend::supplyRun(const Trace &trace, std::size_t &rec,
                            trace.record(rec).taken == 0);
         if (si.isControl()) {
             stall += predictControl(params_, metrics_, preds_, trace,
-                                    rec, /*legacy_path=*/true);
+                                    rec, /*legacy_path=*/true,
+                                    &attrib_);
         }
         ++rec;
         if (redirects || stall > 0)
@@ -84,6 +87,7 @@ DcFrontend::run(const Trace &trace)
     std::size_t rec = 0;
     Mode mode = Mode::Build;
     unsigned stall = 0;
+    attrib_.enterBuild(Cause::ColdStart);
 
     while (rec < num_records && !stopRequested()) {
         ++metrics_.cycles;
@@ -92,6 +96,7 @@ DcFrontend::run(const Trace &trace)
         if (stall > 0) {
             --stall;
             ++metrics_.stallCycles;
+            attrib_.chargeSilentCycle();
             continue;
         }
 
@@ -106,6 +111,7 @@ DcFrontend::run(const Trace &trace)
             if (miss) {
                 mode = Mode::Build;
                 ++metrics_.modeSwitches;
+                attrib_.enterBuild(Cause::StructMiss);
                 --metrics_.cycles;  // re-issue this cycle as build
                 continue;
             }
@@ -114,10 +120,12 @@ DcFrontend::run(const Trace &trace)
             metrics_.renamedUops += got;
         } else {
             ++metrics_.buildCycles;
+            attrib_.chargeBuildCycle();
             std::size_t prev = rec;
             ScopedPhase timer(prof_, phBuild_);
             LegacyPipe::Result r = pipe_.cycle(trace, rec);
             metrics_.buildUops += r.uops;
+            attrib_.chargeBuildUops(r.uops);
             stall += r.stall;
             for (std::size_t i = prev; i < rec; ++i) {
                 oracleConsume(i, kNoTarget, 0);

@@ -12,6 +12,7 @@
 #ifndef XBS_FRONTEND_CONTROL_HH
 #define XBS_FRONTEND_CONTROL_HH
 
+#include "attrib/recorder.hh"
 #include "frontend/metrics.hh"
 #include "frontend/params.hh"
 #include "frontend/predictors.hh"
@@ -26,17 +27,29 @@ namespace xbs
  * @param legacy_path when true, model the decode-stage redirect cost
  *        of taken direct transfers that miss the BTB (the decoded
  *        cache structures carry their own pointers, so they skip it)
+ * @param attrib when attached, each penalty is also noted as pending
+ *        stall units and a build-entry disruption cause, keyed by
+ *        its predictor source (see src/attrib)
  * @return penalty cycles (0 when everything was predicted right)
  */
 inline unsigned
 predictControl(const FrontendParams &params, FrontendMetrics &metrics,
                PredictorBank &preds, const Trace &trace,
-               std::size_t rec, bool legacy_path)
+               std::size_t rec, bool legacy_path,
+               AttribRecorder *attrib = nullptr)
 {
     const StaticInst &si = trace.inst(rec);
     const bool taken = trace.record(rec).taken != 0;
     const uint64_t actual_target = trace.nextIp(rec);
     unsigned penalty = 0;
+
+    auto charge = [&](Cause cause, unsigned p) {
+        penalty += p;
+        if (attrib) {
+            attrib->noteStall(cause, p);
+            attrib->noteDisruption(cause);
+        }
+    };
 
     switch (si.cls) {
       case InstClass::CondBranch: {
@@ -45,11 +58,11 @@ predictControl(const FrontendParams &params, FrontendMetrics &metrics,
         preds.gshare.update(si.ip, taken);
         if (pred != taken) {
             ++metrics.condMispredicts;
-            penalty += params.mispredictPenalty;
+            charge(Cause::CondMispredict, params.mispredictPenalty);
         } else if (taken && legacy_path) {
             if (!preds.btb.lookup(si.ip)) {
                 ++metrics.btbMisses;
-                penalty += params.btbMissPenalty;
+                charge(Cause::BtbMiss, params.btbMissPenalty);
             }
         }
         if (taken && actual_target)
@@ -61,7 +74,7 @@ predictControl(const FrontendParams &params, FrontendMetrics &metrics,
         if (legacy_path) {
             if (!preds.btb.lookup(si.ip)) {
                 ++metrics.btbMisses;
-                penalty += params.btbMissPenalty;
+                charge(Cause::BtbMiss, params.btbMissPenalty);
             }
         }
         if (actual_target)
@@ -76,7 +89,8 @@ predictControl(const FrontendParams &params, FrontendMetrics &metrics,
         auto pred = preds.indirect.predict(si.ip);
         if (!pred || (actual_target && *pred != actual_target)) {
             ++metrics.indirectMispredicts;
-            penalty += params.mispredictPenalty;
+            charge(Cause::IndirectMispredict,
+                   params.mispredictPenalty);
         }
         if (actual_target)
             preds.indirect.update(si.ip, actual_target);
@@ -86,10 +100,13 @@ predictControl(const FrontendParams &params, FrontendMetrics &metrics,
       }
       case InstClass::Return: {
         ++metrics.returns;
+        bool underflow = preds.rsb.size() == 0;
         uint64_t pred = preds.rsb.pop();
         if (actual_target && pred != actual_target) {
             ++metrics.returnMispredicts;
-            penalty += params.mispredictPenalty;
+            charge(Cause::ReturnMispredict, params.mispredictPenalty);
+            if (attrib && underflow)
+                attrib->noteRsbUnderflow();
         }
         break;
       }

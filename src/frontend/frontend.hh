@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "attrib/recorder.hh"
 #include "common/interval_stats.hh"
 #include "common/probe.hh"
 #include "common/stats.hh"
@@ -86,6 +87,16 @@ class Frontend
     /** Probe registry; attach a sink here to capture event traces. */
     ProbeManager &probes() { return probes_; }
     const ProbeManager &probes() const { return probes_; }
+
+    /** Root-cause attribution recorder (src/attrib). */
+    AttribRecorder &attrib() { return attrib_; }
+    const AttribRecorder &attrib() const { return attrib_; }
+
+    /** XBC structure accounting, when this frontend has one. */
+    virtual const ArrayAccounting *arrayAccounting() const
+    {
+        return nullptr;
+    }
 
     /** Attach (or detach, with nullptr) an interval sampler ticked
      *  once per simulated cycle during run(). */
@@ -237,6 +248,7 @@ class Frontend
     FrontendParams params_;
     ProbeManager probes_;
     ProbePoint modeProbe_{&probes_, "mode", "mode"};
+    AttribRecorder attrib_{&root_, &probes_};
 
     /// @{ Host-time profiling (null/kNoPhase when detached).
     PhaseProfiler *prof_ = nullptr;

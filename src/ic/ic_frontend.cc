@@ -7,6 +7,7 @@ IcFrontend::IcFrontend(const FrontendParams &params)
     : Frontend("ic", params), preds_(params),
       pipe_(params_, metrics_, preds_, &probes_)
 {
+    pipe_.attachAttrib(&attrib_);
 }
 
 void
@@ -31,6 +32,7 @@ IcFrontend::run(const Trace &trace)
         metrics_.renamedUops += r.uops;
         metrics_.cycles += r.stall;
         metrics_.stallCycles += r.stall;
+        attrib_.chargeSilentCycles(r.stall);
         observeCycle();
         traceMode("delivery");
     }

@@ -26,7 +26,7 @@ LegacyPipe::handleControl(const Trace &trace, std::size_t rec)
     ScopedPhase timer(prof_, phPredict_);
     unsigned penalty = predictControl(params_, metrics_, preds_,
                                       trace, rec,
-                                      /*legacy_path=*/true);
+                                      /*legacy_path=*/true, attrib_);
     if (penalty > 0)
         resteerProbe_.fire((int64_t)penalty);
     return penalty;
@@ -63,13 +63,18 @@ LegacyPipe::cycle(const Trace &trace, std::size_t &rec)
                 // Fill from the unified L2; a second miss goes all
                 // the way to memory.
                 unsigned latency;
+                Cause cause;
                 if (l2_.access(line)) {
                     latency = params_.icMissLatency;
+                    cause = Cause::IcMiss;
                 } else {
                     ++metrics_.l2Misses;
                     latency = params_.l2MissLatency;
+                    cause = Cause::L2Miss;
                 }
                 res.stall += latency;
+                if (attrib_)
+                    attrib_->noteStall(cause, latency);
                 icMissProbe_.fire((int64_t)latency);
                 missed = true;
             }

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 
+#include "attrib/recorder.hh"
 #include "common/probe.hh"
 #include "frontend/metrics.hh"
 #include "frontend/params.hh"
@@ -76,6 +77,11 @@ class LegacyPipe
                           : PhaseProfiler::kNoPhase;
     }
 
+    /** Attach (or detach, with nullptr) the owning frontend's
+     *  attribution recorder: IC/L2 fill stalls and predictor
+     *  penalties are noted with their root cause (src/attrib). */
+    void attachAttrib(AttribRecorder *attrib) { attrib_ = attrib; }
+
   private:
     /**
      * Predict and train on the control instruction at record @p rec;
@@ -98,6 +104,8 @@ class LegacyPipe
 
     PhaseProfiler *prof_ = nullptr;
     unsigned phPredict_ = PhaseProfiler::kNoPhase;
+
+    AttribRecorder *attrib_ = nullptr;
 };
 
 } // namespace xbs

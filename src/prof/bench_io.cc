@@ -86,19 +86,11 @@ readIntervalFile(const std::string &path)
     iv.has = true;
     Histogram bw(kBwMaxMilli);
     std::istringstream is(text.value());
-    std::string line;
-    while (std::getline(is, line)) {
-        if (line.empty())
-            continue;
-        JsonValue window;
-        if (!parseJson(line, &window) || !window.isObject()) {
-            iv.torn = true;
-            break;
-        }
+    JsonlScan scan = forEachJsonLine(is, [&](const JsonValue &window) {
         const JsonValue *b = window.find("bandwidth");
         if (!b) {
             iv.torn = true;
-            break;
+            return false;
         }
         double milli = b->asNumber() * kBwScale;
         if (milli < 0.0)
@@ -107,7 +99,10 @@ readIntervalFile(const std::string &path)
             milli = kBwMaxMilli;
         bw.add((uint32_t)std::lround(milli));
         ++iv.windows;
-    }
+        return true;
+    });
+    if (!scan.clean())
+        iv.torn = true;
     if (iv.windows > 0) {
         iv.bwP50 = (double)bw.percentile(0.50) / kBwScale;
         iv.bwP95 = (double)bw.percentile(0.95) / kBwScale;
@@ -140,6 +135,8 @@ writeRow(JsonWriter &jw, const BenchRow &row)
         jw.field("bwP99", row.intervals.bwP99);
         jw.endObject();
     }
+    if (row.attrib.has)
+        writeAttribRollup(jw, row.attrib);
     jw.endObject();
 }
 
@@ -181,6 +178,8 @@ parseRow(const JsonValue &obj)
         if (const JsonValue *w = v->find("bwP99"))
             row.intervals.bwP99 = w->asNumber();
     }
+    if (const JsonValue *v = obj.find("attrib"))
+        row.attrib = parseAttribRollup(*v);
     return row;
 }
 
@@ -190,14 +189,12 @@ Expected<BenchReport>
 aggregateSweepDir(const std::string &dir)
 {
     const std::string report_path = dir + "/report.json";
-    Expected<std::string> text = readFileToString(report_path);
-    if (!text.ok())
-        return text.status();
-
-    JsonValue doc;
-    std::string err;
-    if (!parseJson(text.value(), &doc, &err) || !doc.isObject()) {
-        return Status::error("malformed sweep report: " + err)
+    Expected<JsonValue> parsed = readJsonFile(report_path);
+    if (!parsed.ok())
+        return parsed.status();
+    const JsonValue &doc = parsed.value();
+    if (!doc.isObject()) {
+        return Status::error("malformed sweep report: not an object")
             .withFile(report_path);
     }
 
@@ -267,6 +264,8 @@ aggregateSweepDir(const std::string &dir)
             row.cycles = v->asUint();
         if (const JsonValue *v = metrics->find("totalUops"))
             row.totalUops = v->asUint();
+        if (const JsonValue *v = metrics->find("attrib"))
+            row.attrib = parseAttribRollup(*v);
 
         if (const JsonValue *ru = job.find("rusage");
             ru && ru->isObject()) {
@@ -457,6 +456,50 @@ compareMetric(RegressReport &out, const RegressOptions &opts,
     out.deltas.push_back(std::move(d));
 }
 
+/**
+ * Name the attribution category whose uop count moved the most
+ * between two rollups ("" when nothing moved); used to annotate a
+ * regressed row with its dominant loss source.
+ */
+std::string
+dominantAttribShift(const AttribRollup &base, const AttribRollup &cur)
+{
+    auto countOf =
+        [](const std::vector<std::pair<std::string, uint64_t>> &cats,
+           const std::string &name) -> uint64_t {
+        for (const auto &[n, c] : cats)
+            if (n == name)
+                return c;
+        return 0;
+    };
+    std::string best;
+    int64_t best_shift = 0;
+    uint64_t best_mag = 0;
+    auto consider = [&](const std::string &name) {
+        if (name == best)
+            return;
+        int64_t shift = (int64_t)countOf(cur.uops, name) -
+                        (int64_t)countOf(base.uops, name);
+        uint64_t mag = (uint64_t)(shift < 0 ? -shift : shift);
+        if (mag > best_mag) {
+            best_mag = mag;
+            best_shift = shift;
+            best = name;
+        }
+    };
+    for (const auto &[name, count] : base.uops)
+        consider(name);
+    for (const auto &[name, count] : cur.uops)
+        consider(name);
+    if (best.empty())
+        return "";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s %s%lld buildUops",
+                  best.c_str(), best_shift >= 0 ? "+" : "",
+                  (long long)best_shift);
+    return buf;
+}
+
 void
 missingMetric(RegressReport &out, const std::string &name,
               double baseline, bool host)
@@ -491,6 +534,7 @@ compareBench(const BenchReport &current, const BenchReport &baseline,
             continue;
         }
         const BenchRow &cur = *it;
+        const std::size_t row_regressions = out.regressions;
         compareMetric(out, opts, base.id + ".missRate",
                       base.missRate, cur.missRate, Direction::Lower,
                       false);
@@ -524,6 +568,16 @@ compareBench(const BenchReport &current, const BenchReport &baseline,
                               cur.intervals.bwP99, Direction::Higher,
                               false);
             }
+        }
+        // A regressed row with attribution on both sides gets a note
+        // naming where the loss went, so the gate failure points at a
+        // mechanism and not just a number.
+        if (out.regressions > row_regressions && base.attrib.has &&
+            cur.attrib.has) {
+            std::string shift =
+                dominantAttribShift(base.attrib, cur.attrib);
+            if (!shift.empty())
+                out.attribNotes.push_back(base.id + ": " + shift);
         }
     }
 
@@ -575,6 +629,8 @@ renderRegressTable(const RegressReport &report, bool all)
     std::ostringstream os;
     for (const std::string &note : report.buildNotes)
         os << "note: build differs: " << note << "\n";
+    for (const std::string &note : report.attribNotes)
+        os << "note: dominant loss shift: " << note << "\n";
     if (report.buildMismatch) {
         os << (report.buildGated ? "FAIL" : "note")
            << ": baseline build incompatible (buildType/sanitizer "
@@ -614,6 +670,10 @@ renderBenchRecord(const BenchReport &current,
         jw.field("improved", (uint64_t)regress.improvements);
         jw.field("buildMismatch", regress.buildMismatch);
         jw.endObject();
+        jw.beginArray("attribNotes");
+        for (const std::string &note : regress.attribNotes)
+            jw.field("", note);
+        jw.endArray();
         jw.beginArray("flagged");
         for (const MetricDelta &d : regress.deltas) {
             if (d.verdict == MetricVerdict::Pass && !d.improved)

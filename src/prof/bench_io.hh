@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "attrib/rollup.hh"
 #include "common/status.hh"
 #include "prof/build_info.hh"
 
@@ -74,6 +75,7 @@ struct BenchRow
 
     BenchHost host;
     BenchIntervals intervals;
+    AttribRollup attrib;  ///< root-cause rollup (has==false: absent)
 };
 
 /** The whole artifact. */
@@ -145,6 +147,9 @@ struct RegressReport
 {
     std::vector<MetricDelta> deltas;
     std::vector<std::string> buildNotes;  ///< soft build differences
+    /** One line per regressed row naming the attribution category
+     *  that moved the most (both sides need attrib data). */
+    std::vector<std::string> attribNotes;
     bool buildMismatch = false;  ///< hard (type/sanitizer) mismatch
     bool buildGated = false;     ///< mismatch counts as a failure
     std::size_t compared = 0;

@@ -14,6 +14,7 @@ TcFrontend::TcFrontend(const FrontendParams &params,
           &root_, &probes_),
       fill_(tc_params.limits)
 {
+    pipe_.attachAttrib(&attrib_);
 }
 
 const TraceLine *
@@ -53,6 +54,7 @@ TcFrontend::supplyLine(const Trace &trace, const TraceLine &line,
 {
     unsigned supplied = 0;
     bool full_match = true;
+    attrib_.clearDisruption();
 
     for (const auto &e : line.insts) {
         if (rec >= trace.numRecords())
@@ -61,6 +63,7 @@ TcFrontend::supplyLine(const Trace &trace, const TraceLine &line,
             // The resident trace was built along a different path
             // than the one executing now: partial hit.
             full_match = false;
+            attrib_.noteDisruption(Cause::PartialHit);
             break;
         }
 
@@ -71,7 +74,8 @@ TcFrontend::supplyLine(const Trace &trace, const TraceLine &line,
 
         if (si.isControl()) {
             penalty = predictControl(params_, metrics_, preds_, trace,
-                                     rec, /*legacy_path=*/false);
+                                     rec, /*legacy_path=*/false,
+                                     &attrib_);
             if (si.cls == InstClass::CondBranch && penalty == 0 &&
                 (e.taken != 0) != actual_taken) {
                 // Predictor right, embedded path wrong: supply stops
@@ -93,6 +97,7 @@ TcFrontend::supplyLine(const Trace &trace, const TraceLine &line,
         }
         if (trace_diverges) {
             full_match = false;
+            attrib_.noteDisruption(Cause::PartialHit);
             break;
         }
     }
@@ -112,6 +117,7 @@ TcFrontend::run(const Trace &trace)
                            // fetch buffer, drained 8/cycle
     unsigned stall = 0;
     fill_.restart();
+    attrib_.enterBuild(Cause::ColdStart);
 
     while ((rec < num_records || buffer > 0) && !stopRequested()) {
         ++metrics_.cycles;
@@ -125,6 +131,7 @@ TcFrontend::run(const Trace &trace)
             // steady-state bandwidth metric.
             --stall;
             ++metrics_.stallCycles;
+            attrib_.chargeSilentCycle();
             buffer -= std::min(buffer, params_.renamerWidth);
             continue;
         }
@@ -160,13 +167,16 @@ TcFrontend::run(const Trace &trace)
                     mode = Mode::Build;
                     ++metrics_.modeSwitches;
                     fill_.restart();
+                    attrib_.enterBuild(Cause::StructMiss);
                     // This cycle becomes the first build cycle.
                     --metrics_.deliveryCycles;
                     ++metrics_.buildCycles;
+                    attrib_.chargeBuildCycle();
                     std::size_t prev = rec;
                     ScopedPhase buildTimer(prof_, phBuild_);
                     LegacyPipe::Result r = pipe_.cycle(trace, rec);
                     metrics_.buildUops += r.uops;
+                    attrib_.chargeBuildUops(r.uops);
                     stall += r.stall;
                     bool completed = false;
                     for (std::size_t i = prev; i < rec; ++i) {
@@ -192,10 +202,12 @@ TcFrontend::run(const Trace &trace)
             }
         } else {
             ++metrics_.buildCycles;
+            attrib_.chargeBuildCycle();
             std::size_t prev = rec;
             ScopedPhase buildTimer(prof_, phBuild_);
             LegacyPipe::Result r = pipe_.cycle(trace, rec);
             metrics_.buildUops += r.uops;
+            attrib_.chargeBuildUops(r.uops);
             stall += r.stall;
             bool completed = false;
             for (std::size_t i = prev; i < rec; ++i) {

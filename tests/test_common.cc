@@ -303,6 +303,41 @@ TEST(Histogram, SummaryPercentilesSingleBin)
     EXPECT_EQ(h.p99(), 7u);
 }
 
+TEST(Histogram, PercentileOfEmptyIsZero)
+{
+    Histogram h(16);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.p50(), 0u);
+    EXPECT_EQ(h.p95(), 0u);
+    EXPECT_EQ(h.p99(), 0u);
+}
+
+// Regression: with few samples, p * total truncates to zero, which
+// used to "satisfy" the target at bin 0 before any mass accumulated.
+TEST(Histogram, SmallTotalPercentilesHitTheSample)
+{
+    Histogram h(16);
+    h.add(7);
+    EXPECT_EQ(h.p50(), 7u);
+    EXPECT_EQ(h.p95(), 7u);
+    EXPECT_EQ(h.p99(), 7u);
+
+    Histogram two(16);
+    two.add(3);
+    two.add(9);
+    EXPECT_EQ(two.percentile(0.25), 3u);
+    EXPECT_EQ(two.p50(), 3u);
+    EXPECT_EQ(two.p99(), 9u);
+}
+
+TEST(Histogram, PercentileClampsP)
+{
+    Histogram h(16);
+    h.add(5);
+    EXPECT_EQ(h.percentile(-1.0), 5u);
+    EXPECT_EQ(h.percentile(2.0), 5u);
+}
+
 TEST(Histogram, RenderContainsBars)
 {
     Histogram h(16);

@@ -322,6 +322,52 @@ TEST(IntervalSampler, EmptyRunEmitsOneWindow)
     EXPECT_TRUE(parseJson(os.str(), &doc, &err)) << err;
 }
 
+// Regression: a run whose counters still move after the last crossed
+// boundary must flush those deltas in a final partial window —
+// including the corner case where the run *ends exactly on* a
+// boundary with uncommitted deltas behind it.
+TEST(IntervalSampler, BoundaryEndFlushesResidualDeltas)
+{
+    StatGroup root("root");
+    ScalarStat s(&root, "counter", "a counter");
+    std::ostringstream os;
+    IntervalSampler sampler(root, 100);
+    sampler.setOutput(&os);
+
+    s += 3;
+    sampler.tick(100);  // boundary window [0,100): captures the 3
+    s += 5;             // lands after the last boundary crossing
+    sampler.finish(100);
+
+    uint64_t sum = 0, windows = 0;
+    std::istringstream lines(os.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        JsonValue doc;
+        std::string err;
+        ASSERT_TRUE(parseJson(line, &doc, &err)) << err;
+        ++windows;
+        const JsonValue *deltas = doc.find("deltas");
+        ASSERT_NE(deltas, nullptr);
+        for (const auto &[k, v] : deltas->members)
+            sum += v.asUint();
+    }
+    EXPECT_EQ(windows, 2u);
+    EXPECT_EQ(windows, sampler.windowsEmitted());
+    // The exactness guarantee survives the boundary-ending run.
+    EXPECT_EQ(sum, s.value());
+
+    // But a boundary-ending run with *no* residual deltas must not
+    // grow an empty trailing window.
+    StatGroup root2("root");
+    ScalarStat s2(&root2, "counter", "a counter");
+    IntervalSampler clean(root2, 100);
+    s2 += 1;
+    clean.tick(100);
+    clean.finish(100);
+    EXPECT_EQ(clean.windowsEmitted(), 1u);
+}
+
 TEST(Stats, FindNestedPaths)
 {
     StatGroup root("fe");

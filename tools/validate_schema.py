@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against a small JSON Schema subset.
+
+Stdlib-only (CI must not install packages). Supported keywords:
+type (object/array/string/integer/number/boolean/null), properties,
+required, items, enum, additionalProperties (schema form), minimum.
+Unknown keywords are ignored, so the checked-in schemas stay readable
+by full validators too.
+
+Usage: validate_schema.py SCHEMA.json DOC.json
+Exit: 0 valid, 1 invalid or unreadable.
+"""
+
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def type_ok(kind, value):
+    if kind == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if kind == "number":
+        return isinstance(value, (int, float)) and not isinstance(
+            value, bool)
+    expected = TYPES.get(kind)
+    if expected is None:
+        return True  # unknown type name: don't reject
+    if expected is dict or expected is list:
+        return isinstance(value, expected)
+    # bool is a subclass of int; keep string/bool checks exact.
+    return type(value) is expected
+
+
+def validate(schema, value, path, errors):
+    kind = schema.get("type")
+    if kind is not None and not type_ok(kind, value):
+        errors.append("%s: expected %s, got %s" %
+                      (path, kind, type(value).__name__))
+        return
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append("%s: %r not in enum %r" %
+                      (path, value, schema["enum"]))
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append("%s: %r below minimum %r" %
+                          (path, value, schema["minimum"]))
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append("%s: missing required member '%s'" %
+                              (path, key))
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, member in value.items():
+            sub = props.get(key)
+            if sub is None and isinstance(extra, dict):
+                sub = extra
+            if sub is not None:
+                validate(sub, member, "%s.%s" % (path, key), errors)
+
+    if isinstance(value, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, item in enumerate(value):
+                validate(items, item, "%s[%d]" % (path, i), errors)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print("usage: validate_schema.py SCHEMA.json DOC.json",
+              file=sys.stderr)
+        return 1
+    try:
+        with open(argv[1]) as f:
+            schema = json.load(f)
+        with open(argv[2]) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print("validate_schema: %s" % e, file=sys.stderr)
+        return 1
+
+    errors = []
+    validate(schema, doc, "$", errors)
+    for err in errors:
+        print("validate_schema: %s: %s" % (argv[2], err),
+              file=sys.stderr)
+    if not errors:
+        print("%s: valid against %s" % (argv[2], argv[1]))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

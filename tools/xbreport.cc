@@ -68,14 +68,8 @@ struct Phase
 uint64_t
 deltaOf(const JsonValue &deltas, const std::string &suffix)
 {
-    for (const auto &[key, value] : deltas.members) {
-        if (key.size() >= suffix.size() &&
-            key.compare(key.size() - suffix.size(), suffix.size(),
-                        suffix) == 0) {
-            return value.asUint();
-        }
-    }
-    return 0;
+    const JsonValue *v = findBySuffix(deltas, suffix);
+    return v ? v->asUint() : 0;
 }
 
 std::string
@@ -100,19 +94,7 @@ reportIntervals(const std::string &path, double build_thresh,
     }
 
     std::vector<Window> windows;
-    std::string line;
-    std::size_t lineno = 0;
-    while (std::getline(in, line)) {
-        ++lineno;
-        if (line.empty())
-            continue;
-        JsonValue doc;
-        std::string error;
-        if (!parseJson(line, &doc, &error) || !doc.isObject()) {
-            std::fprintf(stderr, "xbreport: %s:%zu: %s\n",
-                         path.c_str(), lineno, error.c_str());
-            return 1;
-        }
+    JsonlScan scan = forEachJsonLine(in, [&](const JsonValue &doc) {
         Window w;
         if (const auto *v = doc.find("interval"))
             w.index = v->asUint();
@@ -131,6 +113,12 @@ reportIntervals(const std::string &path, double build_thresh,
             w.modeSwitches = deltaOf(*d, "frontend.modeSwitches");
         }
         windows.push_back(w);
+        return true;
+    });
+    if (!scan.clean()) {
+        std::fprintf(stderr, "xbreport: %s:%zu: %s\n", path.c_str(),
+                     scan.badLine, scan.error.c_str());
+        return 1;
     }
     if (windows.empty()) {
         std::fprintf(stderr, "xbreport: '%s' holds no windows\n",
@@ -197,20 +185,16 @@ reportIntervals(const std::string &path, double build_thresh,
 int
 reportTrace(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in) {
-        std::fprintf(stderr, "xbreport: cannot open '%s'\n",
-                     path.c_str());
+    Expected<JsonValue> parsed = readJsonFile(path);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "xbreport: %s\n",
+                     parsed.status().toString().c_str());
         return 1;
     }
-    std::stringstream ss;
-    ss << in.rdbuf();
-
-    JsonValue doc;
-    std::string error;
-    if (!parseJson(ss.str(), &doc, &error) || !doc.isObject()) {
-        std::fprintf(stderr, "xbreport: %s: %s\n", path.c_str(),
-                     error.c_str());
+    const JsonValue &doc = parsed.value();
+    if (!doc.isObject()) {
+        std::fprintf(stderr, "xbreport: %s: not a JSON object\n",
+                     path.c_str());
         return 1;
     }
     const JsonValue *events = doc.find("traceEvents");

@@ -359,6 +359,9 @@ main(int argc, char **argv)
         jw.field("overallIpc", m.overallIpc());
         jw.field("cycles", m.cycles.value());
         jw.field("condMispredictRate", m.condMispredictRate());
+        fe->attrib().writeJson(jw, m.buildUops.value(),
+                               m.stallCycles.value(),
+                               fe->arrayAccounting());
         writeBuildInfoJson(jw, buildInfo());
         hc.writeJson(jw, "host");
         jw.beginObject("throughput");
