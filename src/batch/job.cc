@@ -1,5 +1,7 @@
 #include "batch/job.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace xbs
@@ -26,6 +28,7 @@ jobClassName(JobClass cls)
       case JobClass::Audit:       return "audit";
       case JobClass::Interrupted: return "interrupted";
       case JobClass::Timeout:     return "timeout";
+      case JobClass::Stalled:     return "stalled";
       case JobClass::Crash:       return "crash";
       case JobClass::Spawn:       return "spawn";
     }
@@ -42,6 +45,7 @@ jobClassFromName(const std::string &name)
         {"audit", JobClass::Audit},
         {"interrupted", JobClass::Interrupted},
         {"timeout", JobClass::Timeout},
+        {"stalled", JobClass::Stalled},
         {"crash", JobClass::Crash},
         {"spawn", JobClass::Spawn},
     };
@@ -55,14 +59,19 @@ jobClassFromName(const std::string &name)
 bool
 jobClassRetryable(JobClass cls)
 {
-    return cls == JobClass::Timeout || cls == JobClass::Crash;
+    return cls == JobClass::Timeout || cls == JobClass::Stalled ||
+           cls == JobClass::Crash;
 }
 
 JobClass
-classifyOutcome(bool timed_out, bool exited, int exit_code,
-                int term_signal)
+classifyOutcome(bool timed_out, bool stalled, bool exited,
+                int exit_code, int term_signal)
 {
     (void)term_signal;
+    // Supervisor-side verdicts outrank whatever the dying child
+    // reported; a stall is the more specific diagnosis.
+    if (stalled)
+        return JobClass::Stalled;
     if (timed_out)
         return JobClass::Timeout;
     if (!exited)
@@ -76,6 +85,25 @@ classifyOutcome(bool timed_out, bool exited, int exit_code,
       case 127:              return JobClass::Spawn;  // exec failed
       default:               return JobClass::Crash;
     }
+}
+
+std::string
+sanitizeNote(const std::string &text, std::size_t max_len)
+{
+    std::string out;
+    out.reserve(std::min(text.size(), max_len));
+    for (unsigned char c : text) {
+        if (out.size() >= max_len) {
+            out += "...";
+            break;
+        }
+        // Control bytes (including \n, which would split the JSONL
+        // journal line, and \e, which could drive a terminal) become
+        // spaces; high bytes pass through (the JSON writer escapes
+        // its own metacharacters).
+        out += (c < 0x20 || c == 0x7f) ? ' ' : (char)c;
+    }
+    return out;
 }
 
 std::vector<JobSpec>

@@ -46,6 +46,7 @@ enum class JobClass
     Audit,        ///< exit 3: invariant/oracle violations
     Interrupted,  ///< exit 5: child drained on supervisor shutdown
     Timeout,      ///< wall-clock deadline hit; watchdog killed it
+    Stalled,      ///< alive but no uop progress for K heartbeats
     Crash,        ///< died on a signal (or an unknown exit code)
     Spawn,        ///< fork/exec failed (exit 127 or pipe error)
 };
@@ -65,12 +66,25 @@ bool jobClassRetryable(JobClass cls);
  *                    child managed to report, the attempt is a
  *                    Timeout (a drained child exits 5, an unreactive
  *                    one dies on SIGKILL; both took too long)
+ * @param stalled     the stall detector initiated the kill (alive
+ *                    but no uop progress for K heartbeat periods);
+ *                    takes precedence over everything the child
+ *                    reported on its way down, like timed_out
  * @param exited      WIFEXITED
  * @param exit_code   WEXITSTATUS when exited
  * @param term_signal WTERMSIG when signaled
  */
-JobClass classifyOutcome(bool timed_out, bool exited, int exit_code,
-                         int term_signal);
+JobClass classifyOutcome(bool timed_out, bool stalled, bool exited,
+                         int exit_code, int term_signal);
+
+/**
+ * Make arbitrary child stderr safe for one JSONL journal line and
+ * the report: strip control characters (a binary stderr must never
+ * embed a newline or escape into the journal) and truncate to
+ * @p max_len bytes with a "..." marker.
+ */
+std::string sanitizeNote(const std::string &text,
+                         std::size_t max_len = 160);
 
 /** Metrics parsed from a successful child's stdout JSON. */
 struct JobMetrics
@@ -107,6 +121,7 @@ struct JobRecord
     bool hasUsage = false;     ///< last attempt's rusage captured
     JobUsage usage;
     std::string note;          ///< first stderr line of a failure
+    std::string heartbeatPath; ///< live-telemetry file ("" if off)
     bool replayed = false;     ///< restored from a journal on resume
 };
 

@@ -41,6 +41,10 @@ struct Child
     double sysSec = 0.0;     ///< system CPU time
     /// @}
 
+    /** Heartbeat file this child was asked to write ("" when live
+     *  telemetry is off); the supervisor's stall detector polls it. */
+    std::string heartbeatPath;
+
     bool alive() const { return pid > 0; }
 };
 

@@ -224,13 +224,13 @@ class Frontend
     void
     traceMode(const char *label)
     {
-        if (!modeProbe_.enabled())
-            return;
         if (modeLabel_ && std::strcmp(modeLabel_, label) == 0)
             return;
-        if (modeLabel_)
-            modeProbe_.end();
-        modeProbe_.begin(label);
+        if (modeProbe_.enabled()) {
+            if (modeLabel_)
+                modeProbe_.end();
+            modeProbe_.begin(label);
+        }
         modeLabel_ = label;
     }
 
@@ -242,6 +242,14 @@ class Frontend
             modeProbe_.end();
         modeLabel_ = nullptr;
     }
+
+  public:
+    /** Current mode-FSM label ("build"/"delivery"), or nullptr
+     *  outside run(). Tracked whether or not a trace sink is
+     *  attached, so live telemetry can report the phase. */
+    const char *modeLabel() const { return modeLabel_; }
+
+  protected:
 
     StatGroup root_;
     FrontendMetrics metrics_;

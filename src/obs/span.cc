@@ -1,0 +1,72 @@
+#include "obs/span.hh"
+
+namespace xbs
+{
+
+void
+SweepSpanLog::startSweep()
+{
+    started_ = true;
+    t0_ = Clock::now();
+}
+
+double
+SweepSpanLog::now() const
+{
+    if (!started_)
+        return 0.0;
+    return std::chrono::duration<double>(Clock::now() - t0_).count();
+}
+
+void
+SweepSpanLog::noteLaunch(uint64_t job, const std::string &label,
+                         unsigned attempt, unsigned slot)
+{
+    AttemptSpan span;
+    span.job = job;
+    span.label = label;
+    span.attempt = attempt;
+    span.slot = slot;
+    span.startSec = now();
+    attempts_.push_back(std::move(span));
+}
+
+void
+SweepSpanLog::noteExit(uint64_t job, unsigned attempt,
+                       const std::string &cls)
+{
+    for (auto it = attempts_.rbegin(); it != attempts_.rend(); ++it) {
+        if (it->job == job && it->attempt == attempt && it->open) {
+            it->open = false;
+            it->endSec = now();
+            it->cls = cls;
+            return;
+        }
+    }
+}
+
+void
+SweepSpanLog::noteBackoff(uint64_t job, unsigned attempt,
+                          double start_sec, double end_sec)
+{
+    BackoffSpan span;
+    span.job = job;
+    span.attempt = attempt;
+    span.startSec = start_sec;
+    span.endSec = end_sec < start_sec ? start_sec : end_sec;
+    backoffs_.push_back(span);
+}
+
+void
+SweepSpanLog::finishSweep()
+{
+    sweepSeconds_ = now();
+    for (AttemptSpan &span : attempts_) {
+        if (span.open) {
+            span.open = false;
+            span.endSec = sweepSeconds_;
+        }
+    }
+}
+
+} // namespace xbs

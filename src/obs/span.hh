@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Sweep span timeline: the scheduler-side half of the unified trace.
+ *
+ * The scheduler reports launches, exits, and retry backoffs as they
+ * happen; the log stores them as *completed intervals* in host
+ * seconds relative to the sweep start. Storing closed intervals
+ * (rather than streaming open/close events) makes the later trace
+ * emission trivially balanced — an attempt that never reported an
+ * exit is closed at the sweep end, so no span is ever left open.
+ *
+ * The hierarchy the merge step (obs/trace_merge) renders:
+ *
+ *     scheduler (sweep)                    pid 0
+ *       worker slot occupancy              pid 0, one tid per slot
+ *     job <id>                             pid 100+id
+ *       attempt N / backoff N              tid 0, nested
+ *         sim phases (child event trace)   tid 1.., remapped
+ */
+
+#ifndef XBS_OBS_SPAN_HH
+#define XBS_OBS_SPAN_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xbs
+{
+
+/** One child attempt: launch to reap on a worker slot. */
+struct AttemptSpan
+{
+    uint64_t job = 0;      ///< JobSpec::id
+    std::string label;     ///< run label, for span names
+    unsigned attempt = 1;  ///< 1-based
+    unsigned slot = 0;     ///< worker slot the attempt occupied
+    double startSec = 0.0; ///< host seconds since sweep start
+    double endSec = 0.0;
+    bool open = true;      ///< no exit reported (closed at finish())
+    std::string cls;       ///< outcome class name ("" while open)
+};
+
+/** One retry backoff window (exit of attempt N to eligibility). */
+struct BackoffSpan
+{
+    uint64_t job = 0;
+    unsigned attempt = 1;  ///< the attempt the backoff *precedes*
+    double startSec = 0.0;
+    double endSec = 0.0;
+};
+
+/**
+ * Collects the scheduler's spans for one sweep run. Single-threaded
+ * (the scheduler's poll loop is); all methods are cheap enough for
+ * the hot loop.
+ */
+class SweepSpanLog
+{
+  public:
+    /** Mark the sweep start; spans are relative to this instant. */
+    void startSweep();
+
+    /** Host seconds since startSweep() (0 before it). */
+    double now() const;
+
+    void noteLaunch(uint64_t job, const std::string &label,
+                    unsigned attempt, unsigned slot);
+
+    /** Close the newest open span of (job, attempt). */
+    void noteExit(uint64_t job, unsigned attempt,
+                  const std::string &cls);
+
+    /** Record the backoff window granted before retry @p attempt. */
+    void noteBackoff(uint64_t job, unsigned attempt,
+                     double start_sec, double end_sec);
+
+    /** Mark the sweep end and close any still-open attempts (their
+     *  class stays "" — e.g. a drain left them mid-flight). */
+    void finishSweep();
+
+    bool started() const { return started_; }
+    double sweepSeconds() const { return sweepSeconds_; }
+    const std::vector<AttemptSpan> &attempts() const
+    {
+        return attempts_;
+    }
+    const std::vector<BackoffSpan> &backoffs() const
+    {
+        return backoffs_;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    bool started_ = false;
+    Clock::time_point t0_;
+    double sweepSeconds_ = 0.0;
+    std::vector<AttemptSpan> attempts_;
+    std::vector<BackoffSpan> backoffs_;
+};
+
+} // namespace xbs
+
+#endif // XBS_OBS_SPAN_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sweep trace merge: fold the scheduler's span log and the per-child
+ * xbsim event traces into ONE Perfetto/Chrome trace-event JSON file.
+ *
+ * Output layout (one timeline for the whole sweep; ts in µs of host
+ * time since sweep start):
+ *
+ *  - pid 0 "scheduler": tid 0 carries the enclosing "sweep" span;
+ *    tid 1+slot ("worker N") carries each slot's occupancy slices.
+ *  - pid 100+job ("job <id>: <label>"): tid 0 nests the "job" span
+ *    around its "attempt N" and "backoff" children; tids 1.. carry
+ *    the child simulator's own phase tracks for each attempt,
+ *    remapped from the child trace file.
+ *
+ * Child xbsim traces timestamp in simulated cycles; the merge scales
+ * them linearly into the attempt's host-time window so in-sim phases
+ * line up with the supervision spans around them. Unbalanced child
+ * events (ring-buffer drops) are repaired: stray Ends are dropped,
+ * dangling Begins are closed at the attempt end — the merged file
+ * never contains an orphan span.
+ */
+
+#ifndef XBS_OBS_TRACE_MERGE_HH
+#define XBS_OBS_TRACE_MERGE_HH
+
+#include <string>
+
+#include "common/status.hh"
+#include "obs/span.hh"
+
+namespace xbs
+{
+
+/**
+ * Write the merged sweep trace to @p path (atomically).
+ *
+ * @param spans      completed span log (finishSweep() must have run)
+ * @param events_dir directory holding per-attempt child traces named
+ *                   job-<id>-a<attempt>.json; "" or missing files
+ *                   simply omit the in-sim tracks
+ */
+Status writeSweepTrace(const std::string &path,
+                       const SweepSpanLog &spans,
+                       const std::string &events_dir);
+
+} // namespace xbs
+
+#endif // XBS_OBS_TRACE_MERGE_HH

@@ -68,13 +68,18 @@ ThroughputMeter::sample(uint64_t cycles, uint64_t uops,
         std::chrono::duration<double>(now - start_).count();
     r.windowSeconds =
         std::chrono::duration<double>(now - last_).count();
-    if (r.windowSeconds > 0.0) {
-        r.cyclesPerSec =
-            (double)(cycles - lastCycles_) / r.windowSeconds;
-        r.uopsPerSec = (double)(uops - lastUops_) / r.windowSeconds;
-        r.recordsPerSec =
-            (double)(records - lastRecords_) / r.windowSeconds;
-    }
+    // Sub-tick windows (coarse clocks, two samples in the same
+    // timer tick) would divide by ~0 and put inf/absurd rates into
+    // JSONL output. Report zero rates for this sample and keep the
+    // window open: the deltas roll into the next sample, whose
+    // longer window then yields an honest rate.
+    if (r.windowSeconds < kMinWindowSec)
+        return r;
+    r.cyclesPerSec =
+        (double)(cycles - lastCycles_) / r.windowSeconds;
+    r.uopsPerSec = (double)(uops - lastUops_) / r.windowSeconds;
+    r.recordsPerSec =
+        (double)(records - lastRecords_) / r.windowSeconds;
     last_ = now;
     lastCycles_ = cycles;
     lastUops_ = uops;
@@ -92,7 +97,7 @@ ThroughputMeter::overall(uint64_t cycles, uint64_t uops,
     r.wallSeconds = std::chrono::duration<double>(Clock::now() -
                                                   start_).count();
     r.windowSeconds = r.wallSeconds;
-    if (r.wallSeconds > 0.0) {
+    if (r.wallSeconds >= kMinWindowSec) {
         r.cyclesPerSec = (double)cycles / r.wallSeconds;
         r.uopsPerSec = (double)uops / r.wallSeconds;
         r.recordsPerSec = (double)records / r.wallSeconds;

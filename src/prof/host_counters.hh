@@ -58,6 +58,11 @@ struct HostCounters
 class ThroughputMeter
 {
   public:
+    /** Windows shorter than this report zero rates instead of the
+     *  near-infinite numbers a sub-tick division would produce; the
+     *  deltas carry into the next sample (see sample()). */
+    static constexpr double kMinWindowSec = 1e-9;
+
     struct Rates
     {
         double wallSeconds = 0.0;      ///< since reset()

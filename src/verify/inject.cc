@@ -1,6 +1,8 @@
 #include "verify/inject.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "core/xbc_frontend.hh"
 #include "isa/types.hh"
@@ -18,6 +20,7 @@ injectKindName(InjectKind kind)
       case InjectKind::SlotCorrupt: return "slot-corrupt";
       case InjectKind::TraceFlip: return "trace-flip";
       case InjectKind::TraceTrunc: return "trace-trunc";
+      case InjectKind::Hang: return "hang";
     }
     return "?";
 }
@@ -70,6 +73,8 @@ parseInjectSpec(const std::string &spec)
             action.kind = InjectKind::TraceFlip;
         } else if (kind == "trace-trunc") {
             action.kind = InjectKind::TraceTrunc;
+        } else if (kind == "hang") {
+            action.kind = InjectKind::Hang;
         } else {
             return Status::error("unknown inject kind '" + kind +
                                  "' (see --help for the grammar)");
@@ -154,6 +159,18 @@ FaultInjector::onCycle(Frontend &fe, uint64_t cycle)
 bool
 FaultInjector::apply(InjectKind kind, Frontend &fe)
 {
+    if (kind == InjectKind::Hang) {
+        // Wedge here, mid-cycle: alive (signal handlers still set
+        // their flags) but retiring nothing, exactly the failure
+        // mode the progress-aware watchdog exists to catch. Sleep
+        // rather than spin so a CI negative check doesn't burn a
+        // core while waiting to be SIGKILLed.
+        for (;;) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+    }
+
     auto *xbc = dynamic_cast<XbcFrontend *>(&fe);
     if (!xbc)
         return false;  // cycle-domain kinds target the XBC units
@@ -218,7 +235,7 @@ std::string
 FaultInjector::summary() const
 {
     std::string out;
-    for (int k = 0; k < 6; ++k) {
+    for (int k = 0; k < kInjectKindCount; ++k) {
         if (!counts_[k])
             continue;
         if (!out.empty())

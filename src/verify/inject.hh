@@ -15,12 +15,18 @@
  *   action  := kind ("@" period)?
  *   kind    := "xbtb-flip" | "xfu-drop" | "line-kill"
  *            | "slot-corrupt" | "trace-flip" | "trace-trunc"
+ *            | "hang"
  *
  * Cycle-domain kinds fire every `period` cycles (default 10000):
  *   xbtb-flip     flip a bit in a valid XBTB/XiBTB pointer
  *   xfu-drop      restart the fill unit, dropping the XB in flight
  *   line-kill     invalidate a random data-array line (bookkept)
  *   slot-corrupt  corrupt a resident uop slot's content consistently
+ *   hang          wedge the process at the firing cycle: sleep
+ *                 forever without retiring another uop (SIGTERM only
+ *                 sets the drain flag, which the loop ignores, so
+ *                 only SIGKILL ends it). Works on every frontend;
+ *                 exists to exercise supervisor stall detection.
  *
  * Trace-domain kinds perturb the input before the run; `period` is
  * the number of records affected (default 8):
@@ -53,7 +59,11 @@ enum class InjectKind
     SlotCorrupt,
     TraceFlip,
     TraceTrunc,
+    Hang,
 };
+
+/** Number of InjectKind values (per-kind count arrays). */
+constexpr int kInjectKindCount = 7;
 
 const char *injectKindName(InjectKind kind);
 
@@ -118,7 +128,7 @@ class FaultInjector : public CycleObserver
     InjectPlan plan_;
     Rng rng_;
     uint64_t injections_ = 0;
-    uint64_t counts_[6] = {};
+    uint64_t counts_[kInjectKindCount] = {};
 };
 
 } // namespace xbs

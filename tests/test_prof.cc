@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
@@ -245,6 +246,35 @@ TEST(ThroughputMeter, WindowAndOverallRates)
     ThroughputMeter::Rates all = meter.overall(3000, 6000, 1500);
     EXPECT_GT(all.cyclesPerSec, 0.0);
     EXPECT_GE(all.wallSeconds, w2.wallSeconds);
+}
+
+TEST(ThroughputMeter, SubTickWindowsNeverProduceInfiniteRates)
+{
+    // Hammer sample() back-to-back: whatever the clock granularity,
+    // rates must stay finite and non-negative, and any window below
+    // the epsilon floor must report exactly zero (the deltas carry
+    // into the next real window instead of dividing by ~0).
+    ThroughputMeter meter;
+    meter.reset();
+    uint64_t cycles = 0;
+    for (int i = 0; i < 5000; ++i) {
+        cycles += 10;
+        ThroughputMeter::Rates r =
+            meter.sample(cycles, cycles * 2, cycles / 10);
+        ASSERT_TRUE(std::isfinite(r.cyclesPerSec));
+        ASSERT_TRUE(std::isfinite(r.uopsPerSec));
+        ASSERT_TRUE(std::isfinite(r.recordsPerSec));
+        ASSERT_GE(r.cyclesPerSec, 0.0);
+        if (r.windowSeconds < ThroughputMeter::kMinWindowSec) {
+            ASSERT_EQ(r.cyclesPerSec, 0.0);
+            ASSERT_EQ(r.uopsPerSec, 0.0);
+            ASSERT_EQ(r.recordsPerSec, 0.0);
+        }
+    }
+    ThroughputMeter::Rates all =
+        meter.overall(cycles, cycles * 2, cycles / 10);
+    EXPECT_TRUE(std::isfinite(all.cyclesPerSec));
+    EXPECT_GE(all.wallSeconds, 0.0);
 }
 
 // ---------------------------------------------------------------

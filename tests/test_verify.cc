@@ -264,6 +264,24 @@ TEST(InjectSpec, ParsesKindsAndPeriods)
     EXPECT_TRUE(p.hasTraceActions());
 }
 
+TEST(InjectSpec, HangIsCycleDomain)
+{
+    // "hang" wedges the run loop for the watchdog negative tests; it
+    // parses like any cycle-domain kind and is not a trace action.
+    auto plan = parseInjectSpec("hang");
+    ASSERT_TRUE(plan.ok()) << plan.status().toString();
+    ASSERT_EQ(plan.value().actions.size(), 1u);
+    EXPECT_EQ(plan.value().actions[0].kind, InjectKind::Hang);
+    EXPECT_EQ(plan.value().actions[0].period, 10000u);
+    EXPECT_FALSE(plan.value().hasTraceActions());
+
+    auto at = parseInjectSpec("hang@20000");
+    ASSERT_TRUE(at.ok());
+    EXPECT_EQ(at.value().actions[0].period, 20000u);
+
+    EXPECT_STREQ(injectKindName(InjectKind::Hang), "hang");
+}
+
 TEST(InjectSpec, RejectsGarbage)
 {
     EXPECT_FALSE(parseInjectSpec("").ok());

@@ -27,6 +27,8 @@
 #include "common/fs.hh"
 #include "common/signals.hh"
 #include "common/status.hh"
+#include "obs/span.hh"
+#include "obs/trace_merge.hh"
 #include "prof/build_info.hh"
 #include "workload/catalog.hh"
 
@@ -86,6 +88,9 @@ main(int argc, char **argv)
     uint64_t retries = 1;
     uint64_t backoff_ms = 200;
     double grace = 2.0;
+    double heartbeat = 1.0;
+    uint64_t stall_periods = 4;
+    std::string trace_out;
     std::string out_dir = "xbatch-out";
     std::string resume_dir;
     std::string xbsim_path;
@@ -114,6 +119,16 @@ main(int argc, char **argv)
                  "base retry backoff in ms (doubles per attempt)");
     args.addDouble("grace", &grace,
                    "seconds between SIGTERM and SIGKILL");
+    args.addDouble("heartbeat", &heartbeat,
+                   "child heartbeat period in seconds; arms the "
+                   "progress-aware stall detector (0 = off, "
+                   "wall-clock watchdog only)");
+    args.addUint("stall-periods", &stall_periods,
+                 "heartbeat periods without uop progress before a "
+                 "job is killed and retried as stalled");
+    args.addString("trace-out", &trace_out,
+                   "write a merged Perfetto span timeline "
+                   "(scheduler/jobs/attempts/sim phases) here");
     args.addString("out", &out_dir,
                    "sweep directory (manifest, journal, report)");
     args.addString("resume", &resume_dir,
@@ -182,6 +197,8 @@ main(int argc, char **argv)
         manifest.maxRetries = (unsigned)retries;
         manifest.backoffMs = (unsigned)backoff_ms;
         manifest.intervalCycles = intervals;
+        manifest.heartbeatSec = heartbeat;
+        manifest.stallPeriods = (unsigned)stall_periods;
         manifest.jobs = buildJobMatrix(workloads, frontends,
                                        capacities.value(), insts);
 
@@ -200,6 +217,19 @@ main(int argc, char **argv)
         if (Status st = ensureDir(dir + "/intervals"); !st.isOk())
             return fail(st);
     }
+    // Live telemetry: children heartbeat into <dir>/heartbeats
+    // (xbtop and the stall detector read them there). The manifest
+    // gates it so a resume supervises exactly like the original run.
+    if (manifest.heartbeatSec > 0.0) {
+        if (Status st = ensureDir(dir + "/heartbeats"); !st.isOk())
+            return fail(st);
+    }
+    // Span timeline: per-attempt child event traces land in
+    // <dir>/events, merged with the scheduler spans at the end.
+    if (!trace_out.empty()) {
+        if (Status st = ensureDir(dir + "/events"); !st.isOk())
+            return fail(st);
+    }
 
     SweepJournal journal;
     if (Status st = journal.open(dir); !st.isOk())
@@ -215,15 +245,33 @@ main(int argc, char **argv)
     opts.backoffMs = manifest.backoffMs;
     opts.graceSec = grace;
     opts.stopFlag = &g_stop;
-    if (manifest.intervalCycles) {
+    if (manifest.heartbeatSec > 0.0) {
+        opts.heartbeatDir = dir + "/heartbeats";
+        opts.heartbeatSec = manifest.heartbeatSec;
+        opts.stallPeriods = manifest.stallPeriods;
+    }
+    SweepSpanLog span_log;
+    if (!trace_out.empty())
+        opts.spanLog = &span_log;
+    if (manifest.intervalCycles || !trace_out.empty()) {
         const uint64_t window = manifest.intervalCycles;
-        opts.extraArgs = [dir, window](const JobSpec &spec) {
+        const bool events = !trace_out.empty();
+        opts.extraArgs = [dir, window, events](const JobSpec &spec,
+                                               int attempt) {
             std::vector<std::string> extra;
-            extra.push_back("--interval-stats=" +
-                            std::to_string(window));
-            extra.push_back("--interval-out=" + dir +
-                            "/intervals/job-" +
-                            std::to_string(spec.id) + ".jsonl");
+            if (window) {
+                extra.push_back("--interval-stats=" +
+                                std::to_string(window));
+                extra.push_back("--interval-out=" + dir +
+                                "/intervals/job-" +
+                                std::to_string(spec.id) + ".jsonl");
+            }
+            if (events) {
+                extra.push_back("--trace-events=" + dir +
+                                "/events/job-" +
+                                std::to_string(spec.id) + "-a" +
+                                std::to_string(attempt) + ".json");
+            }
             return extra;
         };
     }
@@ -274,6 +322,19 @@ main(int argc, char **argv)
     }
     if (print_table)
         printSweepSummary(std::cout, sched.records(), summary);
+
+    if (!trace_out.empty()) {
+        if (Status st = writeSweepTrace(trace_out, span_log,
+                                        dir + "/events");
+            !st.isOk()) {
+            std::fprintf(stderr,
+                         "xbatch: cannot write sweep trace: %s\n",
+                         st.toString().c_str());
+        } else {
+            std::fprintf(stderr, "xbatch: sweep timeline -> %s\n",
+                         trace_out.c_str());
+        }
+    }
 
     // Graceful degradation: a completed sweep always produces the
     // full report; failures degrade the exit code, never abort the

@@ -25,6 +25,7 @@
 #include "common/logging.hh"
 #include "common/signals.hh"
 #include "common/status.hh"
+#include "obs/heartbeat.hh"
 #include "prof/build_info.hh"
 #include "prof/host_counters.hh"
 #include "prof/phase_profiler.hh"
@@ -48,6 +49,25 @@ namespace
  * so a supervisor-timed-out job still leaves usable partial output.
  */
 volatile std::sig_atomic_t g_stop = 0;
+
+/** Bridges the frontend's cycle-observer hook to the heartbeat
+ *  emitter (obs must not leak into frontend.hh, so the adapter
+ *  lives here in the driver). */
+class HeartbeatObserver : public CycleObserver
+{
+  public:
+    explicit HeartbeatObserver(HeartbeatEmitter *hb) : hb_(hb) {}
+
+    void
+    onCycle(Frontend &fe, uint64_t cycle) override
+    {
+        (void)cycle;
+        hb_->onCycle(fe);
+    }
+
+  private:
+    HeartbeatEmitter *hb_;
+};
 
 void
 listWorkloads()
@@ -87,6 +107,8 @@ main(int argc, char **argv)
     uint64_t inject_seed = 1;
     bool profile = false;
     bool build_info_only = false;
+    std::string heartbeat_path;
+    double heartbeat_period = 1.0;
 
     ArgParser args("xbsim",
                    "trace-driven frontend simulator (XBC, HPCA 2000)");
@@ -126,7 +148,12 @@ main(int argc, char **argv)
     args.addString("inject", &inject_spec,
                    "fault injection spec: kind[@period],... with kind "
                    "in xbtb-flip|xfu-drop|line-kill|slot-corrupt|"
-                   "trace-flip|trace-trunc");
+                   "trace-flip|trace-trunc|hang");
+    args.addString("heartbeat", &heartbeat_path,
+                   "atomically rewrite a JSON progress record at "
+                   "this path while running (live telemetry)");
+    args.addDouble("heartbeat-period", &heartbeat_period,
+                   "host seconds between heartbeats");
     args.addUint("inject-seed", &inject_seed,
                  "deterministic fault-injection seed");
     args.addBool("profile", &profile,
@@ -155,6 +182,15 @@ main(int argc, char **argv)
     // trace generation is remembered: the run loop then exits on its
     // first cycle and the partial-output path below still runs.
     installStopHandlers(&g_stop);
+
+    // Live telemetry: first beat before any heavy work, so a watcher
+    // can tell "starting up" from "never launched".
+    std::unique_ptr<HeartbeatEmitter> heartbeat;
+    if (!heartbeat_path.empty()) {
+        heartbeat = std::make_unique<HeartbeatEmitter>(
+            heartbeat_path, heartbeat_period);
+        heartbeat->beat(nullptr);
+    }
 
     Expected<FrontendKind> kind = parseFrontendKind(frontend);
     if (!kind.ok())
@@ -230,6 +266,10 @@ main(int argc, char **argv)
 
     std::optional<Trace> trace_opt;
     {
+        if (heartbeat) {
+            heartbeat->setPhase("decode");
+            heartbeat->beat(fe.get());
+        }
         ScopedPhase decode_timer(profile ? &prof : nullptr, ph_decode);
         if (!trace_path.empty()) {
             Expected<Trace> tr = readTraceEx(trace_path);
@@ -264,6 +304,17 @@ main(int argc, char **argv)
         opts.interval = audit_interval;
         auditor = std::make_unique<InvariantAuditor>(opts);
         auditor->attach(*fe, trace);
+    }
+    // Heartbeat before injector: at a cycle where an injected hang
+    // wedges the loop, the beat for that cycle still goes out.
+    std::unique_ptr<HeartbeatObserver> hb_observer;
+    if (heartbeat) {
+        heartbeat->setTotalUops(total_uops);
+        heartbeat->setPhase("sim");
+        heartbeat->beat(fe.get());
+        hb_observer =
+            std::make_unique<HeartbeatObserver>(heartbeat.get());
+        fe->attachCycleObserver(hb_observer.get());
     }
     if (injector)
         fe->attachCycleObserver(injector.get());
@@ -308,6 +359,11 @@ main(int argc, char **argv)
     // distinct interrupted exit code.
     const bool interrupted = g_stop != 0;
     resetStopHandlers();
+
+    if (heartbeat) {
+        heartbeat->setPhase("flush");
+        heartbeat->beat(fe.get());
+    }
 
     fe->finishObservation();
     if (auditor)
@@ -418,6 +474,10 @@ main(int argc, char **argv)
             auditor->report(std::cout);
         if (stats)
             fe->statRoot().dump(std::cout);
+    }
+    if (heartbeat) {
+        heartbeat->setPhase("done");
+        heartbeat->beat(fe.get(), /*done=*/true);
     }
     return exit_code;
 }
