@@ -31,6 +31,8 @@ jobClassName(JobClass cls)
       case JobClass::Stalled:     return "stalled";
       case JobClass::Crash:       return "crash";
       case JobClass::Spawn:       return "spawn";
+      case JobClass::Resource:    return "resource";
+      case JobClass::Canceled:    return "canceled";
     }
     return "?";
 }
@@ -48,6 +50,8 @@ jobClassFromName(const std::string &name)
         {"stalled", JobClass::Stalled},
         {"crash", JobClass::Crash},
         {"spawn", JobClass::Spawn},
+        {"resource", JobClass::Resource},
+        {"canceled", JobClass::Canceled},
     };
     for (const auto &[n, cls] : kTable) {
         if (name == n)
@@ -59,8 +63,11 @@ jobClassFromName(const std::string &name)
 bool
 jobClassRetryable(JobClass cls)
 {
+    // Resource is the typed "the host ran out of something" verdict
+    // (ENOSPC journal/cache writes, fork EAGAIN): backoff gives the
+    // host a chance to recover, unlike the deterministic classes.
     return cls == JobClass::Timeout || cls == JobClass::Stalled ||
-           cls == JobClass::Crash;
+           cls == JobClass::Crash || cls == JobClass::Resource;
 }
 
 JobClass

@@ -49,6 +49,8 @@ enum class JobClass
     Stalled,      ///< alive but no uop progress for K heartbeats
     Crash,        ///< died on a signal (or an unknown exit code)
     Spawn,        ///< fork/exec failed (exit 127 or pipe error)
+    Resource,     ///< transient host exhaustion (ENOSPC/EAGAIN/...)
+    Canceled,     ///< canceled via the service before completion
 };
 
 const char *jobClassName(JobClass cls);
@@ -123,6 +125,15 @@ struct JobRecord
     std::string note;          ///< first stderr line of a failure
     std::string heartbeatPath; ///< live-telemetry file ("" if off)
     bool replayed = false;     ///< restored from a journal on resume
+    /// Served from the result cache instead of simulated; `seconds`
+    /// is then the hit latency, not a simulation time.
+    bool cached = false;
+    /// @{ Service-mode scheduling attributes (see src/svc): higher
+    ///    priority launches first; within a priority class, tenants
+    ///    share worker slots round-robin.
+    std::string tenant;
+    int priority = 0;
+    /// @}
 };
 
 /**

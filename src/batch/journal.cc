@@ -7,15 +7,15 @@
 namespace xbs
 {
 
-namespace
-{
-
 void
-writeMetricsFields(JsonWriter &jw, const JobMetrics &m)
+writeJobMetricsFields(JsonWriter &jw, const JobMetrics &m)
 {
-    jw.field("bandwidth", m.bandwidth);
-    jw.field("missRate", m.missRate);
-    jw.field("overallIpc", m.overallIpc);
+    // Full precision: these values are read back (resume, cache
+    // hits) and must stay bit-identical to the simulated originals
+    // all the way into report.json.
+    jw.fieldFull("bandwidth", m.bandwidth);
+    jw.fieldFull("missRate", m.missRate);
+    jw.fieldFull("overallIpc", m.overallIpc);
     jw.field("cycles", m.cycles);
     jw.field("totalUops", m.totalUops);
     if (m.attrib.has)
@@ -23,7 +23,7 @@ writeMetricsFields(JsonWriter &jw, const JobMetrics &m)
 }
 
 JobMetrics
-readMetricsFields(const JsonValue &v)
+readJobMetricsFields(const JsonValue &v)
 {
     JobMetrics m;
     if (const JsonValue *f = v.find("bandwidth"))
@@ -41,15 +41,15 @@ readMetricsFields(const JsonValue &v)
     return m;
 }
 
-} // anonymous namespace
-
 const char *
 journalEventKindName(JournalEvent::Kind kind)
 {
     switch (kind) {
+      case JournalEvent::Kind::Submit: return "submit";
       case JournalEvent::Kind::Launch: return "launch";
       case JournalEvent::Kind::Result: return "result";
       case JournalEvent::Kind::Final:  return "final";
+      case JournalEvent::Kind::Cancel: return "cancel";
     }
     return "?";
 }
@@ -182,7 +182,7 @@ SweepJournal::open(const std::string &dir)
 }
 
 Status
-SweepJournal::append(JournalEvent &event)
+SweepJournal::append(JournalEvent &event, bool durable)
 {
     event.seq = ++seq_;
     std::ostringstream os;
@@ -193,13 +193,24 @@ SweepJournal::append(JournalEvent &event)
         jw.field("event", journalEventKindName(event.kind));
         jw.field("job", (int64_t)event.job);
         jw.field("attempt", (int64_t)event.attempt);
-        if (event.kind != JournalEvent::Kind::Launch) {
+        if (event.kind == JournalEvent::Kind::Submit) {
+            jw.beginArray("spec");
+            for (const std::string &flag : event.spec)
+                jw.field("", flag);
+            jw.endArray();
+            if (!event.tenant.empty())
+                jw.field("tenant", event.tenant);
+            if (event.priority != 0)
+                jw.field("priority", (int64_t)event.priority);
+        } else if (event.kind != JournalEvent::Kind::Launch) {
             jw.field("class", jobClassName(event.cls));
             jw.field("exit", (int64_t)event.exitCode);
             jw.field("signal", (int64_t)event.termSignal);
-            jw.field("seconds", event.seconds);
+            jw.fieldFull("seconds", event.seconds);
+            if (event.cached)
+                jw.field("cached", true);
             if (event.hasMetrics)
-                writeMetricsFields(jw, event.metrics);
+                writeJobMetricsFields(jw, event.metrics);
             if (event.hasUsage) {
                 jw.field("maxRssKb", event.usage.maxRssKb);
                 jw.field("userSec", event.usage.userSec);
@@ -210,7 +221,13 @@ SweepJournal::append(JournalEvent &event)
         }
         jw.endObject();
     }
-    return log_.append(os.str());
+    return log_.append(os.str(), durable);
+}
+
+Status
+SweepJournal::sync()
+{
+    return log_.sync();
 }
 
 Expected<std::vector<JournalEvent>>
@@ -253,12 +270,16 @@ SweepJournal::replay(const std::string &dir)
                                  " has no event field").withFile(path);
         }
         const std::string &k = kind->asString();
-        if (k == "launch") {
+        if (k == "submit") {
+            ev.kind = JournalEvent::Kind::Submit;
+        } else if (k == "launch") {
             ev.kind = JournalEvent::Kind::Launch;
         } else if (k == "result") {
             ev.kind = JournalEvent::Kind::Result;
         } else if (k == "final") {
             ev.kind = JournalEvent::Kind::Final;
+        } else if (k == "cancel") {
+            ev.kind = JournalEvent::Kind::Cancel;
         } else {
             return Status::error("journal line " +
                                  std::to_string(lineno) +
@@ -285,9 +306,19 @@ SweepJournal::replay(const std::string &dir)
             ev.termSignal = (int)f->asNumber();
         if (const JsonValue *f = v.find("seconds"))
             ev.seconds = f->asNumber();
+        if (const JsonValue *f = v.find("cached"))
+            ev.cached = f->isBool() && f->boolValue;
+        if (const JsonValue *f = v.find("spec")) {
+            for (const JsonValue &flag : f->items)
+                ev.spec.push_back(flag.asString());
+        }
+        if (const JsonValue *f = v.find("tenant"))
+            ev.tenant = f->asString();
+        if (const JsonValue *f = v.find("priority"))
+            ev.priority = (int)f->asNumber();
         if (v.find("bandwidth") || v.find("cycles")) {
             ev.hasMetrics = true;
-            ev.metrics = readMetricsFields(v);
+            ev.metrics = readJobMetricsFields(v);
         }
         if (const JsonValue *f = v.find("maxRssKb")) {
             ev.hasUsage = true;

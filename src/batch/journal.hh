@@ -39,6 +39,7 @@
 
 #include "batch/job.hh"
 #include "common/fs.hh"
+#include "common/json.hh"
 #include "common/status.hh"
 
 namespace xbs
@@ -71,9 +72,16 @@ struct JournalEvent
 {
     enum class Kind
     {
+        /// Service-mode admission: the spec arrived over the socket
+        /// (xbatchd has no static manifest; replaying the Submit
+        /// events reconstructs the matrix). Carries spec/tenant/
+        /// priority.
+        Submit,
         Launch,
         Result,
         Final,
+        /// Service-mode cancellation of a not-yet-final job.
+        Cancel,
     };
 
     Kind kind = Kind::Launch;
@@ -89,7 +97,21 @@ struct JournalEvent
     bool hasUsage = false;
     JobUsage usage;            ///< child rusage (wait4) if captured
     std::string note;
+    /// Final only: the result came from the cache, not a simulation
+    /// (`seconds` is then the hit latency).
+    bool cached = false;
+    /// @{ Submit only.
+    std::vector<std::string> spec;  ///< RunSpec argv round trip
+    std::string tenant;
+    int priority = 0;
+    /// @}
 };
+
+/** Shared (journal + result cache) metrics serialization; doubles
+ *  are written at full precision so a replayed or cached metric is
+ *  bit-identical to the simulated one. */
+void writeJobMetricsFields(JsonWriter &jw, const JobMetrics &m);
+JobMetrics readJobMetricsFields(const JsonValue &v);
 
 const char *journalEventKindName(JournalEvent::Kind kind);
 
@@ -105,8 +127,16 @@ class SweepJournal
     /** Open (append) the journal in @p dir; creates it if missing. */
     Status open(const std::string &dir);
 
-    /** Durably append one event; stamps event.seq. */
-    Status append(JournalEvent &event);
+    /**
+     * Append one event; stamps event.seq. With @p durable false the
+     * record is written but not fsync'd — call sync() before
+     * acknowledging it to anyone (group commit for the service's
+     * cached-completion bursts).
+     */
+    Status append(JournalEvent &event, bool durable = true);
+
+    /** Group-commit barrier for batched appends. */
+    Status sync();
 
     /**
      * Read back every complete event in @p dir's journal. A torn or

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Content-addressed result cache: identical jobs are served in
+ * microseconds instead of re-simulated.
+ *
+ * A cache key names everything that determines a run's paper
+ * metrics:
+ *
+ *   - the *canonical* RunSpec: the spec is round-tripped through its
+ *     argv encoding (the same one the manifest and journal use) so
+ *     two submissions that mean the same run hash the same, and
+ *     insts=0 is resolved to the effective default trace length
+ *     (which env vars like XBS_FAST change) before hashing;
+ *   - the workload's content hash: every WorkloadProfile field of
+ *     the catalog entry, so retuning a profile invalidates exactly
+ *     that workload's entries;
+ *   - the build hash: full BuildInfo provenance, so a new compiler,
+ *     build type, or source revision never serves stale metrics.
+ *
+ * Entries are stored under <dir>/objects/<aa>/<hex> via the
+ * tmp+fsync+rename discipline (common/fs), guarded by a SHA-256 of
+ * the body on the first line. A torn, truncated, or bit-rotted
+ * entry fails the guard and is treated as a miss (and deleted), so
+ * corruption costs one re-simulation, never a wrong result. Only
+ * JobClass::Ok results with metrics are cached — failures are
+ * diagnoses of a run, not properties of the spec.
+ */
+
+#ifndef XBS_BATCH_RESULT_CACHE_HH
+#define XBS_BATCH_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "batch/job.hh"
+#include "common/status.hh"
+#include "sim/config.hh"
+
+namespace xbs
+{
+
+/** The derived address of one (spec x workload x build) result. */
+struct CacheKey
+{
+    std::string spec;          ///< canonical argv, newline-joined
+    std::string workloadHash;  ///< sha256 of the profile fields
+    std::string buildHash;     ///< sha256 of BuildInfo fields
+    std::string hex;           ///< sha256 over the three above
+
+    bool valid() const { return !hex.empty(); }
+};
+
+/** What a hit returns (everything the report needs). */
+struct CacheEntry
+{
+    std::string label;    ///< RunSpec label of the producer
+    double seconds = 0.0; ///< producer's simulation wall time
+    JobMetrics metrics;
+};
+
+/** Hash every generation-relevant field of @p profile's catalog
+ *  entry; error for unknown workloads. */
+Expected<std::string> workloadContentHash(const std::string &name);
+
+/** This binary's BuildInfo hash (cached after the first call). */
+const std::string &buildInfoHash();
+
+/** Derive the full cache key for @p run. */
+Expected<CacheKey> makeCacheKey(const RunSpec &run);
+
+class ResultCache
+{
+  public:
+    /** Create/attach the store under @p dir. */
+    Status open(const std::string &dir);
+
+    bool isOpen() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Fetch the entry for @p key. NotFound-coded status on a clean
+     * miss; Corrupt-coded status when an entry existed but failed
+     * its integrity guard (it is unlinked so the next store gets a
+     * clean slate). Either way the caller re-simulates.
+     */
+    Expected<CacheEntry> lookup(const CacheKey &key);
+
+    /** Durably store @p entry under @p key (atomic replace). */
+    Status store(const CacheKey &key, const CacheEntry &entry);
+
+    /// @{ Counters for reports and the ctl status op.
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t corrupt() const { return corrupt_; }
+    uint64_t stores() const { return stores_; }
+    /// @}
+
+    /** Entry path for @p key (exposed for tests and tooling). */
+    std::string entryPath(const CacheKey &key) const;
+
+  private:
+    std::string dir_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t corrupt_ = 0;
+    uint64_t stores_ = 0;
+};
+
+} // namespace xbs
+
+#endif // XBS_BATCH_RESULT_CACHE_HH

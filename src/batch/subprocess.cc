@@ -9,16 +9,21 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/fs.hh"
+
 namespace xbs
 {
 
 namespace
 {
 
+/** Typed so the scheduler can tell transient host exhaustion (fork
+ *  EAGAIN, fd-table ENFILE, ...) from a broken binary and retry it. */
 Status
 errnoError(const std::string &what)
 {
-    return Status::error(what + ": " + std::strerror(errno));
+    return Status::error(errnoStatusCode(errno),
+                         what + ": " + std::strerror(errno));
 }
 
 /** Make @p fd non-blocking and close-on-exec on the parent side. */

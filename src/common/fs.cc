@@ -10,6 +10,8 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include "common/crashpoint.hh"
+
 namespace xbs
 {
 
@@ -52,6 +54,24 @@ fsyncPath(const std::string &path, int flags)
 
 } // anonymous namespace
 
+StatusCode
+errnoStatusCode(int err)
+{
+    switch (err) {
+      case ENOSPC:
+      case EDQUOT:
+      case EAGAIN:
+      case ENOMEM:
+      case EMFILE:
+      case ENFILE:
+        return StatusCode::Resource;
+      case ENOENT:
+        return StatusCode::NotFound;
+      default:
+        return StatusCode::Generic;
+    }
+}
+
 Status
 ensureDir(const std::string &dir)
 {
@@ -69,7 +89,8 @@ ensureDir(const std::string &dir)
             partial += '/';
         partial += component;
         if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
-            return Status::error("mkdir failed: " + errnoString())
+            return Status::error(errnoStatusCode(errno),
+                                 "mkdir failed: " + errnoString())
                 .withFile(partial);
         }
     }
@@ -86,7 +107,8 @@ writeFileAtomic(const std::string &path, const std::string &content)
         path + ".tmp." + std::to_string((long)::getpid());
     int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0) {
-        return Status::error("cannot create temp file: " +
+        return Status::error(errnoStatusCode(errno),
+                             "cannot create temp file: " +
                              errnoString()).withFile(tmp);
     }
     std::size_t off = 0;
@@ -96,7 +118,8 @@ writeFileAtomic(const std::string &path, const std::string &content)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            Status st = Status::error("write failed: " +
+            Status st = Status::error(errnoStatusCode(errno),
+                                      "write failed: " +
                                       errnoString())
                             .withFile(tmp).withOffset(off);
             ::close(fd);
@@ -105,22 +128,31 @@ writeFileAtomic(const std::string &path, const std::string &content)
         }
         off += (std::size_t)n;
     }
+    crashPoint("atomic.tmp_written");
     if (::fsync(fd) != 0) {
-        Status st = Status::error("fsync failed: " + errnoString())
+        Status st = Status::error(errnoStatusCode(errno),
+                                  "fsync failed: " + errnoString())
                         .withFile(tmp);
         ::close(fd);
         ::unlink(tmp.c_str());
         return st;
     }
     ::close(fd);
+    crashPoint("atomic.tmp_synced");
     if (::rename(tmp.c_str(), path.c_str()) != 0) {
-        Status st = Status::error("rename failed: " + errnoString())
+        Status st = Status::error(errnoStatusCode(errno),
+                                  "rename failed: " + errnoString())
                         .withFile(path);
         ::unlink(tmp.c_str());
         return st;
     }
-    // Make the rename itself durable.
-    return fsyncPath(dirnameOf(path), O_RDONLY | O_DIRECTORY);
+    crashPoint("atomic.renamed");
+    // Make the rename itself durable: without the directory fsync a
+    // crash here can forget the whole entry despite the fsync'd
+    // contents (covered by the crash matrix at atomic.renamed).
+    Status st = fsyncPath(dirnameOf(path), O_RDONLY | O_DIRECTORY);
+    crashPoint("atomic.dir_synced");
+    return st;
 }
 
 Expected<std::string>
@@ -128,7 +160,8 @@ readFileToString(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is) {
-        return Status::error("cannot open: " + errnoString())
+        return Status::error(errnoStatusCode(errno),
+                             "cannot open: " + errnoString())
             .withFile(path);
     }
     std::ostringstream ss;
@@ -151,44 +184,125 @@ Status
 AppendLog::open(const std::string &path)
 {
     close();
+    const bool existed = pathExists(path);
     fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
     if (fd_ < 0) {
-        return Status::error("cannot open append log: " +
+        return Status::error(errnoStatusCode(errno),
+                             "cannot open append log: " +
                              errnoString()).withFile(path);
     }
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+        Status bad = Status::error("cannot stat append log: " +
+                                   errnoString()).withFile(path);
+        close();
+        return bad;
+    }
+    size_ = (uint64_t)st.st_size;
     path_ = path;
+    torn_ = false;
+    dirty_ = false;
+    if (!existed) {
+        // A log created just now only durably *exists* once its
+        // directory entry is synced; otherwise a crash could drop
+        // the whole file no matter how many records were fsync'd.
+        if (Status dir = fsyncPath(dirnameOf(path),
+                                   O_RDONLY | O_DIRECTORY);
+            !dir.isOk()) {
+            close();
+            return dir;
+        }
+    }
+    crashPoint("append.opened");
     return Status::ok();
 }
 
 Status
-AppendLog::append(const std::string &line)
+AppendLog::append(const std::string &line, bool durable)
 {
     if (fd_ < 0)
         return Status::error("append log is not open");
+    if (torn_) {
+        return Status::error(StatusCode::Corrupt,
+                             "append log has a torn tail (earlier "
+                             "failed append could not be rolled "
+                             "back)").withFile(path_);
+    }
     if (line.find('\n') != std::string::npos) {
         return Status::error("journal record contains a newline")
             .withFile(path_);
     }
     std::string rec = line;
     rec += '\n';
+    crashPoint("append.pre_write");
     // One write() per record: O_APPEND makes the offset update atomic
     // and a whole-record write keeps torn lines confined to crashes
     // *during* the write, which replay tolerates at the tail.
     std::size_t off = 0;
+    Status failure = Status::ok();
     while (off < rec.size()) {
         ssize_t n = ::write(fd_, rec.data() + off, rec.size() - off);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            return Status::error("journal write failed: " +
-                                 errnoString()).withFile(path_);
+            failure = Status::error(errnoStatusCode(errno),
+                                    "journal write failed: " +
+                                    errnoString())
+                          .withFile(path_).withOffset(size_ + off);
+            break;
+        }
+        if (n == 0) {
+            failure = Status::error(StatusCode::ShortWrite,
+                                    "journal write made no progress")
+                          .withFile(path_).withOffset(size_ + off);
+            break;
         }
         off += (std::size_t)n;
     }
+    if (!failure.isOk()) {
+        // Roll the file back to the last record boundary so the
+        // partial record cannot corrupt the next append. If the
+        // rollback itself fails the log is unusable: mark it torn
+        // and refuse, never silently drop bytes.
+        if (off > 0 && ::ftruncate(fd_, (off_t)size_) != 0)
+            torn_ = true;
+        return failure;
+    }
+    crashPoint("append.written");
+    if (durable) {
+        if (::fsync(fd_) != 0) {
+            // The record is written but not durable; the caller must
+            // not acknowledge it. The file is still well-formed, so
+            // later appends may proceed.
+            size_ += rec.size();
+            dirty_ = true;
+            return Status::error(errnoStatusCode(errno),
+                                 "journal fsync failed: " +
+                                 errnoString()).withFile(path_);
+        }
+        dirty_ = false;
+        crashPoint("append.synced");
+    } else {
+        dirty_ = true;
+    }
+    size_ += rec.size();
+    return Status::ok();
+}
+
+Status
+AppendLog::sync()
+{
+    if (fd_ < 0)
+        return Status::error("append log is not open");
+    if (!dirty_)
+        return Status::ok();
     if (::fsync(fd_) != 0) {
-        return Status::error("journal fsync failed: " +
+        return Status::error(errnoStatusCode(errno),
+                             "journal fsync failed: " +
                              errnoString()).withFile(path_);
     }
+    dirty_ = false;
+    crashPoint("append.synced");
     return Status::ok();
 }
 
@@ -200,6 +314,9 @@ AppendLog::close()
         fd_ = -1;
     }
     path_.clear();
+    size_ = 0;
+    dirty_ = false;
+    torn_ = false;
 }
 
 } // namespace xbs

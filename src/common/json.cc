@@ -143,6 +143,23 @@ JsonWriter::field(const std::string &key, double value)
 }
 
 void
+JsonWriter::fieldFull(const std::string &key, double value)
+{
+    prefix(key);
+    if (std::isfinite(value)) {
+        // %.17g round-trips every finite double through strtod
+        // bit-exactly; used where a value will be read back and must
+        // compare equal (journal metrics, cache entries), not just
+        // displayed.
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        os_ << buf;
+    } else {
+        os_ << "null";
+    }
+}
+
+void
 JsonWriter::field(const std::string &key, uint64_t value)
 {
     prefix(key);

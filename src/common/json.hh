@@ -48,6 +48,10 @@ class JsonWriter
     void field(const std::string &key, bool value);
     /// @}
 
+    /** Like field(double) but at full %.17g precision, for values
+     *  that must survive a write-parse round trip bit-exactly. */
+    void fieldFull(const std::string &key, double value);
+
     /** All containers must be closed before destruction. */
     bool balanced() const { return stack_.empty(); }
 

@@ -51,6 +51,26 @@ enum ExitCode : int
     kExitRegression = 6,
 };
 
+/**
+ * Machine-readable failure class, orthogonal to the human-readable
+ * cause string. Generic covers everything that predates the typing;
+ * the specific codes exist where a *caller's policy* depends on what
+ * went wrong: the scheduler retries Resource failures (disk full,
+ * fork limits — the host may recover) but not Corrupt ones, and the
+ * result cache treats Corrupt and NotFound entries as misses instead
+ * of errors.
+ */
+enum class StatusCode
+{
+    Generic,    ///< untyped failure (default)
+    Resource,   ///< ENOSPC/EDQUOT/EAGAIN/ENOMEM: transient host limit
+    ShortWrite, ///< partial write the caller could not complete
+    Corrupt,    ///< data present but failed integrity/parse checks
+    NotFound,   ///< addressed object does not exist
+};
+
+const char *statusCodeName(StatusCode code);
+
 /** Success-or-error result with file/offset/cause context. */
 class [[nodiscard]] Status
 {
@@ -66,6 +86,14 @@ class [[nodiscard]] Status
         Status st;
         st.failed_ = true;
         st.cause_ = std::move(cause);
+        return st;
+    }
+
+    static Status
+    error(StatusCode code, std::string cause)
+    {
+        Status st = error(std::move(cause));
+        st.code_ = code;
         return st;
     }
 
@@ -88,8 +116,27 @@ class [[nodiscard]] Status
     }
     /// @}
 
+    /** Refine a propagating error's code (first refinement wins,
+     *  like withFile; no-op on success or an already-typed error). */
+    Status &
+    withCode(StatusCode code)
+    {
+        if (failed_ && code_ == StatusCode::Generic)
+            code_ = code;
+        return *this;
+    }
+
     bool isOk() const { return !failed_; }
     explicit operator bool() const { return !failed_; }
+
+    StatusCode code() const { return code_; }
+
+    /** Retrying the same operation later may succeed (the failure is
+     *  a host condition, not a property of the data or request). */
+    bool transient() const
+    {
+        return failed_ && code_ == StatusCode::Resource;
+    }
 
     const std::string &cause() const { return cause_; }
     const std::string &file() const { return file_; }
@@ -111,10 +158,24 @@ class [[nodiscard]] Status
 
   private:
     bool failed_ = false;
+    StatusCode code_ = StatusCode::Generic;
     std::string cause_;
     std::string file_;
     std::optional<uint64_t> offset_;
 };
+
+inline const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Generic:    return "generic";
+      case StatusCode::Resource:   return "resource";
+      case StatusCode::ShortWrite: return "short-write";
+      case StatusCode::Corrupt:    return "corrupt";
+      case StatusCode::NotFound:   return "not-found";
+    }
+    return "?";
+}
 
 /**
  * A T or the Status explaining why there is none. Construction from

@@ -1,0 +1,436 @@
+#include "svc/daemon.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "batch/report.hh"
+#include "common/fs.hh"
+#include "common/logging.hh"
+#include "prof/build_info.hh"
+
+namespace xbs
+{
+
+namespace
+{
+
+Status
+errnoError(const std::string &what)
+{
+    return Status::error(errnoStatusCode(errno),
+                         what + ": " + std::strerror(errno));
+}
+
+bool
+setNonBlocking(int fd)
+{
+    int fl = ::fcntl(fd, F_GETFL);
+    return fl >= 0 && ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) >= 0;
+}
+
+} // anonymous namespace
+
+SweepDaemon::SweepDaemon(DaemonOptions opts) : opts_(std::move(opts))
+{
+}
+
+SweepDaemon::~SweepDaemon()
+{
+    closeSocket();
+}
+
+Status
+SweepDaemon::open()
+{
+    if (Status st = ensureDir(opts_.dir); !st.isOk())
+        return st;
+
+    // Resume before accepting: the journal's Submit events ARE the
+    // matrix, so replay rebuilds every acked job; finished ones keep
+    // their finals and open attempts re-queue.
+    std::vector<JournalEvent> events;
+    if (pathExists(SweepJournal::journalPath(opts_.dir))) {
+        Expected<std::vector<JournalEvent>> replayed =
+            SweepJournal::replay(opts_.dir);
+        if (!replayed.ok())
+            return replayed.status();
+        events = replayed.take();
+    }
+    if (Status st = journal_.open(opts_.dir); !st.isOk())
+        return st;
+
+    if (!opts_.cacheDir.empty()) {
+        if (Status st = cache_.open(opts_.cacheDir); !st.isOk())
+            return st;
+        opts_.sched.cache = &cache_;
+    }
+    opts_.sched.stopFlag = &stop_;
+
+    sched_ = std::make_unique<SweepScheduler>(
+        opts_.sched, std::vector<JobSpec>{}, &journal_);
+    journal_.seedSeq(sched_->restore(events));
+
+    struct sockaddr_un addr;
+    if (opts_.socketPath.size() >= sizeof(addr.sun_path)) {
+        return Status::error("socket path too long")
+            .withFile(opts_.socketPath);
+    }
+    // A previous daemon's socket file would make bind() fail; a
+    // *live* daemon is the operator's problem (flock-style exclusion
+    // would need a lock file; the journal's O_APPEND keeps even that
+    // mistake from corrupting state).
+    ::unlink(opts_.socketPath.c_str());
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return errnoError("socket failed");
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+                opts_.socketPath.size());
+    if (::bind(listenFd_, (struct sockaddr *)&addr, sizeof(addr)) !=
+        0) {
+        Status st = errnoError("bind failed")
+                        .withFile(opts_.socketPath);
+        closeSocket();
+        return st;
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        Status st = errnoError("listen failed")
+                        .withFile(opts_.socketPath);
+        closeSocket();
+        return st;
+    }
+    if (!setNonBlocking(listenFd_)) {
+        Status st = errnoError("fcntl failed");
+        closeSocket();
+        return st;
+    }
+    return Status::ok();
+}
+
+void
+SweepDaemon::closeSocket()
+{
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(opts_.socketPath.c_str());
+    }
+    for (auto &conn : conns_) {
+        if (conn->fd >= 0)
+            ::close(conn->fd);
+    }
+    conns_.clear();
+}
+
+void
+SweepDaemon::acceptClients()
+{
+    for (;;) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            return;  // EAGAIN (or EINTR: next loop retries)
+        if (!setNonBlocking(fd)) {
+            ::close(fd);
+            continue;
+        }
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conns_.push_back(std::move(conn));
+    }
+}
+
+void
+SweepDaemon::readClient(Conn &conn)
+{
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+        if (n > 0) {
+            conn.in.append(buf, (std::size_t)n);
+            if (conn.in.size() > (8u << 20)) {
+                // A client that never sends a newline is hogging
+                // memory, not speaking the protocol.
+                conn.closed = true;
+                return;
+            }
+            continue;
+        }
+        if (n == 0) {
+            conn.closed = true;
+            return;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK)
+            conn.closed = true;
+        return;
+    }
+}
+
+void
+SweepDaemon::flushClient(Conn &conn)
+{
+    while (!conn.out.empty()) {
+        ssize_t n = ::write(conn.fd, conn.out.data(),
+                            conn.out.size());
+        if (n > 0) {
+            conn.out.erase(0, (std::size_t)n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return;
+        conn.closed = true;
+        return;
+    }
+}
+
+std::string
+SweepDaemon::statusJson(int job) const
+{
+    std::ostringstream os;
+    {
+        JsonWriter jw(os, /*pretty=*/false);
+        jw.beginObject();
+        if (job < 0) {
+            const auto &records = sched_->records();
+            std::size_t done = 0, ok = 0;
+            for (const JobRecord &rec : records) {
+                if (rec.done) {
+                    ++done;
+                    if (rec.cls == JobClass::Ok)
+                        ++ok;
+                }
+            }
+            jw.field("ok", true);
+            jw.field("total", (uint64_t)records.size());
+            jw.field("done", (uint64_t)done);
+            jw.field("okJobs", (uint64_t)ok);
+            jw.field("running", (uint64_t)sched_->runningCount());
+            jw.field("pending", (uint64_t)sched_->pendingCount());
+            jw.field("cacheHits", sched_->cacheHits());
+            jw.field("retries", (uint64_t)sched_->totalRetries());
+            jw.field("idle", sched_->idle());
+            jw.field("draining", draining_ || shutdown_);
+        } else {
+            const auto &records = sched_->records();
+            auto it = std::find_if(records.begin(), records.end(),
+                                   [&](const JobRecord &r) {
+                                       return r.spec.id == job;
+                                   });
+            if (it == records.end()) {
+                jw.field("ok", false);
+                jw.field("error", "unknown job " +
+                                      std::to_string(job));
+            } else {
+                jw.field("ok", true);
+                jw.field("job", (int64_t)it->spec.id);
+                jw.field("label", it->spec.run.label());
+                jw.field("done", it->done);
+                if (it->done)
+                    jw.field("class", jobClassName(it->cls));
+                jw.field("cached", it->cached);
+                jw.field("attempts", (int64_t)it->attempts);
+                jw.fieldFull("seconds", it->seconds);
+                if (it->hasMetrics) {
+                    jw.beginObject("metrics");
+                    writeJobMetricsFields(jw, it->metrics);
+                    jw.endObject();
+                }
+                if (!it->note.empty())
+                    jw.field("note", it->note);
+            }
+        }
+        jw.endObject();
+    }
+    return os.str();
+}
+
+void
+SweepDaemon::handleLine(Conn &conn, const std::string &line,
+                        std::vector<std::pair<Conn *, int>> &acks)
+{
+    Expected<ProtoRequest> parsed = parseProtoRequest(line);
+    if (!parsed.ok()) {
+        conn.out += renderProtoError(parsed.status().toString());
+        conn.out += '\n';
+        return;
+    }
+    const ProtoRequest &req = parsed.value();
+    switch (req.op) {
+      case ProtoOp::Ping:
+        conn.out += renderProtoOk();
+        conn.out += '\n';
+        return;
+      case ProtoOp::Status:
+        conn.out += statusJson(req.job);
+        conn.out += '\n';
+        return;
+      case ProtoOp::Cancel: {
+        Status st = sched_->cancel(req.job);
+        conn.out += st.isOk() ? renderProtoOk()
+                              : renderProtoError(st.toString());
+        conn.out += '\n';
+        return;
+      }
+      case ProtoOp::Drain:
+        draining_ = true;
+        conn.out += renderProtoOk();
+        conn.out += '\n';
+        return;
+      case ProtoOp::Shutdown:
+        shutdown_ = true;
+        stop_ = 1;  // scheduler drains its children resumably
+        conn.out += renderProtoOk();
+        conn.out += '\n';
+        return;
+      case ProtoOp::Submit: {
+        if (draining_ || shutdown_) {
+            conn.out += renderProtoError("daemon is draining");
+            conn.out += '\n';
+            return;
+        }
+        Expected<RunSpec> run = RunSpec::fromArgv(req.spec);
+        if (!run.ok()) {
+            conn.out += renderProtoError(run.status().toString());
+            conn.out += '\n';
+            return;
+        }
+        // durable=false: the ack is withheld until the one fsync
+        // that covers every submission in this burst (runLoop's
+        // group-commit barrier).
+        Expected<int> id = sched_->submit(run.value(), req.tenant,
+                                          req.priority,
+                                          /*durable=*/false);
+        if (!id.ok()) {
+            conn.out += renderProtoError(id.status().toString());
+            conn.out += '\n';
+            return;
+        }
+        acks.emplace_back(&conn, id.value());
+        return;
+      }
+    }
+}
+
+int
+SweepDaemon::runLoop()
+{
+    while (true) {
+        // Mirror SIGINT/SIGTERM into a shutdown request.
+        if (stop_ != 0 && !shutdown_) {
+            shutdown_ = true;
+            draining_ = false;
+        }
+
+        std::vector<struct pollfd> fds;
+        fds.push_back({listenFd_, POLLIN, 0});
+        for (auto &conn : conns_) {
+            short events = POLLIN;
+            if (!conn->out.empty())
+                events |= POLLOUT;
+            fds.push_back({conn->fd, events, 0});
+        }
+        // The scheduler still needs pumping while the socket idles.
+        int rc = ::poll(fds.data(), (nfds_t)fds.size(),
+                        (int)opts_.sched.pollMs);
+        if (rc < 0 && errno != EINTR && errno != EAGAIN)
+            xbs_warn("poll failed: %s", std::strerror(errno));
+
+        if (fds[0].revents & POLLIN)
+            acceptClients();
+
+        // Gather every complete request line that arrived, then
+        // process them in order. Submit acks are deferred past one
+        // shared fsync: a hundred pipelined submissions cost one
+        // sync, and nobody is told "accepted" before the journal is.
+        std::vector<std::pair<Conn *, int>> acks;
+        for (std::size_t i = 0; i < conns_.size(); ++i) {
+            Conn &conn = *conns_[i];
+            if (i + 1 < fds.size() &&
+                (fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) {
+                readClient(conn);
+            }
+            std::size_t nl;
+            while ((nl = conn.in.find('\n')) != std::string::npos) {
+                std::string line = conn.in.substr(0, nl);
+                conn.in.erase(0, nl + 1);
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                if (line.empty())
+                    continue;
+                handleLine(conn, line, acks);
+            }
+        }
+        if (!acks.empty()) {
+            Status st = sched_->journalSync();
+            for (auto &[conn, id] : acks) {
+                if (st.isOk()) {
+                    conn->out += "{\"ok\": true, \"job\": " +
+                                 std::to_string(id) + "}";
+                } else {
+                    // The Submit record may not be durable: the
+                    // client must treat the job as not accepted (a
+                    // crash-replay may or may not resurrect it; resubmitting
+                    // is safe because duplicates coalesce).
+                    conn->out += renderProtoError(
+                        "journal sync failed: " + st.toString());
+                }
+                conn->out += '\n';
+            }
+        }
+
+        sched_->step();
+
+        for (auto &conn : conns_) {
+            if (!conn->closed && !conn->out.empty())
+                flushClient(*conn);
+        }
+        conns_.erase(
+            std::remove_if(conns_.begin(), conns_.end(),
+                           [](const std::unique_ptr<Conn> &c) {
+                               if (!c->closed)
+                                   return false;
+                               ::close(c->fd);
+                               return true;
+                           }),
+            conns_.end());
+
+        // Shutdown exits once the scheduler has reaped the children
+        // it TERM'd (the stop flag armed its drain); their attempts
+        // stay open in the journal and a restarted daemon re-queues
+        // them. A drain instead waits the whole queue out.
+        if (shutdown_ && sched_->runningCount() == 0)
+            break;
+        if (draining_ && sched_->idle())
+            break;
+    }
+
+    // Leave report.json behind for xbexplain/analysis, mirroring
+    // one-shot xbatch.
+    SweepSummary summary = summarizeSweep(
+        sched_->records(), sched_->interrupted(),
+        sched_->totalRetries(), 0.0);
+    SweepReportInfo info;
+    info.hasBuild = true;
+    info.build = buildInfo();
+    if (Status st = writeSweepReport(opts_.dir, sched_->records(),
+                                     summary, info);
+        !st.isOk()) {
+        xbs_warn("report write failed: %s", st.toString().c_str());
+    }
+    closeSocket();
+    return shutdown_ ? kExitInterrupted : kExitOk;
+}
+
+} // namespace xbs

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * xbatchd: the sweep service. One single-threaded daemon owning a
+ * sweep directory (journal + report + result cache) and a Unix
+ * socket; clients submit RunSpecs over the line-JSON protocol
+ * (svc/proto.hh) and the daemon schedules them through the same
+ * SweepScheduler that powers one-shot xbatch runs.
+ *
+ * Durability contract (the whole point of the service):
+ *
+ *  - a submission is acknowledged only after its Submit event is
+ *    fsync'd into journal.jsonl. Acks for a pipelined burst are
+ *    group-committed: every line of input processed in one loop
+ *    iteration shares a single fsync.
+ *  - a SIGKILL of the daemon at any instant loses nothing that was
+ *    acked: on restart the journal replays, finished jobs keep their
+ *    finals (served from the report/cache, never re-run), in-flight
+ *    attempts re-queue, and unacked torn submissions at the tail are
+ *    dropped exactly as their clients (which never got an ack) must
+ *    assume.
+ *  - duplicate submissions coalesce: identical cells (same canonical
+ *    spec, workload content, build) simulate once and every other
+ *    copy is served from the content-addressed result cache, marked
+ *    `cached` end to end (journal, report, xbtop).
+ *
+ * Scheduling: highest priority first; within a priority class,
+ *  worker slots round-robin across tenants (one tenant's thousand
+ *  submissions cannot starve another's one).
+ *
+ * Lifecycle: runLoop() services the socket and pumps the scheduler
+ * until one of
+ *   - drain op:     stop admitting, finish queued work, exit 0
+ *   - shutdown op:  stop admitting, interrupt in-flight children
+ *                   resumably (journal shows open attempts), exit 5
+ *   - SIGINT/TERM:  same as shutdown
+ */
+
+#ifndef XBS_SVC_DAEMON_HH
+#define XBS_SVC_DAEMON_HH
+
+#include <csignal>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batch/result_cache.hh"
+#include "batch/scheduler.hh"
+#include "svc/proto.hh"
+
+namespace xbs
+{
+
+struct DaemonOptions
+{
+    std::string socketPath;   ///< Unix socket (sun_path limit ~107)
+    std::string dir;          ///< sweep directory (journal, report)
+    std::string cacheDir;     ///< result cache root ("" disables)
+    SchedulerOptions sched;   ///< worker pool / watchdog settings
+};
+
+class SweepDaemon
+{
+  public:
+    explicit SweepDaemon(DaemonOptions opts);
+    ~SweepDaemon();
+
+    SweepDaemon(const SweepDaemon &) = delete;
+    SweepDaemon &operator=(const SweepDaemon &) = delete;
+
+    /**
+     * Prepare to serve: create the sweep dir, open (and replay) the
+     * journal, open the cache, bind + listen on the socket. A
+     * pre-existing journal resumes: done jobs keep their finals,
+     * open attempts re-queue.
+     */
+    Status open();
+
+    /**
+     * Serve until drained, shut down, or signaled (see file
+     * comment). Always leaves report.json behind.
+     *
+     * @return kExitOk after a drain, kExitInterrupted after a
+     *         shutdown/signal
+     */
+    int runLoop();
+
+    const SweepScheduler &scheduler() const { return *sched_; }
+    const ResultCache &cache() const { return cache_; }
+    const std::string &socketPath() const { return opts_.socketPath; }
+
+    /** For installStopHandlers: SIGINT/SIGTERM land here and read
+     *  as a shutdown request (must outlive the handlers). */
+    volatile std::sig_atomic_t *stopFlagAddr() { return &stop_; }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        std::string in;    ///< unconsumed partial input
+        std::string out;   ///< unwritten response bytes
+        bool closed = false;
+    };
+
+    void acceptClients();
+    void readClient(Conn &conn);
+    void flushClient(Conn &conn);
+    /** Handle one request line; submit acks go through @p acks for
+     *  the group-commit barrier, everything else replies directly. */
+    void handleLine(Conn &conn, const std::string &line,
+                    std::vector<std::pair<Conn *, int>> &acks);
+    std::string statusJson(int job) const;
+    void closeSocket();
+
+    DaemonOptions opts_;
+    SweepJournal journal_;
+    ResultCache cache_;
+    std::unique_ptr<SweepScheduler> sched_;
+    int listenFd_ = -1;
+    std::vector<std::unique_ptr<Conn>> conns_;
+    /// Drain/shutdown request (protocol op or signal); the scheduler
+    /// watches this address as its stop flag for shutdown_.
+    volatile std::sig_atomic_t stop_ = 0;
+    bool draining_ = false;   ///< finish queued work, then exit
+    bool shutdown_ = false;   ///< interrupt in-flight work, exit
+};
+
+} // namespace xbs
+
+#endif // XBS_SVC_DAEMON_HH

@@ -1,0 +1,200 @@
+#include "svc/proto.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "batch/job.hh"
+#include "common/fs.hh"
+
+namespace xbs
+{
+
+const char *
+protoOpName(ProtoOp op)
+{
+    switch (op) {
+      case ProtoOp::Ping:     return "ping";
+      case ProtoOp::Submit:   return "submit";
+      case ProtoOp::Status:   return "status";
+      case ProtoOp::Cancel:   return "cancel";
+      case ProtoOp::Drain:    return "drain";
+      case ProtoOp::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+Expected<ProtoRequest>
+parseProtoRequest(const std::string &line)
+{
+    JsonValue v;
+    std::string err;
+    if (!parseJson(line, &v, &err) || !v.isObject())
+        return Status::error("malformed request: " + err);
+
+    const JsonValue *op = v.find("op");
+    if (!op || !op->isString())
+        return Status::error("request has no op field");
+
+    ProtoRequest req;
+    const std::string &name = op->asString();
+    if (name == "ping") {
+        req.op = ProtoOp::Ping;
+    } else if (name == "submit") {
+        req.op = ProtoOp::Submit;
+    } else if (name == "status") {
+        req.op = ProtoOp::Status;
+    } else if (name == "cancel") {
+        req.op = ProtoOp::Cancel;
+    } else if (name == "drain") {
+        req.op = ProtoOp::Drain;
+    } else if (name == "shutdown") {
+        req.op = ProtoOp::Shutdown;
+    } else {
+        return Status::error("unknown op '" + name + "'");
+    }
+
+    if (const JsonValue *f = v.find("spec")) {
+        if (!f->isArray())
+            return Status::error("spec must be an array");
+        for (const JsonValue &flag : f->items)
+            req.spec.push_back(flag.asString());
+    }
+    if (const JsonValue *f = v.find("tenant"))
+        req.tenant = f->asString();
+    if (const JsonValue *f = v.find("priority"))
+        req.priority = (int)f->asNumber();
+    if (const JsonValue *f = v.find("job"))
+        req.job = (int)f->asNumber();
+
+    if (req.op == ProtoOp::Submit && req.spec.empty())
+        return Status::error("submit needs a spec array");
+    if (req.op == ProtoOp::Cancel && req.job < 0)
+        return Status::error("cancel needs a job id");
+    return req;
+}
+
+std::string
+renderProtoRequest(const ProtoRequest &req)
+{
+    std::ostringstream os;
+    {
+        JsonWriter jw(os, /*pretty=*/false);
+        jw.beginObject();
+        jw.field("op", protoOpName(req.op));
+        if (!req.spec.empty()) {
+            jw.beginArray("spec");
+            for (const std::string &flag : req.spec)
+                jw.field("", flag);
+            jw.endArray();
+        }
+        if (!req.tenant.empty())
+            jw.field("tenant", req.tenant);
+        if (req.priority != 0)
+            jw.field("priority", (int64_t)req.priority);
+        if (req.job >= 0)
+            jw.field("job", (int64_t)req.job);
+        jw.endObject();
+    }
+    return os.str();
+}
+
+std::string
+renderProtoError(const std::string &message)
+{
+    std::ostringstream os;
+    {
+        JsonWriter jw(os, /*pretty=*/false);
+        jw.beginObject();
+        jw.field("ok", false);
+        jw.field("error", sanitizeNote(message));
+        jw.endObject();
+    }
+    return os.str();
+}
+
+std::string
+renderProtoOk()
+{
+    return "{\"ok\": true}";
+}
+
+Expected<int>
+connectUnixSocket(const std::string &path)
+{
+    struct sockaddr_un addr;
+    if (path.size() >= sizeof(addr.sun_path))
+        return Status::error("socket path too long").withFile(path);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return Status::error(errnoStatusCode(errno),
+                             std::string("socket failed: ") +
+                             std::strerror(errno));
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size());
+    if (::connect(fd, (struct sockaddr *)&addr, sizeof(addr)) != 0) {
+        Status st = Status::error(errnoStatusCode(errno),
+                                  std::string("connect failed: ") +
+                                  std::strerror(errno)).withFile(path);
+        ::close(fd);
+        return st;
+    }
+    return fd;
+}
+
+Expected<JsonValue>
+roundTrip(int fd, const std::string &request_line)
+{
+    std::string out = request_line;
+    if (out.empty() || out.back() != '\n')
+        out += '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+        ssize_t n = ::write(fd, out.data() + off, out.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::error(errnoStatusCode(errno),
+                                 std::string("write failed: ") +
+                                 std::strerror(errno));
+        }
+        off += (std::size_t)n;
+    }
+
+    std::string line;
+    char c;
+    for (;;) {
+        ssize_t n = ::read(fd, &c, 1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::error(errnoStatusCode(errno),
+                                 std::string("read failed: ") +
+                                 std::strerror(errno));
+        }
+        if (n == 0) {
+            return Status::error(StatusCode::NotFound,
+                                 "daemon closed the connection");
+        }
+        if (c == '\n')
+            break;
+        line += c;
+        if (line.size() > (1u << 20))
+            return Status::error("oversized response line");
+    }
+
+    JsonValue v;
+    std::string err;
+    if (!parseJson(line, &v, &err) || !v.isObject())
+        return Status::error("malformed response: " + err);
+    return v;
+}
+
+} // namespace xbs

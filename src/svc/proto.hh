@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The xbatchd wire protocol: line-delimited JSON over a Unix
+ * SOCK_STREAM socket. One request object per line, one response
+ * object per line, in order; a client may pipeline requests.
+ *
+ * Requests:
+ *
+ *   {"op":"ping"}
+ *   {"op":"submit","spec":["--workload=...","--frontend=...",...],
+ *    "tenant":"alice","priority":0}
+ *   {"op":"status"}            whole-service counters
+ *   {"op":"status","job":N}    one job's record
+ *   {"op":"cancel","job":N}
+ *   {"op":"drain"}             stop admitting; finish queued work
+ *   {"op":"shutdown"}          stop admitting; interrupt in-flight
+ *                              work resumably and exit
+ *
+ * Responses are {"ok":true,...} or {"ok":false,"error":"..."}.
+ * A submit is acknowledged only after its Submit journal event is
+ * fsync'd (group-committed across a pipelined burst): an acked job
+ * survives SIGKILL of the daemon.
+ *
+ * The "spec" array is the RunSpec argv round trip (sim/config.hh),
+ * the same encoding the manifest and journal use.
+ */
+
+#ifndef XBS_SVC_PROTO_HH
+#define XBS_SVC_PROTO_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/status.hh"
+
+namespace xbs
+{
+
+enum class ProtoOp
+{
+    Ping,
+    Submit,
+    Status,
+    Cancel,
+    Drain,
+    Shutdown,
+};
+
+const char *protoOpName(ProtoOp op);
+
+struct ProtoRequest
+{
+    ProtoOp op = ProtoOp::Ping;
+    std::vector<std::string> spec;  ///< Submit: RunSpec argv
+    std::string tenant;             ///< Submit: fair-share bucket
+    int priority = 0;               ///< Submit: higher launches first
+    int job = -1;                   ///< Status (optional) / Cancel
+};
+
+/** Parse one request line (without the trailing newline). */
+Expected<ProtoRequest> parseProtoRequest(const std::string &line);
+
+/** Serialize a request (tests and the xbatchctl client). */
+std::string renderProtoRequest(const ProtoRequest &req);
+
+/** {"ok":false,"error":...} with control bytes stripped. */
+std::string renderProtoError(const std::string &message);
+
+/** {"ok":true} */
+std::string renderProtoOk();
+
+/// @{ Blocking client helpers (xbatchctl, tests).
+
+/** Connect to the daemon's Unix socket. */
+Expected<int> connectUnixSocket(const std::string &path);
+
+/**
+ * Send one request line and read one response line (blocking).
+ * Fails with a typed NotFound-ish error if the daemon hangs up.
+ */
+Expected<JsonValue> roundTrip(int fd, const std::string &request_line);
+
+/// @}
+
+} // namespace xbs
+
+#endif // XBS_SVC_PROTO_HH

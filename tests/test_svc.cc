@@ -1,0 +1,708 @@
+/**
+ * @file
+ * Sweep service & result cache tests: SHA-256 vectors, the xbatchd
+ * wire protocol, cache key derivation and entry integrity, typed
+ * resource-exhaustion errors, duplicate coalescing in the scheduler,
+ * service-mode scheduling (priority, tenant fair share, cancel),
+ * the crash-point recovery matrix (this test binary doubles as the
+ * victim process), and a fork-based end-to-end daemon round trip.
+ */
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "batch/journal.hh"
+#include "batch/result_cache.hh"
+#include "batch/scheduler.hh"
+#include "common/crashpoint.hh"
+#include "common/fs.hh"
+#include "common/json.hh"
+#include "common/sha256.hh"
+#include "svc/daemon.hh"
+#include "svc/proto.hh"
+#include "verify/crash_matrix.hh"
+#include "workload/catalog.hh"
+
+using namespace xbs;
+
+namespace
+{
+
+/** Fresh scratch directory per test. */
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/xbs_svc_XXXXXX";
+    const char *dir = ::mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    return dir;
+}
+
+/** Write an executable /bin/sh script. */
+std::string
+writeScript(const std::string &dir, const std::string &name,
+            const std::string &body)
+{
+    const std::string path = dir + "/" + name;
+    {
+        std::ofstream os(path);
+        os << "#!/bin/sh\n" << body;
+    }
+    ::chmod(path.c_str(), 0755);
+    return path;
+}
+
+const char *kOkJson =
+    "echo '{\"bandwidth\": 2.5, \"missRate\": 0.125, "
+    "\"overallIpc\": 2.0, \"cycles\": 100, \"totalUops\": 250}'\n";
+
+SchedulerOptions
+fastOptions(const std::string &xbsim)
+{
+    SchedulerOptions opts;
+    opts.xbsimPath = xbsim;
+    opts.workers = 2;
+    opts.timeoutSec = 5.0;
+    opts.maxRetries = 0;
+    opts.backoffMs = 10;
+    opts.graceSec = 0.2;
+    opts.pollMs = 2;
+    return opts;
+}
+
+/** A real-catalog spec (cache keys need a known workload). */
+RunSpec
+gccSpec(uint64_t insts = 1000)
+{
+    RunSpec run;
+    run.workload = "gcc";
+    run.frontend = "xbc";
+    run.capacity = 32768;
+    run.insts = insts;
+    return run;
+}
+
+std::string
+selfExe()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    EXPECT_GT(n, 0);
+    buf[n > 0 ? n : 0] = '\0';
+    return buf;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------
+// SHA-256 (hand-rolled: pin it to the FIPS 180-4 vectors)
+// ---------------------------------------------------------------
+
+TEST(Sha256, KnownVectors)
+{
+    EXPECT_EQ(sha256Hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca4959"
+              "91b7852b855");
+    EXPECT_EQ(sha256Hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410f"
+              "f61f20015ad");
+    EXPECT_EQ(sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklm"
+                        "nlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd"
+              "419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    const std::string text =
+        "the journal is the source of truth, the cache is only an "
+        "accelerator";
+    Sha256 h;
+    for (char c : text)
+        h.update(&c, 1);
+    EXPECT_EQ(h.hexDigest(), sha256Hex(text));
+}
+
+TEST(Sha256, LengthBoundaryBlocks)
+{
+    // 55/56/64 bytes straddle the padding boundary cases.
+    for (std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+        std::string a(len, 'x');
+        Sha256 h;
+        h.update(a.substr(0, len / 2));
+        h.update(a.substr(len / 2));
+        EXPECT_EQ(h.hexDigest(), sha256Hex(a)) << "len " << len;
+    }
+}
+
+// ---------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------
+
+TEST(Proto, RenderParseRoundTrip)
+{
+    ProtoRequest req;
+    req.op = ProtoOp::Submit;
+    req.spec = {"--workload=gcc", "--frontend=xbc",
+                "--capacity=32768", "--insts=1000"};
+    req.tenant = "alice";
+    req.priority = 3;
+
+    Expected<ProtoRequest> back =
+        parseProtoRequest(renderProtoRequest(req));
+    ASSERT_TRUE(back.ok()) << back.status().toString();
+    EXPECT_EQ(back.value().op, ProtoOp::Submit);
+    EXPECT_EQ(back.value().spec, req.spec);
+    EXPECT_EQ(back.value().tenant, "alice");
+    EXPECT_EQ(back.value().priority, 3);
+}
+
+TEST(Proto, AllOpsRoundTrip)
+{
+    for (ProtoOp op : {ProtoOp::Ping, ProtoOp::Status, ProtoOp::Drain,
+                       ProtoOp::Shutdown, ProtoOp::Cancel,
+                       ProtoOp::Submit}) {
+        ProtoRequest req;
+        req.op = op;
+        if (op == ProtoOp::Submit)
+            req.spec = {"--workload=gcc"};
+        if (op == ProtoOp::Cancel)
+            req.job = 7;
+        Expected<ProtoRequest> back =
+            parseProtoRequest(renderProtoRequest(req));
+        ASSERT_TRUE(back.ok())
+            << protoOpName(op) << ": " << back.status().toString();
+        EXPECT_EQ(back.value().op, op);
+    }
+}
+
+TEST(Proto, SubmitWithoutSpecRejected)
+{
+    EXPECT_FALSE(parseProtoRequest("{\"op\": \"submit\"}").ok());
+}
+
+TEST(Proto, CancelWithoutJobRejected)
+{
+    EXPECT_FALSE(parseProtoRequest("{\"op\": \"cancel\"}").ok());
+}
+
+TEST(Proto, GarbageRejected)
+{
+    EXPECT_FALSE(parseProtoRequest("not json").ok());
+    EXPECT_FALSE(parseProtoRequest("{\"op\": \"explode\"}").ok());
+    EXPECT_FALSE(parseProtoRequest("{}").ok());
+}
+
+// ---------------------------------------------------------------
+// Cache key derivation
+// ---------------------------------------------------------------
+
+TEST(CacheKey, Deterministic)
+{
+    Expected<CacheKey> a = makeCacheKey(gccSpec());
+    Expected<CacheKey> b = makeCacheKey(gccSpec());
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().hex, b.value().hex);
+    EXPECT_EQ(a.value().hex.size(), 64u);
+}
+
+TEST(CacheKey, InstsZeroResolvesToEffectiveDefault)
+{
+    // insts=0 means "the xbsim default", which env vars change; the
+    // canonical spec pins the *effective* length so a cached result
+    // can never be served across a different default.
+    Expected<CacheKey> implicit = makeCacheKey(gccSpec(0));
+    Expected<CacheKey> explicit_ =
+        makeCacheKey(gccSpec(defaultTraceLength()));
+    ASSERT_TRUE(implicit.ok());
+    ASSERT_TRUE(explicit_.ok());
+    EXPECT_EQ(implicit.value().hex, explicit_.value().hex);
+}
+
+TEST(CacheKey, DistinctSpecsGetDistinctKeys)
+{
+    Expected<CacheKey> a = makeCacheKey(gccSpec(1000));
+    Expected<CacheKey> b = makeCacheKey(gccSpec(1001));
+    RunSpec tc = gccSpec(1000);
+    tc.frontend = "tc";
+    Expected<CacheKey> c = makeCacheKey(tc);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    EXPECT_NE(a.value().hex, b.value().hex);
+    EXPECT_NE(a.value().hex, c.value().hex);
+}
+
+TEST(CacheKey, UnknownWorkloadFails)
+{
+    RunSpec run = gccSpec();
+    run.workload = "no-such-workload";
+    EXPECT_FALSE(makeCacheKey(run).ok());
+}
+
+// ---------------------------------------------------------------
+// Result cache store
+// ---------------------------------------------------------------
+
+TEST(ResultCache, StoreLookupRoundTripIsExact)
+{
+    const std::string dir = makeTempDir();
+    ResultCache cache;
+    ASSERT_TRUE(cache.open(dir + "/cache").isOk());
+
+    Expected<CacheKey> key = makeCacheKey(gccSpec());
+    ASSERT_TRUE(key.ok());
+
+    CacheEntry entry;
+    entry.label = "xbc/gcc@32768";
+    entry.seconds = 1.25;
+    // Deliberately precision-hostile doubles: the store must round
+    // trip them bit-exactly (report.json equality is an acceptance
+    // criterion for cached runs).
+    entry.metrics.bandwidth = 7.8116300000000001;
+    entry.metrics.missRate = 0.087583700000000003;
+    entry.metrics.overallIpc = 2.0888700000000001;
+    entry.metrics.cycles = 15731;
+    entry.metrics.totalUops = 32860;
+
+    ASSERT_TRUE(cache.store(key.value(), entry).isOk());
+    Expected<CacheEntry> back = cache.lookup(key.value());
+    ASSERT_TRUE(back.ok()) << back.status().toString();
+    EXPECT_EQ(back.value().label, entry.label);
+    EXPECT_EQ(back.value().metrics.bandwidth,
+              entry.metrics.bandwidth);
+    EXPECT_EQ(back.value().metrics.missRate,
+              entry.metrics.missRate);
+    EXPECT_EQ(back.value().metrics.overallIpc,
+              entry.metrics.overallIpc);
+    EXPECT_EQ(back.value().metrics.cycles, entry.metrics.cycles);
+    EXPECT_EQ(back.value().metrics.totalUops,
+              entry.metrics.totalUops);
+}
+
+TEST(ResultCache, CleanMissIsNotFound)
+{
+    const std::string dir = makeTempDir();
+    ResultCache cache;
+    ASSERT_TRUE(cache.open(dir + "/cache").isOk());
+    Expected<CacheKey> key = makeCacheKey(gccSpec());
+    ASSERT_TRUE(key.ok());
+    Expected<CacheEntry> miss = cache.lookup(key.value());
+    ASSERT_FALSE(miss.ok());
+    EXPECT_EQ(miss.status().code(), StatusCode::NotFound);
+}
+
+TEST(ResultCache, CorruptEntryDemotedToMissAndUnlinked)
+{
+    const std::string dir = makeTempDir();
+    ResultCache cache;
+    ASSERT_TRUE(cache.open(dir + "/cache").isOk());
+    Expected<CacheKey> key = makeCacheKey(gccSpec());
+    ASSERT_TRUE(key.ok());
+
+    CacheEntry entry;
+    entry.label = "victim";
+    entry.seconds = 1.0;
+    entry.metrics.cycles = 10;
+    ASSERT_TRUE(cache.store(key.value(), entry).isOk());
+
+    // Flip a byte in the body: the guard hash must catch it.
+    const std::string path = cache.entryPath(key.value());
+    Expected<std::string> read = readFileToString(path);
+    ASSERT_TRUE(read.ok());
+    std::string blob = read.take();
+    blob[blob.size() / 2] ^= 0x20;
+    {
+        std::ofstream os(path, std::ios::trunc);
+        os << blob;
+    }
+
+    Expected<CacheEntry> hit = cache.lookup(key.value());
+    ASSERT_FALSE(hit.ok());
+    EXPECT_EQ(hit.status().code(), StatusCode::Corrupt);
+    EXPECT_FALSE(pathExists(path)) << "corrupt entry not unlinked";
+
+    // The slate is clean: a fresh store round-trips.
+    ASSERT_TRUE(cache.store(key.value(), entry).isOk());
+    EXPECT_TRUE(cache.lookup(key.value()).ok());
+}
+
+// ---------------------------------------------------------------
+// Typed resource exhaustion (satellite: ENOSPC is transient)
+// ---------------------------------------------------------------
+
+TEST(TypedErrors, EnospcAppendIsTransientResource)
+{
+    // /dev/full gives a deterministic ENOSPC on write.
+    if (::access("/dev/full", W_OK) != 0)
+        GTEST_SKIP() << "/dev/full not available";
+    AppendLog log;
+    Status st = log.open("/dev/full");
+    if (!st.isOk())
+        GTEST_SKIP() << "cannot open /dev/full: " << st.toString();
+    Status append = log.append("{}");
+    ASSERT_FALSE(append.isOk());
+    EXPECT_EQ(append.code(), StatusCode::Resource);
+    EXPECT_TRUE(append.transient());
+}
+
+TEST(TypedErrors, ErrnoMapping)
+{
+    EXPECT_EQ(errnoStatusCode(ENOSPC), StatusCode::Resource);
+    EXPECT_EQ(errnoStatusCode(EDQUOT), StatusCode::Resource);
+    EXPECT_EQ(errnoStatusCode(EAGAIN), StatusCode::Resource);
+    EXPECT_EQ(errnoStatusCode(ENOMEM), StatusCode::Resource);
+    EXPECT_EQ(errnoStatusCode(ENOENT), StatusCode::NotFound);
+    EXPECT_EQ(errnoStatusCode(EIO), StatusCode::Generic);
+}
+
+TEST(TypedErrors, ResourceRetriesCanceledDoesNot)
+{
+    EXPECT_TRUE(jobClassRetryable(JobClass::Resource));
+    EXPECT_FALSE(jobClassRetryable(JobClass::Canceled));
+    EXPECT_STREQ(jobClassName(JobClass::Resource), "resource");
+    EXPECT_STREQ(jobClassName(JobClass::Canceled), "canceled");
+}
+
+// ---------------------------------------------------------------
+// Journal: cached finals
+// ---------------------------------------------------------------
+
+TEST(JournalCached, FinalCachedFlagRoundTrips)
+{
+    const std::string dir = makeTempDir();
+    {
+        SweepJournal journal;
+        ASSERT_TRUE(journal.open(dir).isOk());
+        JournalEvent fin;
+        fin.kind = JournalEvent::Kind::Final;
+        fin.job = 0;
+        fin.attempt = 1;
+        fin.cls = JobClass::Ok;
+        fin.exitCode = 0;
+        fin.cached = true;
+        fin.seconds = 0.000123456789012345;
+        fin.hasMetrics = true;
+        fin.metrics.bandwidth = 7.8116300000000001;
+        fin.metrics.cycles = 15731;
+        ASSERT_TRUE(journal.append(fin).isOk());
+    }
+    Expected<std::vector<JournalEvent>> events =
+        SweepJournal::replay(dir);
+    ASSERT_TRUE(events.ok());
+    ASSERT_EQ(events.value().size(), 1u);
+    const JournalEvent &ev = events.value()[0];
+    EXPECT_TRUE(ev.cached);
+    EXPECT_EQ(ev.seconds, 0.000123456789012345);
+    EXPECT_EQ(ev.metrics.bandwidth, 7.8116300000000001);
+}
+
+// ---------------------------------------------------------------
+// Scheduler service mode
+// ---------------------------------------------------------------
+
+TEST(SchedulerService, DuplicateSubmissionServedFromCache)
+{
+    const std::string dir = makeTempDir();
+    const std::string sim = writeScript(dir, "sim.sh", kOkJson);
+
+    ResultCache cache;
+    ASSERT_TRUE(cache.open(dir + "/cache").isOk());
+    SchedulerOptions opts = fastOptions(sim);
+    opts.cache = &cache;
+
+    SweepScheduler sched(opts, {}, nullptr);
+    ASSERT_TRUE(sched.submit(gccSpec()).ok());
+    ASSERT_TRUE(sched.submit(gccSpec()).ok());
+    EXPECT_TRUE(sched.run());
+
+    ASSERT_EQ(sched.records().size(), 2u);
+    EXPECT_TRUE(sched.allOk());
+    EXPECT_EQ(sched.cacheHits(), 1u);
+    int cached = 0, simulated = 0;
+    for (const JobRecord &rec : sched.records())
+        (rec.cached ? cached : simulated)++;
+    EXPECT_EQ(cached, 1);
+    EXPECT_EQ(simulated, 1);
+    // Byte-identical paper metrics on both paths.
+    EXPECT_EQ(sched.records()[0].metrics.bandwidth,
+              sched.records()[1].metrics.bandwidth);
+    EXPECT_EQ(sched.records()[0].metrics.cycles,
+              sched.records()[1].metrics.cycles);
+}
+
+TEST(SchedulerService, ReplayedDuplicateSpecsServedFromCache)
+{
+    const std::string dir = makeTempDir();
+    const std::string sim = writeScript(dir, "sim.sh", kOkJson);
+
+    // A daemon acked two identical submissions, then was SIGKILLed
+    // before either ran: only the Submit events are on disk.
+    {
+        SweepJournal journal;
+        ASSERT_TRUE(journal.open(dir).isOk());
+        SweepScheduler sched(fastOptions(sim), {}, &journal);
+        ASSERT_TRUE(sched.submit(gccSpec()).ok());
+        ASSERT_TRUE(sched.submit(gccSpec()).ok());
+    }
+
+    Expected<std::vector<JournalEvent>> events =
+        SweepJournal::replay(dir);
+    ASSERT_TRUE(events.ok());
+
+    ResultCache cache;
+    ASSERT_TRUE(cache.open(dir + "/cache").isOk());
+    SchedulerOptions opts = fastOptions(sim);
+    opts.cache = &cache;
+    SweepJournal journal;
+    ASSERT_TRUE(journal.open(dir).isOk());
+    SweepScheduler sched(opts, {}, &journal);
+    journal.seedSeq(sched.restore(events.value()));
+
+    ASSERT_EQ(sched.records().size(), 2u);
+    EXPECT_TRUE(sched.run());
+    EXPECT_TRUE(sched.allOk());
+    EXPECT_EQ(sched.doneCount(), 2u);
+    // One simulated, its twin coalesced into a cache hit.
+    EXPECT_EQ(sched.cacheHits(), 1u);
+}
+
+TEST(SchedulerService, HigherPriorityLaunchesFirst)
+{
+    const std::string dir = makeTempDir();
+    const std::string sim = writeScript(dir, "sim.sh", kOkJson);
+
+    SchedulerOptions opts = fastOptions(sim);
+    opts.workers = 1;
+    std::vector<int> final_order;
+    opts.onFinal = [&](const JobRecord &rec) {
+        final_order.push_back(rec.spec.id);
+    };
+    SweepScheduler sched(opts, {}, nullptr);
+    ASSERT_TRUE(sched.submit(gccSpec(1000), "", /*priority=*/0).ok());
+    ASSERT_TRUE(sched.submit(gccSpec(1001), "", /*priority=*/5).ok());
+    EXPECT_TRUE(sched.run());
+    ASSERT_EQ(final_order.size(), 2u);
+    EXPECT_EQ(final_order[0], 1) << "priority 5 should preempt the "
+                                    "earlier priority-0 submission";
+}
+
+TEST(SchedulerService, TenantsShareSlotsRoundRobin)
+{
+    const std::string dir = makeTempDir();
+    const std::string sim = writeScript(dir, "sim.sh", kOkJson);
+
+    SchedulerOptions opts = fastOptions(sim);
+    opts.workers = 1;
+    std::vector<int> final_order;
+    opts.onFinal = [&](const JobRecord &rec) {
+        final_order.push_back(rec.spec.id);
+    };
+    SweepScheduler sched(opts, {}, nullptr);
+    ASSERT_TRUE(sched.submit(gccSpec(1000), "alice").ok());  // id 0
+    ASSERT_TRUE(sched.submit(gccSpec(1001), "alice").ok());  // id 1
+    ASSERT_TRUE(sched.submit(gccSpec(1002), "bob").ok());    // id 2
+    EXPECT_TRUE(sched.run());
+    ASSERT_EQ(final_order.size(), 3u);
+    // alice's first, then bob (least served), then alice again.
+    EXPECT_EQ(final_order[0], 0);
+    EXPECT_EQ(final_order[1], 2);
+    EXPECT_EQ(final_order[2], 1);
+}
+
+TEST(SchedulerService, CancelPendingJobFinalizesCanceled)
+{
+    const std::string dir = makeTempDir();
+    const std::string sim = writeScript(dir, "sim.sh", kOkJson);
+
+    SweepScheduler sched(fastOptions(sim), {}, nullptr);
+    ASSERT_TRUE(sched.submit(gccSpec(1000)).ok());
+    ASSERT_TRUE(sched.submit(gccSpec(1001)).ok());
+    ASSERT_TRUE(sched.cancel(1).isOk());
+    EXPECT_TRUE(sched.records()[1].done);
+    EXPECT_EQ(sched.records()[1].cls, JobClass::Canceled);
+
+    EXPECT_FALSE(sched.cancel(99).isOk()) << "unknown id";
+    EXPECT_FALSE(sched.cancel(1).isOk()) << "already final";
+
+    EXPECT_TRUE(sched.run());
+    EXPECT_EQ(sched.doneCount(), 2u);
+    EXPECT_EQ(sched.records()[0].cls, JobClass::Ok);
+    EXPECT_EQ(sched.records()[1].cls, JobClass::Canceled)
+        << "run() must not resurrect a canceled job";
+}
+
+// ---------------------------------------------------------------
+// Crash-point matrix (this binary is the victim host)
+// ---------------------------------------------------------------
+
+// When XBS_CRASH_VICTIM_DIR is set this test IS the victim process:
+// it runs the durability exercise body and exits, dying mid-flight
+// at whatever crash point the environment armed.
+TEST(CrashVictimHost, RunBody)
+{
+    const char *dir = std::getenv("XBS_CRASH_VICTIM_DIR");
+    if (!dir)
+        GTEST_SKIP() << "victim mode only (XBS_CRASH_VICTIM_DIR)";
+    ::_exit(crashVictimMain(dir));
+}
+
+TEST(CrashMatrix, EverySiteCrashesAndRecovers)
+{
+    const std::string scratch = makeTempDir();
+    const std::vector<std::string> victim = {
+        "env", "XBS_CRASH_VICTIM_DIR={DIR}", selfExe(),
+        "--gtest_filter=CrashVictimHost.RunBody"};
+    std::vector<CrashSiteResult> results =
+        runCrashMatrix(victim, scratch);
+    EXPECT_EQ(results.size(), crashPointSites().size());
+    for (const CrashSiteResult &res : results) {
+        EXPECT_TRUE(res.crashed)
+            << res.site << ": victim did not die at the plant: "
+            << res.detail;
+        EXPECT_TRUE(res.recovered)
+            << res.site << ": " << res.detail;
+    }
+    EXPECT_TRUE(crashMatrixPassed(results));
+}
+
+TEST(CrashMatrix, UnarmedVictimRunsToCompletion)
+{
+    const std::string dir = makeTempDir();
+    EXPECT_EQ(crashVictimMain(dir + "/v"), 0);
+    // And everything it wrote is consistent.
+    Expected<std::vector<JournalEvent>> events =
+        SweepJournal::replay(dir + "/v");
+    ASSERT_TRUE(events.ok());
+    std::size_t finals = 0;
+    for (const JournalEvent &ev : events.value()) {
+        if (ev.kind == JournalEvent::Kind::Final)
+            ++finals;
+    }
+    EXPECT_EQ(finals, 5u);
+}
+
+// ---------------------------------------------------------------
+// Daemon end to end (fork + Unix socket)
+// ---------------------------------------------------------------
+
+namespace
+{
+
+Expected<JsonValue>
+ctl(int fd, const ProtoRequest &req)
+{
+    return roundTrip(fd, renderProtoRequest(req));
+}
+
+bool
+okField(const Expected<JsonValue> &resp)
+{
+    if (!resp.ok())
+        return false;
+    const JsonValue *ok = resp.value().find("ok");
+    return ok && ok->isBool() && ok->boolValue;
+}
+
+uint64_t
+numField(const Expected<JsonValue> &resp, const char *name)
+{
+    const JsonValue *f = resp.ok() ? resp.value().find(name)
+                                   : nullptr;
+    return f ? f->asUint() : 0;
+}
+
+} // anonymous namespace
+
+TEST(Daemon, SubmitDuplicateStatusDrain)
+{
+    const std::string dir = makeTempDir();
+    const std::string sim = writeScript(dir, "sim.sh", kOkJson);
+    const std::string sock = dir + "/d.sock";
+
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        DaemonOptions opts;
+        opts.socketPath = sock;
+        opts.dir = dir + "/svc";
+        opts.cacheDir = dir + "/cache";
+        opts.sched = fastOptions(sim);
+        SweepDaemon daemon(std::move(opts));
+        if (!daemon.open().isOk())
+            ::_exit(90);
+        ::_exit(daemon.runLoop());
+    }
+
+    // Wait for the socket, then drive one full session.
+    int fd = -1;
+    for (int i = 0; i < 200 && fd < 0; ++i) {
+        Expected<int> c = connectUnixSocket(sock);
+        if (c.ok())
+            fd = c.take();
+        else
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+    ASSERT_GE(fd, 0) << "daemon socket never came up";
+
+    ProtoRequest ping;
+    ping.op = ProtoOp::Ping;
+    EXPECT_TRUE(okField(ctl(fd, ping)));
+
+    ProtoRequest submit;
+    submit.op = ProtoOp::Submit;
+    submit.spec = gccSpec(1000).toArgv();
+    Expected<JsonValue> first = ctl(fd, submit);
+    ASSERT_TRUE(okField(first));
+    Expected<JsonValue> dup = ctl(fd, submit);
+    ASSERT_TRUE(okField(dup));
+    EXPECT_NE(numField(first, "job"), numField(dup, "job"));
+
+    // Poll until both jobs are done.
+    ProtoRequest status;
+    status.op = ProtoOp::Status;
+    uint64_t done = 0, hits = 0;
+    for (int i = 0; i < 500 && done < 2; ++i) {
+        Expected<JsonValue> st = ctl(fd, status);
+        ASSERT_TRUE(okField(st));
+        done = numField(st, "done");
+        hits = numField(st, "cacheHits");
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(done, 2u);
+    EXPECT_EQ(hits, 1u) << "duplicate was not served from cache";
+
+    // Per-job view marks the duplicate as cached.
+    ProtoRequest job_status;
+    job_status.op = ProtoOp::Status;
+    job_status.job = (int)numField(dup, "job");
+    Expected<JsonValue> view = ctl(fd, job_status);
+    ASSERT_TRUE(okField(view));
+    const JsonValue *cached = view.value().find("cached");
+    ASSERT_NE(cached, nullptr);
+    EXPECT_TRUE(cached->isBool() && cached->boolValue);
+
+    ProtoRequest drain;
+    drain.op = ProtoOp::Drain;
+    EXPECT_TRUE(okField(ctl(fd, drain)));
+    ::close(fd);
+
+    int raw = 0;
+    ASSERT_EQ(::waitpid(pid, &raw, 0), pid);
+    ASSERT_TRUE(WIFEXITED(raw));
+    EXPECT_EQ(WEXITSTATUS(raw), kExitOk);
+
+    // The drained daemon leaves a report behind.
+    EXPECT_TRUE(pathExists(dir + "/svc/report.json"));
+}

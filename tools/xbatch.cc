@@ -22,6 +22,7 @@
 #include "batch/job.hh"
 #include "batch/journal.hh"
 #include "batch/report.hh"
+#include "batch/result_cache.hh"
 #include "batch/scheduler.hh"
 #include "common/args.hh"
 #include "common/fs.hh"
@@ -94,6 +95,7 @@ main(int argc, char **argv)
     std::string out_dir = "xbatch-out";
     std::string resume_dir;
     std::string xbsim_path;
+    std::string cache_dir;
     bool print_table = true;
 
     ArgParser args("xbatch",
@@ -135,6 +137,11 @@ main(int argc, char **argv)
                    "resume an interrupted sweep from its directory");
     args.addString("xbsim", &xbsim_path,
                    "xbsim binary (default: next to xbatch)");
+    args.addString("cache-dir", &cache_dir,
+                   "content-addressed result cache: jobs whose "
+                   "(spec, workload content, build) key hits are "
+                   "served as `cached` without simulating; Ok runs "
+                   "store their entries (empty = off)");
     args.addBool("print", &print_table,
                  "print the per-job result table");
     if (!args.parse(argc, argv))
@@ -235,6 +242,13 @@ main(int argc, char **argv)
     if (Status st = journal.open(dir); !st.isOk())
         return fail(st);
 
+    ResultCache cache;
+    const bool caching = !cache_dir.empty();
+    if (caching) {
+        if (Status st = cache.open(cache_dir); !st.isOk())
+            return fail(st);
+    }
+
     installStopHandlers(&g_stop);
 
     SchedulerOptions opts;
@@ -245,6 +259,8 @@ main(int argc, char **argv)
     opts.backoffMs = manifest.backoffMs;
     opts.graceSec = grace;
     opts.stopFlag = &g_stop;
+    if (caching)
+        opts.cache = &cache;
     if (manifest.heartbeatSec > 0.0) {
         opts.heartbeatDir = dir + "/heartbeats";
         opts.heartbeatSec = manifest.heartbeatSec;

@@ -1,0 +1,447 @@
+/**
+ * @file
+ * xbatchctl - client for the xbatchd sweep service.
+ *
+ * Commands (first positional argument):
+ *   ping                      liveness check
+ *   submit                    one job from --workload/--frontend/...
+ *   status                    whole-service counters (or --job=N)
+ *   cancel --job=N            cancel a pending or running job
+ *   drain                     finish queued work, then daemon exits 0
+ *   shutdown                  interrupt in-flight work resumably
+ *   wait                      block until the service is idle
+ *   storm                     duplicate-storm load generator (CI)
+ *
+ * storm submits --count jobs over one pipelined connection where a
+ * --dup-fraction share are exact duplicates of earlier specs, waits
+ * for the service to go idle, and prints a JSON verdict with the
+ * cache-hit count and the cached-completions-per-second rate. Two
+ * back-to-back storms against one daemon measure the two acceptance
+ * numbers: the first proves duplicate coalescing (hits ~= the
+ * duplicate share), the second proves hit throughput (every spec is
+ * already cached, so the rate is pure cache-serve speed).
+ *
+ * Exit codes: 0 ok; 1 bad flags; 2 protocol/daemon error;
+ * 3 storm/wait verdict failed.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/args.hh"
+#include "common/json.hh"
+#include "common/status.hh"
+#include "svc/proto.hh"
+
+using namespace xbs;
+
+namespace
+{
+
+int
+fail(const Status &st)
+{
+    std::fprintf(stderr, "xbatchctl: %s\n", st.toString().c_str());
+    return kExitUsage;
+}
+
+int
+failData(const Status &st)
+{
+    std::fprintf(stderr, "xbatchctl: %s\n", st.toString().c_str());
+    return kExitData;
+}
+
+/** Blocking write of the whole buffer. */
+Status
+writeAll(int fd, const std::string &buf)
+{
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::error(std::string("write failed: ") +
+                                 std::strerror(errno));
+        }
+        off += (std::size_t)n;
+    }
+    return Status::ok();
+}
+
+/** Blocking read of one raw response line (buffered across calls). */
+Expected<std::string>
+readLine(int fd, std::string &buf)
+{
+    for (;;) {
+        std::size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            return line;
+        }
+        char chunk[4096];
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::error(std::string("read failed: ") +
+                                 std::strerror(errno));
+        }
+        if (n == 0) {
+            return Status::error(StatusCode::NotFound,
+                                 "daemon closed the connection");
+        }
+        buf.append(chunk, (std::size_t)n);
+        if (buf.size() > (64u << 20))
+            return Status::error("oversized response");
+    }
+}
+
+/** Blocking read of one parsed response line. */
+Expected<JsonValue>
+readResponse(int fd, std::string &buf)
+{
+    Expected<std::string> line = readLine(fd, buf);
+    if (!line.ok())
+        return line.status();
+    JsonValue v;
+    std::string err;
+    if (!parseJson(line.value(), &v, &err))
+        return Status::error("bad response: " + err);
+    return v;
+}
+
+/** Whole-service status as a JsonValue. */
+Expected<JsonValue>
+serviceStatus(int fd, std::string &buf)
+{
+    ProtoRequest req;
+    req.op = ProtoOp::Status;
+    if (Status st = writeAll(fd, renderProtoRequest(req) + "\n");
+        !st.isOk()) {
+        return st;
+    }
+    return readResponse(fd, buf);
+}
+
+uint64_t
+numField(const JsonValue &v, const char *name)
+{
+    const JsonValue *f = v.find(name);
+    return f ? f->asUint() : 0;
+}
+
+/** Poll status until idle (running == 0 && pending == 0). */
+Status
+waitIdle(int fd, std::string &buf, double timeout_sec)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds((int64_t)(timeout_sec * 1e6));
+    for (;;) {
+        Expected<JsonValue> st = serviceStatus(fd, buf);
+        if (!st.ok())
+            return st.status();
+        const JsonValue *idle = st.value().find("idle");
+        if (idle && idle->isBool() && idle->boolValue)
+            return Status::ok();
+        if (timeout_sec > 0.0 &&
+            std::chrono::steady_clock::now() > deadline) {
+            return Status::error("timed out waiting for idle");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+}
+
+/** The spec argv for storm job cell @p cell (unique per cell). */
+std::vector<std::string>
+stormSpec(const std::string &workload, const std::string &frontend,
+          uint64_t capacity, uint64_t insts_base, uint64_t cell)
+{
+    // Distinct insts => distinct canonical spec => distinct cache
+    // key; equal cell indices are exact duplicates.
+    return {"--workload=" + workload, "--frontend=" + frontend,
+            "--capacity=" + std::to_string(capacity),
+            "--insts=" + std::to_string(insts_base + cell)};
+}
+
+struct StormFlags
+{
+    std::string workload = "gcc";
+    std::string frontend = "xbc";
+    uint64_t capacity = 32768;
+    uint64_t insts = 10000;
+    uint64_t count = 1000;
+    double dupFraction = 0.5;
+    std::string tenant;
+    bool wait = true;
+    double waitTimeout = 600.0;
+};
+
+/**
+ * Pipeline @p flags.count submissions (chunked so the daemon's
+ * group commit batches the journal fsyncs), optionally wait for
+ * idle, and print the verdict JSON.
+ */
+int
+runStorm(int fd, std::string &buf, const StormFlags &flags)
+{
+    const uint64_t count = flags.count;
+    double dup = flags.dupFraction;
+    if (dup < 0.0)
+        dup = 0.0;
+    if (dup > 1.0)
+        dup = 1.0;
+    uint64_t unique = count - (uint64_t)((double)count * dup);
+    if (unique == 0)
+        unique = 1;
+
+    Expected<JsonValue> before = serviceStatus(fd, buf);
+    if (!before.ok())
+        return failData(before.status());
+    const uint64_t hits0 = numField(before.value(), "cacheHits");
+    const uint64_t done0 = numField(before.value(), "done");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    uint64_t submitted = 0;
+    const uint64_t chunk = 128;
+    for (uint64_t base = 0; base < count; base += chunk) {
+        const uint64_t n = std::min(chunk, count - base);
+        std::string batch;
+        for (uint64_t i = 0; i < n; ++i) {
+            ProtoRequest req;
+            req.op = ProtoOp::Submit;
+            // Cells repeat modulo the unique pool: the first pass
+            // is fresh, every later pass is an exact duplicate.
+            req.spec = stormSpec(flags.workload, flags.frontend,
+                                 flags.capacity, flags.insts,
+                                 (base + i) % unique);
+            req.tenant = flags.tenant;
+            batch += renderProtoRequest(req);
+            batch += '\n';
+        }
+        if (Status st = writeAll(fd, batch); !st.isOk())
+            return failData(st);
+        for (uint64_t i = 0; i < n; ++i) {
+            Expected<JsonValue> resp = readResponse(fd, buf);
+            if (!resp.ok())
+                return failData(resp.status());
+            const JsonValue *ok = resp.value().find("ok");
+            if (!ok || !ok->isBool() || !ok->boolValue) {
+                const JsonValue *err = resp.value().find("error");
+                return failData(Status::error(
+                    "submit rejected: " +
+                    (err ? err->asString() : std::string("?"))));
+            }
+            ++submitted;
+        }
+    }
+
+    if (flags.wait) {
+        if (Status st = waitIdle(fd, buf, flags.waitTimeout);
+            !st.isOk()) {
+            return failData(st);
+        }
+    }
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+
+    Expected<JsonValue> after = serviceStatus(fd, buf);
+    if (!after.ok())
+        return failData(after.status());
+    const uint64_t hits = numField(after.value(), "cacheHits") -
+                          hits0;
+    const uint64_t done = numField(after.value(), "done") - done0;
+
+    JsonWriter jw(std::cout, /*pretty=*/false);
+    jw.beginObject();
+    jw.field("submitted", submitted);
+    jw.field("unique", unique);
+    jw.field("done", done);
+    jw.field("cacheHits", hits);
+    jw.field("hitFraction",
+             submitted ? (double)hits / (double)submitted : 0.0);
+    jw.field("elapsedSec", elapsed);
+    jw.field("cachedPerSec",
+             elapsed > 0.0 ? (double)hits / elapsed : 0.0);
+    jw.endObject();
+    std::cout << "\n";
+    return kExitOk;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string workload = "gcc";
+    std::string frontend = "xbc";
+    uint64_t capacity = 32768;
+    uint64_t insts = 0;
+    std::string tenant;
+    uint64_t priority = 0;
+    std::string job;
+    double wait_timeout = 600.0;
+    uint64_t storm_count = 1000;
+    double dup_fraction = 0.5;
+    uint64_t storm_insts = 10000;
+    bool storm_submit_only = false;
+
+    ArgParser args("xbatchctl",
+                   "client for the xbatchd sweep service");
+    args.addString("socket", &socket_path, "daemon Unix socket");
+    args.addString("workload", &workload, "submit: workload name");
+    args.addString("frontend", &frontend, "submit: frontend kind");
+    args.addUint("capacity", &capacity, "submit: capacity in uops");
+    args.addUint("insts", &insts,
+                 "submit: instructions (0 = xbsim default)");
+    args.addString("tenant", &tenant,
+                   "submit/storm: fair-share tenant bucket");
+    args.addUint("priority", &priority,
+                 "submit: higher launches first");
+    args.addString("job", &job, "status/cancel: job id");
+    args.addDouble("wait-timeout", &wait_timeout,
+                   "wait/storm: seconds before giving up (0 = "
+                   "forever)");
+    args.addUint("count", &storm_count, "storm: total submissions");
+    args.addDouble("dup-fraction", &dup_fraction,
+                   "storm: share of submissions that duplicate an "
+                   "earlier spec");
+    args.addUint("storm-insts", &storm_insts,
+                 "storm: instruction base (cell i runs base+i)");
+    args.addBool("storm-submit-only", &storm_submit_only,
+                 "storm: submit and exit without waiting for idle "
+                 "(SIGKILL-recovery drills)");
+    if (!args.parse(argc, argv))
+        return 0;
+    if (args.positional().size() != 1) {
+        return fail(Status::error(
+            "expected one command: ping|submit|status|cancel|"
+            "drain|shutdown|wait|storm"));
+    }
+    const std::string cmd = args.positional()[0];
+    if (socket_path.empty())
+        return fail(Status::error("--socket is required"));
+
+    Expected<int> fd = connectUnixSocket(socket_path);
+    if (!fd.ok())
+        return failData(fd.status());
+    std::string buf;
+
+    int rc = kExitOk;
+    if (cmd == "ping" || cmd == "drain" || cmd == "shutdown") {
+        ProtoRequest req;
+        req.op = cmd == "ping"    ? ProtoOp::Ping
+                 : cmd == "drain" ? ProtoOp::Drain
+                                  : ProtoOp::Shutdown;
+        Expected<JsonValue> resp =
+            roundTrip(fd.value(), renderProtoRequest(req));
+        if (!resp.ok()) {
+            rc = failData(resp.status());
+        } else {
+            const JsonValue *ok = resp.value().find("ok");
+            if (!ok || !ok->isBool() || !ok->boolValue)
+                rc = kExitData;
+            std::printf("%s\n", renderProtoOk().c_str());
+        }
+    } else if (cmd == "submit") {
+        ProtoRequest req;
+        req.op = ProtoOp::Submit;
+        req.spec = {"--workload=" + workload,
+                    "--frontend=" + frontend,
+                    "--capacity=" + std::to_string(capacity)};
+        if (insts)
+            req.spec.push_back("--insts=" + std::to_string(insts));
+        req.tenant = tenant;
+        req.priority = (int)priority;
+        Expected<JsonValue> resp =
+            roundTrip(fd.value(), renderProtoRequest(req));
+        if (!resp.ok()) {
+            rc = failData(resp.status());
+        } else {
+            const JsonValue *ok = resp.value().find("ok");
+            if (ok && ok->isBool() && ok->boolValue) {
+                std::printf("{\"ok\": true, \"job\": %llu}\n",
+                            (unsigned long long)numField(
+                                resp.value(), "job"));
+            } else {
+                const JsonValue *err = resp.value().find("error");
+                rc = failData(Status::error(
+                    err ? err->asString() : "submit rejected"));
+            }
+        }
+    } else if (cmd == "status") {
+        ProtoRequest req;
+        req.op = ProtoOp::Status;
+        if (!job.empty())
+            req.job = std::atoi(job.c_str());
+        // Print the daemon's raw response line: it IS the status
+        // JSON, no re-serialization needed.
+        if (Status st = writeAll(fd.value(),
+                                 renderProtoRequest(req) + "\n");
+            !st.isOk()) {
+            rc = failData(st);
+        } else if (Expected<std::string> line =
+                       readLine(fd.value(), buf);
+                   !line.ok()) {
+            rc = failData(line.status());
+        } else {
+            std::printf("%s\n", line.value().c_str());
+        }
+    } else if (cmd == "cancel") {
+        if (job.empty())
+            return fail(Status::error("cancel needs --job=N"));
+        ProtoRequest req;
+        req.op = ProtoOp::Cancel;
+        req.job = std::atoi(job.c_str());
+        Expected<JsonValue> resp =
+            roundTrip(fd.value(), renderProtoRequest(req));
+        if (!resp.ok()) {
+            rc = failData(resp.status());
+        } else {
+            const JsonValue *ok = resp.value().find("ok");
+            if (ok && ok->isBool() && ok->boolValue) {
+                std::printf("%s\n", renderProtoOk().c_str());
+            } else {
+                const JsonValue *err = resp.value().find("error");
+                rc = failData(Status::error(
+                    err ? err->asString() : "cancel rejected"));
+            }
+        }
+    } else if (cmd == "wait") {
+        if (Status st = waitIdle(fd.value(), buf, wait_timeout);
+            !st.isOk()) {
+            std::fprintf(stderr, "xbatchctl: %s\n",
+                         st.toString().c_str());
+            rc = kExitAudit;
+        } else {
+            std::printf("%s\n", renderProtoOk().c_str());
+        }
+    } else if (cmd == "storm") {
+        StormFlags flags;
+        flags.workload = workload;
+        flags.frontend = frontend;
+        flags.capacity = capacity;
+        flags.insts = storm_insts;
+        flags.count = storm_count;
+        flags.dupFraction = dup_fraction;
+        flags.tenant = tenant;
+        flags.wait = !storm_submit_only;
+        flags.waitTimeout = wait_timeout;
+        rc = runStorm(fd.value(), buf, flags);
+    } else {
+        rc = fail(Status::error("unknown command '" + cmd + "'"));
+    }
+    ::close(fd.value());
+    return rc;
+}

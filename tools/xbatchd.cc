@@ -1,0 +1,208 @@
+/**
+ * @file
+ * xbatchd - long-running sweep service. Owns a sweep directory
+ * (journal + report + content-addressed result cache) and a Unix
+ * socket; clients (xbatchctl) submit RunSpecs over the line-JSON
+ * protocol and the daemon schedules them through the same
+ * fault-tolerant supervisor as one-shot xbatch.
+ *
+ * Examples:
+ *   xbatchd --socket=/tmp/xb.sock --dir=svc-out &
+ *   xbatchctl --socket=/tmp/xb.sock submit --workload=gcc
+ *   xbatchctl --socket=/tmp/xb.sock drain
+ *
+ * A submission is acked only after its journal record is fsync'd;
+ * SIGKILL the daemon at any instant and a restart with the same
+ * --dir resumes with every acked job intact. Duplicate submissions
+ * (same canonical spec, workload content, build) simulate once and
+ * are served from the cache, marked `cached` end to end.
+ *
+ * The crash-injection flags host the durability verification harness
+ * (src/verify/crash_matrix.hh) in the shipped binary so CI chaos
+ * jobs drive exactly the production write paths:
+ *   xbatchd --list-crash-sites
+ *   xbatchd --crash-matrix=/tmp/scratch
+ *
+ * Exit codes: 0 drained; 5 shutdown/signal (resumable); 1 bad
+ * flags; 2 unusable state (socket, journal). --crash-matrix: 0 all
+ * sites recovered, 3 otherwise.
+ */
+
+#include <cstdio>
+
+#include "batch/scheduler.hh"
+#include "common/args.hh"
+#include "common/crashpoint.hh"
+#include "common/fs.hh"
+#include "common/signals.hh"
+#include "common/status.hh"
+#include "svc/daemon.hh"
+#include "verify/crash_matrix.hh"
+
+using namespace xbs;
+
+namespace
+{
+
+/** Default the child binary to a sibling of this one. */
+std::string
+siblingXbsim(const char *argv0)
+{
+    std::string self(argv0);
+    std::size_t slash = self.find_last_of('/');
+    if (slash == std::string::npos)
+        return "xbsim";  // rely on PATH
+    return self.substr(0, slash + 1) + "xbsim";
+}
+
+int
+fail(const Status &st)
+{
+    std::fprintf(stderr, "xbatchd: %s\n", st.toString().c_str());
+    return kExitUsage;
+}
+
+/** Self-hosted crash matrix: re-exec this binary as the victim. */
+int
+runMatrix(const char *argv0, const std::string &scratch)
+{
+    std::vector<std::string> victim = {argv0,
+                                       "--crash-victim={DIR}"};
+    std::vector<CrashSiteResult> results =
+        runCrashMatrix(victim, scratch);
+    for (const CrashSiteResult &res : results) {
+        std::fprintf(stderr, "xbatchd: crash site %-18s %s%s%s\n",
+                     res.site.c_str(),
+                     res.crashed && res.recovered ? "recovered"
+                     : res.crashed               ? "NOT RECOVERED"
+                                                 : "DID NOT CRASH",
+                     res.detail.empty() ? "" : ": ",
+                     res.detail.c_str());
+    }
+    std::fprintf(stderr, "xbatchd: crash matrix: %zu sites, %s\n",
+                 results.size(),
+                 crashMatrixPassed(results) ? "all recovered"
+                                            : "FAILED");
+    return crashMatrixPassed(results) ? kExitOk : kExitAudit;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string dir = "xbatchd-out";
+    std::string cache_dir;
+    bool no_cache = false;
+    uint64_t jobs = 2;
+    double timeout = 300.0;
+    uint64_t retries = 1;
+    uint64_t backoff_ms = 200;
+    double grace = 2.0;
+    double heartbeat = 1.0;
+    uint64_t stall_periods = 4;
+    uint64_t poll_ms = 10;
+    std::string xbsim_path;
+    bool list_sites = false;
+    std::string crash_victim_dir;
+    std::string crash_matrix_scratch;
+
+    ArgParser args("xbatchd",
+                   "sweep service daemon (submit jobs via xbatchctl)");
+    args.addString("socket", &socket_path,
+                   "Unix socket to listen on (default: "
+                   "<dir>/xbatchd.sock)");
+    args.addString("dir", &dir,
+                   "service sweep directory (journal, report); a "
+                   "pre-existing journal resumes");
+    args.addString("cache-dir", &cache_dir,
+                   "content-addressed result cache root (default: "
+                   "<dir>/cache)");
+    args.addBool("no-cache", &no_cache,
+                 "disable the result cache (every submission "
+                 "simulates)");
+    args.addUint("jobs", &jobs, "concurrent worker processes");
+    args.addDouble("timeout", &timeout,
+                   "per-job wall-clock timeout in seconds");
+    args.addUint("retries", &retries,
+                 "extra attempts for transient failures");
+    args.addUint("backoff-ms", &backoff_ms,
+                 "base retry backoff in ms (doubles per attempt)");
+    args.addDouble("grace", &grace,
+                   "seconds between SIGTERM and SIGKILL");
+    args.addDouble("heartbeat", &heartbeat,
+                   "child heartbeat period in seconds (0 = off)");
+    args.addUint("stall-periods", &stall_periods,
+                 "heartbeat periods without progress before a kill");
+    args.addUint("poll-ms", &poll_ms,
+                 "socket poll / scheduler step interval");
+    args.addString("xbsim", &xbsim_path,
+                   "xbsim binary (default: next to xbatchd)");
+    args.addBool("list-crash-sites", &list_sites,
+                 "print the registered crash-point sites and exit");
+    args.addString("crash-victim", &crash_victim_dir,
+                   "run the crash-matrix victim body against this "
+                   "directory (internal; used with XBATCH_CRASH_AT)");
+    args.addString("crash-matrix", &crash_matrix_scratch,
+                   "run the whole crash-point recovery matrix in "
+                   "this scratch directory and exit");
+    if (!args.parse(argc, argv))
+        return 0;
+    if (!args.positional().empty()) {
+        return fail(Status::error("unexpected argument '" +
+                                  args.positional()[0] + "'"));
+    }
+
+    if (list_sites) {
+        for (const std::string &site : crashPointSites())
+            std::printf("%s\n", site.c_str());
+        return kExitOk;
+    }
+    if (!crash_victim_dir.empty())
+        return crashVictimMain(crash_victim_dir);
+    if (!crash_matrix_scratch.empty())
+        return runMatrix(argv[0], crash_matrix_scratch);
+
+    if (jobs == 0)
+        return fail(Status::error("--jobs must be >= 1"));
+
+    DaemonOptions opts;
+    opts.dir = dir;
+    opts.socketPath = socket_path.empty() ? dir + "/xbatchd.sock"
+                                          : socket_path;
+    if (!no_cache)
+        opts.cacheDir = cache_dir.empty() ? dir + "/cache"
+                                          : cache_dir;
+    opts.sched.xbsimPath = xbsim_path.empty()
+                               ? siblingXbsim(argv[0])
+                               : xbsim_path;
+    opts.sched.workers = (unsigned)jobs;
+    opts.sched.timeoutSec = timeout;
+    opts.sched.maxRetries = (unsigned)retries;
+    opts.sched.backoffMs = (unsigned)backoff_ms;
+    opts.sched.graceSec = grace;
+    opts.sched.pollMs = (unsigned)poll_ms;
+    if (heartbeat > 0.0) {
+        if (Status st = ensureDir(dir); !st.isOk())
+            return fail(st);
+        if (Status st = ensureDir(dir + "/heartbeats"); !st.isOk())
+            return fail(st);
+        opts.sched.heartbeatDir = dir + "/heartbeats";
+        opts.sched.heartbeatSec = heartbeat;
+        opts.sched.stallPeriods = (unsigned)stall_periods;
+    }
+
+    SweepDaemon daemon(std::move(opts));
+    if (Status st = daemon.open(); !st.isOk()) {
+        std::fprintf(stderr, "xbatchd: %s\n", st.toString().c_str());
+        return kExitData;
+    }
+    installStopHandlers(daemon.stopFlagAddr());
+    std::fprintf(stderr, "xbatchd: serving %s (dir %s, %u workers)\n",
+                 daemon.socketPath().c_str(), dir.c_str(),
+                 (unsigned)jobs);
+    int rc = daemon.runLoop();
+    resetStopHandlers();
+    return rc;
+}

@@ -32,6 +32,7 @@
 #include "batch/report.hh"
 #include "batch/scheduler.hh"
 #include "common/args.hh"
+#include "common/fs.hh"
 #include "common/json.hh"
 #include "common/signals.hh"
 #include "common/table.hh"
@@ -71,10 +72,11 @@ struct JobView
 struct Snapshot
 {
     SweepManifest manifest;
+    bool hasManifest = true;  ///< false: xbatchd service dir
     std::vector<JobRecord> records;
     std::vector<JobView> jobs;
     unsigned retries = 0;
-    std::size_t done = 0, ok = 0, failed = 0;
+    std::size_t done = 0, ok = 0, failed = 0, cachedJobs = 0;
     std::size_t running = 0, stalledJobs = 0, pendingJobs = 0;
     uint64_t progressUops = 0;
     uint64_t estTotalUops = 0;
@@ -91,10 +93,21 @@ Expected<Snapshot>
 takeSnapshot(const std::string &dir)
 {
     Snapshot snap;
-    Expected<SweepManifest> m = SweepJournal::readManifest(dir);
-    if (!m.ok())
-        return m.status();
-    snap.manifest = m.take();
+    if (pathExists(SweepJournal::manifestPath(dir))) {
+        Expected<SweepManifest> m = SweepJournal::readManifest(dir);
+        if (!m.ok())
+            return m.status();
+        snap.manifest = m.take();
+    } else if (pathExists(SweepJournal::journalPath(dir))) {
+        // A service sweep (xbatchd) has no manifest: the journal's
+        // Submit events are the matrix, and the replay fold below
+        // reconstructs every record from them. Supervision settings
+        // fall back to the manifest defaults for display.
+        snap.hasManifest = false;
+    } else {
+        return Status::error("not a sweep directory (no manifest, "
+                             "no journal)").withFile(dir);
+    }
 
     Expected<std::vector<JournalEvent>> ev = SweepJournal::replay(dir);
     if (!ev.ok())
@@ -137,8 +150,14 @@ takeSnapshot(const std::string &dir)
         }
 
         if (rec.done) {
-            view.state = jobClassName(rec.cls);
+            // Cache hits get their own phase: the row's `seconds`
+            // is the hit-serve latency, not a simulation time.
+            view.state = rec.cached && rec.cls == JobClass::Ok
+                             ? "cached"
+                             : jobClassName(rec.cls);
             ++snap.done;
+            if (rec.cached)
+                ++snap.cachedJobs;
             if (rec.cls == JobClass::Ok) {
                 ++snap.ok;
                 snap.progressUops += rec.metrics.totalUops;
@@ -196,8 +215,9 @@ writeSnapshotJson(std::ostream &os, const std::string &dir,
 {
     JsonWriter jw(os, /*pretty=*/true);
     jw.beginObject();
-    jw.field("version", (uint64_t)1);
+    jw.field("version", (uint64_t)2);
     jw.field("dir", dir);
+    jw.field("service", !snap.hasManifest);
     jw.field("workers", (uint64_t)snap.manifest.workers);
     jw.field("heartbeatSec", snap.manifest.heartbeatSec);
     jw.field("stallPeriods", (uint64_t)snap.manifest.stallPeriods);
@@ -205,6 +225,7 @@ writeSnapshotJson(std::ostream &os, const std::string &dir,
     jw.field("total", (uint64_t)snap.records.size());
     jw.field("done", (uint64_t)snap.done);
     jw.field("ok", (uint64_t)snap.ok);
+    jw.field("cached", (uint64_t)snap.cachedJobs);
     jw.field("failed", (uint64_t)snap.failed);
     jw.field("running", (uint64_t)snap.running);
     jw.field("stalled", (uint64_t)snap.stalledJobs);
@@ -228,6 +249,7 @@ writeSnapshotJson(std::ostream &os, const std::string &dir,
         jw.field("id", (uint64_t)rec.spec.id);
         jw.field("label", rec.spec.run.label());
         jw.field("state", view.state);
+        jw.field("cached", rec.cached);
         jw.field("attempts", (uint64_t)rec.attempts);
         if (view.hasHb) {
             jw.field("phase", view.hb.phase);
@@ -256,7 +278,8 @@ renderTable(std::ostream &os, const std::string &dir,
     std::ostringstream head;
     head << "sweep " << dir << ": " << snap.done << "/"
          << snap.records.size() << " done (" << snap.ok << " ok, "
-         << snap.failed << " failed), " << snap.running
+         << snap.cachedJobs << " cached, " << snap.failed
+         << " failed), " << snap.running
          << " running, " << snap.stalledJobs << " stalled, "
          << snap.pendingJobs << " pending, " << snap.retries
          << " retries\n";
