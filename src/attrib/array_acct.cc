@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ckpt/checkpoint.hh"
+#include "ckpt/serial.hh"
 #include "common/json.hh"
 
 namespace xbs
@@ -183,6 +185,113 @@ ArrayAccounting::writeJson(JsonWriter &json) const
     writeHeat(json, "evictsBySet", evictHeat_, banks_, sets_);
     writeHeat(json, "conflictsBySet", conflictHeat_, banks_, sets_);
     json.endObject();
+}
+
+namespace
+{
+
+void
+saveHeat(CkptSink &sink, const std::vector<uint64_t> &heat)
+{
+    sink.u64(heat.size());
+    for (uint64_t v : heat)
+        sink.u64(v);
+}
+
+void
+loadHeat(CkptSource &src, std::vector<uint64_t> &heat)
+{
+    uint64_t n = src.count(8);
+    src.require(n == heat.size());
+    for (std::size_t i = 0; src.ok() && i < heat.size(); ++i)
+        heat[i] = src.u64();
+}
+
+} // namespace
+
+void
+ArrayAccounting::ckptSave(CkptSink &sink) const
+{
+    saveHeat(sink, allocHeat_);
+    saveHeat(sink, evictHeat_);
+    saveHeat(sink, conflictHeat_);
+
+    std::vector<uint64_t> keys;
+    keys.reserve(live_.size());
+    for (const auto &kv : live_)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    sink.u64(keys.size());
+    for (uint64_t tag : keys) {
+        const LifeRec &rec = live_.at(tag);
+        sink.u64(tag);
+        sink.u64(rec.buildCycle);
+        sink.u64(rec.firstHitCycle);
+        sink.u64(rec.hits);
+    }
+
+    keys.clear();
+    keys.reserve(everBuilt_.size());
+    for (uint64_t tag : everBuilt_)
+        keys.push_back(tag);
+    std::sort(keys.begin(), keys.end());
+    sink.u64(keys.size());
+    for (uint64_t tag : keys)
+        sink.u64(tag);
+
+    // Shadow directory in LRU order (front = most recent), which is
+    // the canonical order already.
+    sink.u64(shadowLru_.size());
+    for (uint64_t tag : shadowLru_)
+        sink.u64(tag);
+
+    saveHistogram(buildToFirstHit_, sink);
+    saveHistogram(hitsBeforeEvict_, sink);
+}
+
+void
+ArrayAccounting::ckptLoad(CkptSource &src)
+{
+    loadHeat(src, allocHeat_);
+    loadHeat(src, evictHeat_);
+    loadHeat(src, conflictHeat_);
+
+    live_.clear();
+    uint64_t n = src.count(32);
+    for (uint64_t i = 0; src.ok() && i < n; ++i) {
+        uint64_t tag = src.u64();
+        LifeRec rec;
+        rec.buildCycle = src.u64();
+        rec.firstHitCycle = src.u64();
+        rec.hits = src.u64();
+        if (src.ok())
+            live_[tag] = rec;
+    }
+
+    everBuilt_.clear();
+    n = src.count(8);
+    for (uint64_t i = 0; src.ok() && i < n; ++i) {
+        uint64_t tag = src.u64();
+        if (src.ok())
+            everBuilt_.insert(tag);
+    }
+
+    shadowLru_.clear();
+    shadowIndex_.clear();
+    n = src.count(8);
+    src.require(n <= shadowCapacity_);
+    for (uint64_t i = 0; src.ok() && i < n; ++i) {
+        uint64_t tag = src.u64();
+        if (src.ok()) {
+            shadowLru_.push_back(tag);
+            auto it = shadowLru_.end();
+            --it;
+            shadowIndex_[tag] = it;
+        }
+    }
+
+    loadHistogram(buildToFirstHit_, src);
+    loadHistogram(hitsBeforeEvict_, src);
 }
 
 } // namespace xbs

@@ -37,6 +37,8 @@ namespace xbs
 {
 
 class JsonWriter;
+class CkptSink;
+class CkptSource;
 
 class ArrayAccounting : public StatGroup, public ArrayEventSink
 {
@@ -88,6 +90,13 @@ class ArrayAccounting : public StatGroup, public ArrayEventSink
 
     /** Emit the "array" JSON member (heatmaps + lifetime summary). */
     void writeJson(JsonWriter &json) const;
+
+    /// @{ Warm-state checkpointing (src/ckpt): heatmaps, lifetime
+    ///    records, shadow directory, and histograms. Unordered
+    ///    containers are serialized key-sorted for determinism.
+    void ckptSave(CkptSink &sink) const;
+    void ckptLoad(CkptSource &src);
+    /// @}
 
     ScalarStat headEvictions;
     ScalarStat nonHeadEvictions;

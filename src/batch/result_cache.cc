@@ -11,6 +11,7 @@
 #include "common/fs.hh"
 #include "common/json.hh"
 #include "common/sha256.hh"
+#include "ckpt/checkpoint.hh"
 #include "prof/build_info.hh"
 #include "workload/catalog.hh"
 
@@ -136,6 +137,18 @@ makeCacheKey(const RunSpec &run)
         return workload.status();
 
     CacheKey key;
+    // A restored job keys on the checkpoint *content*, not its path:
+    // hash the file's bytes and canonicalize the path out of the
+    // spec. An unreadable checkpoint means no key — the caller
+    // simulates (and the run itself then reports the defect).
+    if (!spec.restoreFrom.empty()) {
+        Expected<std::string> digest =
+            checkpointFileDigest(spec.restoreFrom);
+        if (!digest.ok())
+            return digest.status();
+        key.ckptDigest = digest.take();
+        spec.restoreFrom.clear();
+    }
     std::string joined;
     for (const std::string &flag : spec.toArgv()) {
         joined += flag;
@@ -151,6 +164,12 @@ makeCacheKey(const RunSpec &run)
     h.update(key.workloadHash);
     h.update("\0", 1);
     h.update(key.buildHash);
+    if (!key.ckptDigest.empty()) {
+        // Appended only for warm runs so every pre-existing cold-run
+        // cache entry keeps its address.
+        h.update("\0", 1);
+        h.update(key.ckptDigest);
+    }
     key.hex = h.hexDigest();
     return key;
 }
@@ -238,6 +257,8 @@ ResultCache::store(const CacheKey &key, const CacheEntry &entry)
         jw.field("spec", key.spec);
         jw.field("workloadHash", key.workloadHash);
         jw.field("buildHash", key.buildHash);
+        if (!key.ckptDigest.empty())
+            jw.field("ckptDigest", key.ckptDigest);
         jw.field("label", entry.label);
         jw.fieldFull("seconds", entry.seconds);
         writeJobMetricsFields(jw, entry.metrics);

@@ -45,7 +45,13 @@ struct CacheKey
     std::string spec;          ///< canonical argv, newline-joined
     std::string workloadHash;  ///< sha256 of the profile fields
     std::string buildHash;     ///< sha256 of BuildInfo fields
-    std::string hex;           ///< sha256 over the three above
+    /** sha256 of the restored checkpoint file's bytes (empty for a
+     *  cold start). Content, not path: a warm run keys on *what* it
+     *  restored, so it never aliases a cold run or a run restored
+     *  from a different live-point, while re-checkpointing the same
+     *  bytes under a new name still hits. */
+    std::string ckptDigest;
+    std::string hex;           ///< sha256 over the components above
 
     bool valid() const { return !hex.empty(); }
 };

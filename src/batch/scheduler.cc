@@ -606,6 +606,28 @@ SweepScheduler::handleExit(Running &run, int raw_status)
 
     rec.attempts = run.attempt;
 
+    // Checkpoint demotion: a warm-start job that died with a data
+    // error was rejected at restore (missing, corrupt, or mismatched
+    // checkpoint — xbsim exits 2 before simulating a cycle). The
+    // checkpoint is an accelerator, never a correctness dependency:
+    // requeue the job as a cold start instead of finalizing the
+    // failure, at the cost of re-running warmup.
+    if (cls == JobClass::Data && !draining_ &&
+        !rec.spec.run.restoreFrom.empty()) {
+        rec.spec.run.restoreFrom.clear();
+        rec.note = "checkpoint rejected; demoted to cold start";
+        eligibleAt_[run.idx] = Clock::now();
+        pending_.push_back(run.idx);
+        ++retries_;
+        if (opts_.spanLog) {
+            const double start = opts_.spanLog->now();
+            opts_.spanLog->noteBackoff((uint64_t)rec.spec.id,
+                                       (unsigned)rec.attempts + 1,
+                                       start, start);
+        }
+        return;
+    }
+
     if (jobClassRetryable(cls) && !draining_ &&
         (unsigned)rec.attempts <= opts_.maxRetries) {
         // Exponential backoff: base * 2^(attempt-1).

@@ -22,6 +22,9 @@
 namespace xbs
 {
 
+class CkptSink;
+class CkptSource;
+
 struct BlockCacheParams
 {
     /** Total capacity in uop slots. */
@@ -78,6 +81,11 @@ class BlockCache : public StatGroup
         const std::function<void(AuditViolation)> &sink) const;
 
     void reset();
+
+    /// @{ Warm-state checkpointing (src/ckpt).
+    void ckptSave(CkptSink &sink) const;
+    void ckptLoad(CkptSource &src);
+    /// @}
 
     ScalarStat lookups{this, "lookups", "block cache lookups"};
     ScalarStat hits{this, "hits", "block cache hits"};

@@ -15,6 +15,9 @@
 namespace xbs
 {
 
+class CkptSink;
+class CkptSource;
+
 class Btb
 {
   public:
@@ -37,6 +40,11 @@ class Btb
     uint64_t misses() const { return misses_; }
 
     void reset();
+
+    /// @{ Warm-state checkpointing (src/ckpt).
+    void ckptSave(CkptSink &sink) const;
+    void ckptLoad(CkptSource &src);
+    /// @}
 
   private:
     struct Entry
@@ -81,6 +89,11 @@ class ReturnStack
 
     void reset();
 
+    /// @{ Warm-state checkpointing (src/ckpt).
+    void ckptSave(CkptSink &sink) const;
+    void ckptLoad(CkptSource &src);
+    /// @}
+
   private:
     std::vector<uint64_t> stack_;
     unsigned topIdx_ = 0;
@@ -101,6 +114,11 @@ class IndirectPredictor
     std::optional<uint64_t> predict(uint64_t ip);
     void update(uint64_t ip, uint64_t target);
     void reset();
+
+    /// @{ Warm-state checkpointing (src/ckpt).
+    void ckptSave(CkptSink &sink) const { table_.ckptSave(sink); }
+    void ckptLoad(CkptSource &src) { table_.ckptLoad(src); }
+    /// @}
 
   private:
     Btb table_;

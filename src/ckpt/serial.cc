@@ -1,0 +1,39 @@
+#include "ckpt/serial.hh"
+
+namespace xbs
+{
+namespace
+{
+
+/** Table-driven reflected CRC-32, poly 0xEDB88320 (zlib). */
+const uint32_t *
+crcTable()
+{
+    static uint32_t table[256];
+    static bool built = false;
+    if (!built) {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            table[i] = c;
+        }
+        built = true;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+ckptCrc32(const void *data, std::size_t len)
+{
+    const uint32_t *table = crcTable();
+    const uint8_t *p = (const uint8_t *)data;
+    uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace xbs

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "ckpt/serial.hh"
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "core/xbtb.hh"
 
 namespace xbs
 {
@@ -1073,6 +1075,164 @@ XbcDataArray::reset()
     filledUops_ = 0;
     clock_ = 0;
     resetStats();
+}
+
+namespace
+{
+
+void
+saveSlots(CkptSink &sink, const std::vector<UopSlot> &slots)
+{
+    sink.u64(slots.size());
+    for (const UopSlot &slot : slots) {
+        sink.i32(slot.staticIdx);
+        sink.u8(slot.seq);
+    }
+}
+
+void
+loadSlots(CkptSource &src, std::vector<UopSlot> &slots)
+{
+    uint64_t n = src.count(5);
+    slots.clear();
+    slots.reserve(src.ok() ? n : 0);
+    for (uint64_t i = 0; src.ok() && i < n; ++i) {
+        UopSlot slot;
+        slot.staticIdx = src.i32();
+        slot.seq = src.u8();
+        if (src.ok())
+            slots.push_back(slot);
+    }
+}
+
+} // namespace
+
+void
+XbcDataArray::ckptSave(CkptSink &sink) const
+{
+    sink.u64(lines_.size());
+    for (const BankLine &l : lines_) {
+        sink.b(l.valid);
+        sink.u64(l.tag);
+        sink.u64(l.lru);
+        sink.u32(l.conflict);
+        saveSlots(sink, l.slots);
+    }
+
+    std::vector<uint64_t> tags;
+    tags.reserve(directory_.size());
+    for (const auto &kv : directory_)
+        tags.push_back(kv.first);
+    std::sort(tags.begin(), tags.end());
+    sink.u64(tags.size());
+    for (uint64_t tag : tags) {
+        const std::vector<Variant> &variants = directory_.at(tag);
+        sink.u64(tag);
+        sink.u64(variants.size());
+        for (const Variant &v : variants) {
+            sink.u64(v.tag);
+            sink.u32(v.mask);
+            sink.u64(v.lines.size());
+            for (const LineUse &lu : v.lines) {
+                sink.u8(lu.bank);
+                sink.u8(lu.way);
+                sink.u16(lu.count);
+            }
+            saveSlots(sink, v.seq);
+        }
+    }
+
+    sink.u64(clock_);
+
+    std::vector<uint64_t> uop_ids;
+    uop_ids.reserve(residency_.size());
+    for (const auto &kv : residency_)
+        uop_ids.push_back(kv.first);
+    std::sort(uop_ids.begin(), uop_ids.end());
+    sink.u64(uop_ids.size());
+    for (uint64_t id : uop_ids) {
+        sink.u64(id);
+        sink.u32(residency_.at(id));
+    }
+    sink.u64(filledUops_);
+
+    std::vector<int32_t> idxs;
+    idxs.reserve(ipOf_.size());
+    for (const auto &kv : ipOf_)
+        idxs.push_back(kv.first);
+    std::sort(idxs.begin(), idxs.end());
+    sink.u64(idxs.size());
+    for (int32_t idx : idxs) {
+        sink.i32(idx);
+        sink.u64(ipOf_.at(idx));
+    }
+}
+
+void
+XbcDataArray::ckptLoad(CkptSource &src)
+{
+    uint64_t n = src.count(1);
+    src.require(n == lines_.size());
+    for (std::size_t i = 0; src.ok() && i < lines_.size(); ++i) {
+        BankLine &l = lines_[i];
+        l.valid = src.b();
+        l.tag = src.u64();
+        l.lru = src.u64();
+        l.conflict = src.u32();
+        loadSlots(src, l.slots);
+    }
+
+    directory_.clear();
+    uint64_t tags = src.count(16);
+    for (uint64_t t = 0; src.ok() && t < tags; ++t) {
+        uint64_t tag = src.u64();
+        uint64_t num_variants = src.count(1);
+        std::vector<Variant> variants;
+        variants.reserve(src.ok() ? num_variants : 0);
+        for (uint64_t v = 0; src.ok() && v < num_variants; ++v) {
+            Variant var;
+            var.tag = src.u64();
+            var.mask = src.u32();
+            uint64_t num_lines = src.count(4);
+            var.lines.reserve(src.ok() ? num_lines : 0);
+            for (uint64_t lu = 0; src.ok() && lu < num_lines; ++lu) {
+                LineUse use;
+                use.bank = src.u8();
+                use.way = src.u8();
+                use.count = src.u16();
+                src.require(use.bank < params_.numBanks &&
+                            use.way < params_.ways);
+                if (src.ok())
+                    var.lines.push_back(use);
+            }
+            loadSlots(src, var.seq);
+            if (src.ok())
+                variants.push_back(std::move(var));
+        }
+        if (src.ok())
+            directory_[tag] = std::move(variants);
+    }
+
+    clock_ = src.u64();
+
+    residency_.clear();
+    uint64_t uop_ids = src.count(12);
+    for (uint64_t i = 0; src.ok() && i < uop_ids; ++i) {
+        uint64_t id = src.u64();
+        uint32_t count = src.u32();
+        if (src.ok())
+            residency_[id] = count;
+    }
+    filledUops_ = src.u64();
+
+    ipOf_.clear();
+    uint64_t idxs = src.count(12);
+    for (uint64_t i = 0; src.ok() && i < idxs; ++i) {
+        int32_t idx = src.i32();
+        uint64_t ip = src.u64();
+        if (src.ok())
+            ipOf_[idx] = ip;
+    }
 }
 
 } // namespace xbs

@@ -44,6 +44,9 @@
 namespace xbs
 {
 
+class CkptSink;
+class CkptSource;
+
 class XbcDataArray : public StatGroup
 {
   public:
@@ -217,6 +220,13 @@ class XbcDataArray : public StatGroup
     /// @}
 
     void reset();
+
+    /// @{ Warm-state checkpointing (src/ckpt): bank lines, variant
+    ///    directory, residency/redundancy accounting. The code image
+    ///    is not serialized; bindCode() re-binds it on restore.
+    void ckptSave(CkptSink &sink) const;
+    void ckptLoad(CkptSource &src);
+    /// @}
 
     ScalarStat inserts{this, "inserts", "XBs handed to the array"};
     ScalarStat allocs{this, "allocs", "fresh XB allocations"};

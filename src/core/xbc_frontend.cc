@@ -609,6 +609,61 @@ XbcFrontend::buildCycle(const Trace &trace, std::size_t &rec,
 }
 
 void
+XbcFrontend::saveState(CheckpointWriter &w) const
+{
+    Frontend::saveState(w);
+    CkptSink sink;
+    preds_.ckptSave(sink);
+    pipe_.ckptSave(sink);
+    array_.ckptSave(sink);
+    xbtb_.ckptSave(sink);
+    xibtb_.ckptSave(sink);
+    xrsb_.ckptSave(sink);
+    fill_.ckptSave(sink);
+    arrayAcct_.ckptSave(sink);
+    ckptSaveXbPointer(sink, cur_);
+    sink.b(curIsContinuation_);
+    sink.u8((uint8_t)prev_.kind);
+    sink.u64(prev_.xbIp);
+    sink.u32(completionsSinceCheck_);
+    w.addSection("xbc", sink.take());
+}
+
+Status
+XbcFrontend::restoreState(const CheckpointFile &f)
+{
+    Status st = Frontend::restoreState(f);
+    if (!st.isOk())
+        return st;
+    const std::string *sec = f.section("xbc");
+    if (!sec) {
+        return Status::error(StatusCode::Corrupt,
+                             "checkpoint lacks an 'xbc' section");
+    }
+    CkptSource src(*sec);
+    preds_.ckptLoad(src);
+    pipe_.ckptLoad(src);
+    array_.ckptLoad(src);
+    xbtb_.ckptLoad(src);
+    xibtb_.ckptLoad(src);
+    xrsb_.ckptLoad(src);
+    fill_.ckptLoad(src);
+    arrayAcct_.ckptLoad(src);
+    cur_ = ckptLoadXbPointer(src);
+    curIsContinuation_ = src.b();
+    uint8_t kind = src.u8();
+    src.require(kind <= (uint8_t)PrevLink::Kind::ReturnLink);
+    prev_.kind = (PrevLink::Kind)kind;
+    prev_.xbIp = src.u64();
+    completionsSinceCheck_ = src.u32();
+    if (!src.consumed()) {
+        return Status::error(StatusCode::Corrupt,
+                             "malformed checkpoint 'xbc' section");
+    }
+    return Status::ok();
+}
+
+void
 XbcFrontend::run(const Trace &trace)
 {
     array_.bindCode(&trace.code());
@@ -618,13 +673,22 @@ XbcFrontend::run(const Trace &trace)
     Mode mode = Mode::Build;
     unsigned buffer = 0;
     unsigned stall = 0;
-    cur_ = XbPointer{};
-    curIsContinuation_ = false;
-    prev_ = PrevLink{};
-    fill_.restart();
-    attrib_.enterBuild(Cause::ColdStart);
+    if (auto resume = takeResume()) {
+        rec = (std::size_t)resume->rec;
+        mode = resume->mode ? Mode::Delivery : Mode::Build;
+        buffer = resume->buffer;
+        stall = resume->stall;
+    } else {
+        cur_ = XbPointer{};
+        curIsContinuation_ = false;
+        prev_ = PrevLink{};
+        fill_.restart();
+        attrib_.enterBuild(Cause::ColdStart);
+    }
 
     while ((rec < num_records || buffer > 0) && !stopRequested()) {
+        maybeCheckpoint(rec, mode == Mode::Delivery ? 1 : 0, buffer,
+                        stall);
         ++metrics_.cycles;
         metrics_.traceRecords.set(rec);
         observeCycle();

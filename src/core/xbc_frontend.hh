@@ -45,6 +45,11 @@ class XbcFrontend : public Frontend
 
     void run(const Trace &trace) override;
 
+    /// @{ Warm-state checkpoint/restore (src/ckpt).
+    void saveState(CheckpointWriter &w) const override;
+    Status restoreState(const CheckpointFile &f) override;
+    /// @}
+
     const XbcDataArray &dataArray() const { return array_; }
     const Xbtb &xbtbUnit() const { return xbtb_; }
     const XbcFillUnit &fillUnit() const { return fill_; }

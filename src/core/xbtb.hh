@@ -28,6 +28,14 @@
 namespace xbs
 {
 
+class CkptSink;
+class CkptSource;
+
+/// @{ XbPointer serialization helpers shared by the XBC units.
+void ckptSaveXbPointer(CkptSink &sink, const XbPointer &ptr);
+XbPointer ckptLoadXbPointer(CkptSource &src);
+/// @}
+
 class Xbtb : public StatGroup
 {
   public:
@@ -94,6 +102,11 @@ class Xbtb : public StatGroup
 
     void reset();
 
+    /// @{ Warm-state checkpointing (src/ckpt).
+    void ckptSave(CkptSink &sink) const;
+    void ckptLoad(CkptSource &src);
+    /// @}
+
     ScalarStat lookups{this, "lookups", "XBTB predictive lookups"};
     ScalarStat hits{this, "hits", "XBTB lookup hits"};
     ScalarStat allocations{this, "allocations",
@@ -138,6 +151,11 @@ class XiBtb : public StatGroup
 
     void reset();
 
+    /// @{ Warm-state checkpointing (src/ckpt).
+    void ckptSave(CkptSink &sink) const;
+    void ckptLoad(CkptSource &src);
+    /// @}
+
     ScalarStat lookups{this, "lookups", "XiBTB lookups"};
     ScalarStat hits{this, "hits", "XiBTB tag hits"};
 
@@ -167,6 +185,11 @@ class Xrsb
 
     unsigned size() const { return size_; }
     void reset();
+
+    /// @{ Warm-state checkpointing (src/ckpt).
+    void ckptSave(CkptSink &sink) const;
+    void ckptLoad(CkptSource &src);
+    /// @}
 
   private:
     std::vector<uint64_t> stack_;

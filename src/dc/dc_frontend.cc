@@ -81,15 +81,55 @@ DcFrontend::supplyRun(const Trace &trace, std::size_t &rec,
 }
 
 void
+DcFrontend::saveState(CheckpointWriter &w) const
+{
+    Frontend::saveState(w);
+    CkptSink sink;
+    preds_.ckptSave(sink);
+    pipe_.ckptSave(sink);
+    dc_.ckptSave(sink);
+    w.addSection("dc", sink.take());
+}
+
+Status
+DcFrontend::restoreState(const CheckpointFile &f)
+{
+    Status st = Frontend::restoreState(f);
+    if (!st.isOk())
+        return st;
+    const std::string *sec = f.section("dc");
+    if (!sec) {
+        return Status::error(StatusCode::Corrupt,
+                             "checkpoint lacks a 'dc' section");
+    }
+    CkptSource src(*sec);
+    preds_.ckptLoad(src);
+    pipe_.ckptLoad(src);
+    dc_.ckptLoad(src);
+    if (!src.consumed()) {
+        return Status::error(StatusCode::Corrupt,
+                             "malformed checkpoint 'dc' section");
+    }
+    return Status::ok();
+}
+
+void
 DcFrontend::run(const Trace &trace)
 {
     const std::size_t num_records = trace.numRecords();
     std::size_t rec = 0;
     Mode mode = Mode::Build;
     unsigned stall = 0;
-    attrib_.enterBuild(Cause::ColdStart);
+    if (auto resume = takeResume()) {
+        rec = (std::size_t)resume->rec;
+        mode = resume->mode ? Mode::Delivery : Mode::Build;
+        stall = resume->stall;
+    } else {
+        attrib_.enterBuild(Cause::ColdStart);
+    }
 
     while (rec < num_records && !stopRequested()) {
+        maybeCheckpoint(rec, mode == Mode::Delivery ? 1 : 0, 0, stall);
         ++metrics_.cycles;
         observeCycle();
         traceMode(mode == Mode::Build ? "build" : "delivery");

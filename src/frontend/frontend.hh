@@ -24,10 +24,13 @@
 #include <algorithm>
 #include <csignal>
 #include <cstring>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "attrib/recorder.hh"
+#include "ckpt/checkpoint.hh"
 #include "common/interval_stats.hh"
 #include "common/probe.hh"
 #include "common/stats.hh"
@@ -53,6 +56,20 @@ class CycleObserver
   public:
     virtual ~CycleObserver() = default;
     virtual void onCycle(Frontend &fe, uint64_t cycle) = 0;
+};
+
+/**
+ * Snapshot of a frontend run loop's scalar state at a checkpoint
+ * cycle boundary. The field meanings are frontend-specific (each
+ * run() documents its encoding); the base class only stores and
+ * round-trips them.
+ */
+struct RunLoopState
+{
+    uint64_t rec = 0;     ///< next trace record to process
+    uint32_t mode = 0;    ///< mode-FSM state (frontend encoding)
+    uint32_t buffer = 0;  ///< buffered uops / auxiliary counter
+    uint32_t stall = 0;   ///< pending stall cycles
 };
 
 class Frontend
@@ -184,6 +201,141 @@ class Frontend
             sampler_->finish(metrics_.cycles.value());
     }
 
+    /// @{ Warm-state checkpoint/restore (src/ckpt).
+
+    /** Callback fired at the checkpoint cycle, with the run loop
+     *  parked at a cycle boundary; typically serializes the frontend
+     *  via saveState() and writes the container to disk. */
+    using CkptHook = std::function<Status(Frontend &)>;
+
+    /**
+     * Arm a one-shot checkpoint: the first cycle boundary at or
+     * after @p cycle fires @p hook (">=", not "==": run loops may
+     * advance the cycle counter by more than one). The run then
+     * continues normally — cutting a live-point does not perturb
+     * the simulated outcome.
+     */
+    void
+    armCheckpoint(uint64_t cycle, CkptHook hook)
+    {
+        ckptAt_ = cycle;
+        ckptHook_ = std::move(hook);
+        ckptArmed_ = true;
+        ckptTaken_ = false;
+        ckptStatus_ = Status::ok();
+    }
+
+    bool checkpointArmed() const { return ckptArmed_; }
+
+    /** True once an armed checkpoint has fired during run(). */
+    bool checkpointTaken() const { return ckptTaken_; }
+
+    /** Outcome of the checkpoint hook (ok until fired). */
+    const Status &checkpointStatus() const { return ckptStatus_; }
+
+    /**
+     * Serialize the complete warm state into @p w. The base class
+     * contributes the sections every frontend shares — "stats" (the
+     * whole stat tree, including cycle/uop metrics), "attrib" (the
+     * attribution recorder) and "loop" (the parked run-loop scalars);
+     * overrides call this first and then append one frontend-specific
+     * section holding predictors, pipes, and storage structures.
+     *
+     * Only valid while the run loop is parked at a cycle boundary
+     * (inside a checkpoint hook) or before/after run().
+     */
+    virtual void
+    saveState(CheckpointWriter &w) const
+    {
+        {
+            CkptSink sink;
+            saveStatTree(root_, sink);
+            w.addSection("stats", sink.take());
+        }
+        {
+            CkptSink sink;
+            attrib_.ckptSave(sink);
+            w.addSection("attrib", sink.take());
+        }
+        {
+            CkptSink sink;
+            sink.u64(loopState_.rec);
+            sink.u32(loopState_.mode);
+            sink.u32(loopState_.buffer);
+            sink.u32(loopState_.stall);
+            w.addSection("loop", sink.take());
+        }
+    }
+
+    /**
+     * Restore warm state from a parsed checkpoint and queue the
+     * run-loop resume point consumed by the next run() call. All-or-
+     * nothing per the class contract: any missing or malformed
+     * section returns Corrupt and the frontend must then be treated
+     * as unusable (callers fall back to a cold start with a fresh
+     * frontend, never this one).
+     */
+    virtual Status
+    restoreState(const CheckpointFile &f)
+    {
+        const std::string *stats = f.section("stats");
+        if (!stats) {
+            return Status::error(StatusCode::Corrupt,
+                                 "checkpoint lacks a 'stats' section");
+        }
+        {
+            CkptSource src(*stats);
+            Status st = loadStatTree(root_, src);
+            if (!st.isOk())
+                return st;
+            if (!src.consumed()) {
+                return Status::error(
+                    StatusCode::Corrupt,
+                    "malformed checkpoint 'stats' section");
+            }
+        }
+        const std::string *attrib = f.section("attrib");
+        if (!attrib) {
+            return Status::error(
+                StatusCode::Corrupt,
+                "checkpoint lacks an 'attrib' section");
+        }
+        {
+            CkptSource src(*attrib);
+            attrib_.ckptLoad(src);
+            if (!src.consumed()) {
+                return Status::error(
+                    StatusCode::Corrupt,
+                    "malformed checkpoint 'attrib' section");
+            }
+        }
+        const std::string *loop = f.section("loop");
+        if (!loop) {
+            return Status::error(StatusCode::Corrupt,
+                                 "checkpoint lacks a 'loop' section");
+        }
+        {
+            CkptSource src(*loop);
+            RunLoopState st;
+            st.rec = src.u64();
+            st.mode = src.u32();
+            st.buffer = src.u32();
+            st.stall = src.u32();
+            if (!src.consumed()) {
+                return Status::error(
+                    StatusCode::Corrupt,
+                    "malformed checkpoint 'loop' section");
+            }
+            resume_ = st;
+        }
+        return Status::ok();
+    }
+
+    /** True when a restore is queued and the next run() will resume
+     *  mid-trace instead of cold-starting. */
+    bool hasResume() const { return resume_.has_value(); }
+    /// @}
+
   protected:
     /** Derived frontends register component sub-phases here (e.g.
      *  LegacyPipe's "predict" under fetch); called with nullptr on
@@ -201,6 +353,39 @@ class Frontend
             for (CycleObserver *obs : observers_)
                 obs->onCycle(*this, metrics_.cycles.value());
         }
+    }
+
+    /**
+     * Checkpoint trigger, called by every run loop at the top of the
+     * cycle loop (before the cycle counter advances) with the loop's
+     * live scalars. When the armed cycle has been reached the scalars
+     * are parked in loopState_, the hook runs, and the trigger
+     * disarms; the run loop then continues unchanged.
+     */
+    void
+    maybeCheckpoint(uint64_t rec, uint32_t mode, uint32_t buffer,
+                    uint32_t stall)
+    {
+        if (!ckptArmed_ || metrics_.cycles.value() < ckptAt_)
+            return;
+        ckptArmed_ = false;
+        loopState_.rec = rec;
+        loopState_.mode = mode;
+        loopState_.buffer = buffer;
+        loopState_.stall = stall;
+        ckptTaken_ = true;
+        if (ckptHook_)
+            ckptStatus_ = ckptHook_(*this);
+    }
+
+    /** Consume the queued resume point (run() entry: present after a
+     *  successful restoreState, in place of cold-start init). */
+    std::optional<RunLoopState>
+    takeResume()
+    {
+        std::optional<RunLoopState> r = std::move(resume_);
+        resume_.reset();
+        return r;
     }
 
     /** Report a delivered record to the oracle, if attached. See
@@ -265,7 +450,18 @@ class Frontend
     unsigned phArray_ = PhaseProfiler::kNoPhase;
     /// @}
 
+    /// @{ Checkpoint plumbing (see armCheckpoint/maybeCheckpoint).
+    RunLoopState loopState_;
+    std::optional<RunLoopState> resume_;
+    /// @}
+
   private:
+    uint64_t ckptAt_ = 0;
+    CkptHook ckptHook_;
+    bool ckptArmed_ = false;
+    bool ckptTaken_ = false;
+    Status ckptStatus_;
+
     IntervalSampler *sampler_ = nullptr;
     std::vector<CycleObserver *> observers_;
     DeliveryOracle *oracle_ = nullptr;

@@ -11,10 +11,44 @@ IcFrontend::IcFrontend(const FrontendParams &params)
 }
 
 void
+IcFrontend::saveState(CheckpointWriter &w) const
+{
+    Frontend::saveState(w);
+    CkptSink sink;
+    preds_.ckptSave(sink);
+    pipe_.ckptSave(sink);
+    w.addSection("ic", sink.take());
+}
+
+Status
+IcFrontend::restoreState(const CheckpointFile &f)
+{
+    Status st = Frontend::restoreState(f);
+    if (!st.isOk())
+        return st;
+    const std::string *sec = f.section("ic");
+    if (!sec) {
+        return Status::error(StatusCode::Corrupt,
+                             "checkpoint lacks an 'ic' section");
+    }
+    CkptSource src(*sec);
+    preds_.ckptLoad(src);
+    pipe_.ckptLoad(src);
+    if (!src.consumed()) {
+        return Status::error(StatusCode::Corrupt,
+                             "malformed checkpoint 'ic' section");
+    }
+    return Status::ok();
+}
+
+void
 IcFrontend::run(const Trace &trace)
 {
     std::size_t rec = 0;
+    if (auto resume = takeResume())
+        rec = (std::size_t)resume->rec;
     while (rec < trace.numRecords() && !stopRequested()) {
+        maybeCheckpoint(rec, 0, 0, 0);
         std::size_t prev = rec;
         LegacyPipe::Result r;
         {

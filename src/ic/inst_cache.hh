@@ -15,6 +15,9 @@
 namespace xbs
 {
 
+class CkptSink;
+class CkptSource;
+
 class InstCache
 {
   public:
@@ -45,6 +48,11 @@ class InstCache
     uint64_t lineOf(uint64_t ip) const { return ip & ~lineMask_; }
 
     void reset();
+
+    /// @{ Warm-state checkpointing (src/ckpt).
+    void ckptSave(CkptSink &sink) const;
+    void ckptLoad(CkptSource &src);
+    /// @}
 
   private:
     struct Entry

@@ -28,6 +28,8 @@ renderHeartbeat(const HeartbeatRecord &rec)
         jw.field("wallSeconds", rec.wallSeconds);
         jw.field("rssKb", rec.rssKb);
         jw.field("done", rec.done);
+        if (!rec.restoredFrom.empty())
+            jw.field("restoredFrom", rec.restoredFrom);
         jw.endObject();
     }
     os << '\n';
@@ -67,6 +69,8 @@ parseHeartbeat(const std::string &text)
         rec.rssKb = v->asUint();
     if (const JsonValue *v = doc.find("done"))
         rec.done = v->isBool() && v->boolValue;
+    if (const JsonValue *v = doc.find("restoredFrom"))
+        rec.restoredFrom = v->asString();
     return rec;
 }
 
@@ -132,6 +136,7 @@ HeartbeatEmitter::publish(uint64_t uops, uint64_t cycles,
         rec.uopsPerSec = (double)(uops - lastUops_) / window;
     rec.rssKb = HostCounters::self().maxRssKb;
     rec.done = done;
+    rec.restoredFrom = restoredFrom_;
     if (writer_.write(rec).isOk()) {
         lastBeat_ = now;
         lastUops_ = uops;

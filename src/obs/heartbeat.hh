@@ -41,7 +41,7 @@ struct HeartbeatRecord
 {
     uint64_t seq = 0;        ///< monotonic per path (across attempts)
     int64_t pid = 0;         ///< writer's process id
-    std::string phase;       ///< "start"|"decode"|"sim[:mode]"|"flush"|"done"
+    std::string phase;       ///< "start"|"decode"|"restore"|"sim[:mode]"|"flush"|"done"
     uint64_t uops = 0;       ///< uops retired (delivery + build) so far
     uint64_t totalUops = 0;  ///< estimated total from the trace (0: unknown)
     uint64_t cycles = 0;     ///< simulated cycles so far
@@ -49,6 +49,10 @@ struct HeartbeatRecord
     double wallSeconds = 0.0;///< host seconds since the writer started
     uint64_t rssKb = 0;      ///< current peak resident set, KiB
     bool done = false;       ///< final heartbeat of this process
+    /** Checkpoint path this run restored warm state from (empty =
+     *  cold start). Lets a watcher tell a warm run's head start from
+     *  a cold run's genuine progress. */
+    std::string restoredFrom;
 };
 
 /** Serialize @p rec as one compact JSON object. */
@@ -107,6 +111,13 @@ class HeartbeatEmitter
     /** Total-uops estimate, once the trace is materialized. */
     void setTotalUops(uint64_t total) { totalUops_ = total; }
 
+    /** Checkpoint path reported by subsequent beats (warm starts). */
+    void
+    setRestoredFrom(std::string path)
+    {
+        restoredFrom_ = std::move(path);
+    }
+
     /** Publish a beat immediately (phase transitions, final flush).
      *  @param fe metrics source; nullptr before the run starts. */
     void beat(const Frontend *fe, bool done = false);
@@ -126,6 +137,7 @@ class HeartbeatEmitter
     HeartbeatWriter writer_;
     double periodSec_;
     std::string phase_ = "start";
+    std::string restoredFrom_;
     uint64_t totalUops_ = 0;
     uint64_t ticks_ = 0;
     Clock::time_point lastBeat_;

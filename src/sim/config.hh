@@ -84,6 +84,17 @@ struct RunSpec
     uint64_t capacity = 32768;      ///< structure capacity in uops
     uint64_t ways = 0;              ///< 0 = structure default
 
+    /**
+     * Warm-state checkpoint to restore before simulating (empty =
+     * cold start). Identity-wise a restored run is the *same*
+     * simulation cell as its cold twin — the checkpoint only skips
+     * warmup — so label() ignores it; the result cache keys on the
+     * checkpoint file's digest separately, and the scheduler demotes
+     * a job to a cold start (clearing this) when the file is
+     * missing or corrupt.
+     */
+    std::string restoreFrom;
+
     /** xbsim flags for this run (no argv[0], no --json). */
     std::vector<std::string> toArgv() const;
 
@@ -98,7 +109,7 @@ struct RunSpec
     {
         return frontend == o.frontend && workload == o.workload &&
                insts == o.insts && capacity == o.capacity &&
-               ways == o.ways;
+               ways == o.ways && restoreFrom == o.restoreFrom;
     }
 };
 

@@ -108,6 +108,43 @@ TcFrontend::supplyLine(const Trace &trace, const TraceLine &line,
 }
 
 void
+TcFrontend::saveState(CheckpointWriter &w) const
+{
+    Frontend::saveState(w);
+    CkptSink sink;
+    preds_.ckptSave(sink);
+    pipe_.ckptSave(sink);
+    tc_.ckptSave(sink);
+    fill_.ckptSave(sink);
+    sink.u64(partialHitUops_);
+    w.addSection("tc", sink.take());
+}
+
+Status
+TcFrontend::restoreState(const CheckpointFile &f)
+{
+    Status st = Frontend::restoreState(f);
+    if (!st.isOk())
+        return st;
+    const std::string *sec = f.section("tc");
+    if (!sec) {
+        return Status::error(StatusCode::Corrupt,
+                             "checkpoint lacks a 'tc' section");
+    }
+    CkptSource src(*sec);
+    preds_.ckptLoad(src);
+    pipe_.ckptLoad(src);
+    tc_.ckptLoad(src);
+    fill_.ckptLoad(src);
+    partialHitUops_ = src.u64();
+    if (!src.consumed()) {
+        return Status::error(StatusCode::Corrupt,
+                             "malformed checkpoint 'tc' section");
+    }
+    return Status::ok();
+}
+
+void
 TcFrontend::run(const Trace &trace)
 {
     const std::size_t num_records = trace.numRecords();
@@ -116,10 +153,19 @@ TcFrontend::run(const Trace &trace)
     unsigned buffer = 0;   // undelivered uops sitting in the XBQ-like
                            // fetch buffer, drained 8/cycle
     unsigned stall = 0;
-    fill_.restart();
-    attrib_.enterBuild(Cause::ColdStart);
+    if (auto resume = takeResume()) {
+        rec = (std::size_t)resume->rec;
+        mode = resume->mode ? Mode::Delivery : Mode::Build;
+        buffer = resume->buffer;
+        stall = resume->stall;
+    } else {
+        fill_.restart();
+        attrib_.enterBuild(Cause::ColdStart);
+    }
 
     while ((rec < num_records || buffer > 0) && !stopRequested()) {
+        maybeCheckpoint(rec, mode == Mode::Delivery ? 1 : 0, buffer,
+                        stall);
         ++metrics_.cycles;
         metrics_.traceRecords.set(rec);
         observeCycle();

@@ -1,0 +1,121 @@
+#include "verify/divergence.hh"
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "sim/ckpt_io.hh"
+#include "verify/auditor.hh"
+
+namespace xbs
+{
+
+std::string
+canonicalMetricsJson(const Frontend &fe)
+{
+    std::ostringstream os;
+    {
+        JsonWriter jw(os);
+        jw.beginObject();
+        const FrontendMetrics &m = fe.metrics();
+        jw.field("cycles", m.cycles.value());
+        jw.fieldFull("bandwidth", m.bandwidth());
+        jw.fieldFull("missRate", m.missRate());
+        jw.fieldFull("overallIpc", m.overallIpc());
+        jw.fieldFull("condMispredictRate", m.condMispredictRate());
+        fe.attrib().writeJson(jw, m.buildUops.value(),
+                              m.stallCycles.value(),
+                              fe.arrayAccounting());
+        fe.statRoot().dumpJson(jw, /*as_member=*/true);
+        jw.endObject();
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** First differing line of two texts, rendered "line N: a | b". */
+std::string
+firstDiff(const std::string &a, const std::string &b)
+{
+    std::istringstream sa(a), sb(b);
+    std::string la, lb;
+    for (std::size_t line = 1;; ++line) {
+        bool ga = (bool)std::getline(sa, la);
+        bool gb = (bool)std::getline(sb, lb);
+        if (!ga && !gb)
+            return "";
+        if (la != lb || ga != gb) {
+            return "line " + std::to_string(line) +
+                   ": reference '" + (ga ? la : "<eof>") +
+                   "' vs restored '" + (gb ? lb : "<eof>") + "'";
+        }
+    }
+}
+
+} // anonymous namespace
+
+Expected<DivergenceReport>
+runDivergenceOracle(const SimConfig &config, const RunSpec &spec,
+                    const Trace &trace, uint64_t checkpoint_cycle)
+{
+    DivergenceReport rep;
+    rep.requestedCycle = checkpoint_cycle;
+
+    // Reference: full cold run, cutting the checkpoint in memory.
+    std::string bytes;
+    std::unique_ptr<Frontend> ref = makeFrontend(config);
+    ref->armCheckpoint(
+        checkpoint_cycle, [&](Frontend &fe) -> Status {
+            bytes = encodeCheckpoint(
+                fe,
+                makeCkptMeta(spec, trace,
+                             fe.metrics().cycles.value()));
+            rep.cutCycle = fe.metrics().cycles.value();
+            return Status::ok();
+        });
+    ref->run(trace);
+    if (!ref->checkpointTaken()) {
+        return Status::error(
+            "divergence oracle: run finished after " +
+            std::to_string(ref->metrics().cycles.value()) +
+            " cycles without reaching checkpoint cycle " +
+            std::to_string(checkpoint_cycle));
+    }
+    if (!ref->checkpointStatus().isOk())
+        return ref->checkpointStatus();
+    rep.checkpointBytes = bytes.size();
+
+    // Restored: fresh frontend through the full verification path.
+    Expected<CheckpointFile> file = parseCheckpoint(bytes);
+    if (!file.ok())
+        return file.status();
+    std::unique_ptr<Frontend> warm = makeFrontend(config);
+    Status restored =
+        restoreCheckpoint(*warm, file.value(), spec, trace);
+    if (!restored.isOk())
+        return restored;
+
+    // Mandatory post-restore structural audit: the restored
+    // structures must satisfy every paper invariant before a single
+    // cycle is simulated on them.
+    InvariantAuditor auditor;
+    auditor.auditRestore(*warm, trace, rep.cutCycle);
+    rep.auditViolations = auditor.violations().size();
+
+    warm->run(trace);
+
+    const std::string a = canonicalMetricsJson(*ref);
+    const std::string b = canonicalMetricsJson(*warm);
+    rep.identical = (a == b) && rep.auditViolations == 0;
+    if (a != b)
+        rep.detail = firstDiff(a, b);
+    else if (rep.auditViolations) {
+        std::ostringstream os;
+        auditor.report(os);
+        rep.detail = os.str();
+    }
+    return rep;
+}
+
+} // namespace xbs

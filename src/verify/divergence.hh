@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The checkpoint divergence oracle: proves that restore is
+ * bit-exact, not merely plausible.
+ *
+ * A warm-state checkpoint is only trustworthy if a restored run is
+ * *indistinguishable* from the run it was cut from. The oracle runs
+ * the same simulation twice in one process:
+ *
+ *   reference:  cold start, full trace, cutting a checkpoint in
+ *               flight at the requested cycle (in memory — the hook
+ *               captures the encoded container bytes);
+ *   restored:   a fresh frontend restored from those bytes (full
+ *               verification path: parse, CRCs, guard hash, meta
+ *               identity, build gate), then run to completion.
+ *
+ * Both ends are reduced to a canonical metrics JSON (headline
+ * metrics at full %.17g precision, the miss-attribution report, and
+ * the complete stat tree) and compared byte for byte. Any
+ * difference means restore lost or invented state — a correctness
+ * bug, reported with the first differing line. The restored
+ * frontend also gets the mandatory post-restore structural audit.
+ */
+
+#ifndef XBS_VERIFY_DIVERGENCE_HH
+#define XBS_VERIFY_DIVERGENCE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hh"
+#include "sim/config.hh"
+#include "trace/trace.hh"
+
+namespace xbs
+{
+
+/**
+ * The canonical deterministic metrics document of a finished run:
+ * everything xbsim's --json output derives from simulation state
+ * (and nothing host-dependent — no wall clock, no rusage). Two runs
+ * of the same cell must produce byte-identical canonical JSON.
+ */
+std::string canonicalMetricsJson(const Frontend &fe);
+
+struct DivergenceReport
+{
+    uint64_t requestedCycle = 0;  ///< --verify-ckpt argument
+    uint64_t cutCycle = 0;        ///< cycle the cut actually fired at
+    uint64_t checkpointBytes = 0; ///< encoded container size
+    bool identical = false;       ///< the oracle's verdict
+    std::size_t auditViolations = 0; ///< post-restore structural walk
+    std::string detail;           ///< first difference, empty if none
+};
+
+/**
+ * Run the divergence oracle for one simulation cell.
+ *
+ * @p config and @p spec must describe the same cell (the caller
+ * already built @p config from @p spec's flags); @p checkpoint_cycle
+ * is where to cut. Fails with a Status when the experiment cannot
+ * run at all (checkpoint never fired because the run was shorter,
+ * or the in-memory container failed verification — both bugs or
+ * usage errors, not divergence). A completed experiment returns a
+ * report; report.identical == false is the divergence verdict.
+ */
+Expected<DivergenceReport> runDivergenceOracle(
+    const SimConfig &config, const RunSpec &spec, const Trace &trace,
+    uint64_t checkpoint_cycle);
+
+} // namespace xbs
+
+#endif // XBS_VERIFY_DIVERGENCE_HH

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Generate the corrupt-checkpoint corpus (*.xbckpt files).
+
+Re-run after changing the container format in src/ckpt/checkpoint.cc
+(layout documented in checkpoint.hh):
+
+    File    := Header Section* Trailer
+    Header  := magic[8]="XBCKPT1\\n"  u32 formatVersion
+    Section := u16 nameLen  name  u64 payloadLen  payload
+               u32 crc32(payload)
+    Trailer := u16 0 (sentinel)  sha256(bytes through sentinel)
+
+Every file here must be rejected by parseCheckpoint with a typed
+Corrupt status; test_ckpt.cc asserts exactly that. CRC32 is the
+reflected 0xEDB88320 polynomial, i.e. zlib.crc32.
+"""
+
+import hashlib
+import pathlib
+import struct
+import zlib
+
+MAGIC = b"XBCKPT1\n"
+VERSION = 1
+
+
+def section(name: bytes, payload: bytes) -> bytes:
+    return (
+        struct.pack("<H", len(name))
+        + name
+        + struct.pack("<Q", len(payload))
+        + payload
+        + struct.pack("<I", zlib.crc32(payload) & 0xFFFFFFFF)
+    )
+
+
+def container(version: int = VERSION, magic: bytes = MAGIC) -> bytes:
+    body = magic + struct.pack("<I", version)
+    body += section(b"meta", b"not-a-real-meta-payload")
+    body += section(b"stats", bytes(range(48)))
+    body += struct.pack("<H", 0)
+    return body + hashlib.sha256(body).digest()
+
+
+def main() -> None:
+    out = pathlib.Path(__file__).resolve().parent
+    good = container()
+
+    # Pristine container: must PARSE cleanly (proves this generator
+    # and the C++ reader agree on CRC, hash, and layout — which is
+    # what makes the corrupted variants meaningful). Restore still
+    # rejects it later, at meta decoding.
+    (out / "ckpt_valid_container.xbckpt").write_bytes(good)
+
+    # Cut mid-magic: too short to even hold the header.
+    (out / "ckpt_trunc_header.xbckpt").write_bytes(good[:6])
+
+    # Wrong magic / unsupported version (otherwise intact).
+    (out / "ckpt_bad_magic.xbckpt").write_bytes(
+        container(magic=b"XBCKPT9\n"))
+    (out / "ckpt_bad_version.xbckpt").write_bytes(
+        container(version=99))
+
+    # Cut inside the first section's payload.
+    hdr = MAGIC + struct.pack("<I", VERSION)
+    sec = section(b"meta", b"not-a-real-meta-payload")
+    (out / "ckpt_trunc_section.xbckpt").write_bytes(
+        hdr + sec[: len(sec) - 10])
+
+    # Flip one bit of a stored section CRC.
+    bad_crc = bytearray(good)
+    crc_off = len(hdr) + len(sec) - 4
+    bad_crc[crc_off] ^= 0x01
+    (out / "ckpt_bad_crc.xbckpt").write_bytes(bytes(bad_crc))
+
+    # Flip one bit inside the stored guard hash itself.
+    bad_guard = bytearray(good)
+    bad_guard[-1] ^= 0x80
+    (out / "ckpt_bad_guard.xbckpt").write_bytes(bytes(bad_guard))
+
+
+if __name__ == "__main__":
+    main()

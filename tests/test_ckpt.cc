@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Warm-state checkpoint/restore tests: container integrity (every
+ * single-bit flip detected), the corrupt-file corpus, per-frontend
+ * bit-exact restore via the divergence oracle, identity and build
+ * gating, ckpt-flip fault injection, and result-cache keying.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "batch/result_cache.hh"
+#include "ckpt/checkpoint.hh"
+#include "common/fs.hh"
+#include "prof/build_info.hh"
+#include "sim/ckpt_io.hh"
+#include "sim/config.hh"
+#include "verify/divergence.hh"
+#include "verify/inject.hh"
+#include "workload/catalog.hh"
+
+namespace xbs
+{
+namespace
+{
+
+std::string
+dataPath(const std::string &name)
+{
+    return std::string(XBS_TEST_DATA_DIR) + "/" + name;
+}
+
+/** A small container with deterministic content for flip tests. */
+std::string
+tinyContainer()
+{
+    CheckpointWriter w;
+    w.addSection("alpha", "first-section-payload");
+    w.addSection("beta", std::string(64, '\x5a'));
+    return w.encode();
+}
+
+TEST(CkptSerial, SinkSourceRoundtrip)
+{
+    CkptSink sink;
+    sink.u8(0xab);
+    sink.u16(0xbeef);
+    sink.u32(0xdeadbeefu);
+    sink.u64(0x0123456789abcdefull);
+    sink.i32(-7);
+    sink.i64(-1234567890123ll);
+    sink.b(true);
+    sink.f64(3.141592653589793);
+    sink.str("hello");
+
+    CkptSource src(sink.bytes());
+    EXPECT_EQ(src.u8(), 0xab);
+    EXPECT_EQ(src.u16(), 0xbeef);
+    EXPECT_EQ(src.u32(), 0xdeadbeefu);
+    EXPECT_EQ(src.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(src.i32(), -7);
+    EXPECT_EQ(src.i64(), -1234567890123ll);
+    EXPECT_TRUE(src.b());
+    EXPECT_EQ(src.f64(), 3.141592653589793);
+    EXPECT_EQ(src.str(), "hello");
+    EXPECT_TRUE(src.ok());
+    EXPECT_TRUE(src.consumed());
+}
+
+TEST(CkptContainer, Roundtrip)
+{
+    const std::string bytes = tinyContainer();
+    Expected<CheckpointFile> file = parseCheckpoint(bytes);
+    ASSERT_TRUE(file.ok()) << file.status().toString();
+    ASSERT_NE(file.value().section("alpha"), nullptr);
+    ASSERT_NE(file.value().section("beta"), nullptr);
+    EXPECT_EQ(*file.value().section("alpha"),
+              "first-section-payload");
+    EXPECT_EQ(file.value().section("gamma"), nullptr);
+    EXPECT_EQ(file.value().fileDigest().size(), 64u);
+    EXPECT_EQ(file.value().sections().size(), 2u);
+}
+
+// The format's core guarantee, asserted exhaustively: flipping ANY
+// single bit of a container makes the parse fail with a typed
+// status. Every byte is covered by the magic/version check, a
+// section CRC, or the guard hash.
+TEST(CkptContainer, EverySingleBitFlipDetected)
+{
+    const std::string good = tinyContainer();
+    ASSERT_TRUE(parseCheckpoint(good).ok());
+    for (std::size_t bit = 0; bit < good.size() * 8; ++bit) {
+        std::string bad = good;
+        bad[bit / 8] ^= (char)(1 << (bit % 8));
+        Expected<CheckpointFile> file = parseCheckpoint(bad);
+        EXPECT_FALSE(file.ok()) << "undetected flip at bit " << bit;
+    }
+}
+
+TEST(CkptContainer, TruncationAtEveryLengthDetected)
+{
+    const std::string good = tinyContainer();
+    for (std::size_t len = 0; len < good.size(); ++len) {
+        Expected<CheckpointFile> file =
+            parseCheckpoint(good.substr(0, len));
+        EXPECT_FALSE(file.ok()) << "undetected truncation at " << len;
+    }
+}
+
+TEST(CkptCorpus, ValidContainerParses)
+{
+    Expected<CheckpointFile> file =
+        readCheckpointFile(dataPath("ckpt_valid_container.xbckpt"));
+    ASSERT_TRUE(file.ok())
+        << "corpus generator and reader disagree on the format: "
+        << file.status().toString();
+}
+
+TEST(CkptCorpus, CorruptFilesRejected)
+{
+    const char *names[] = {
+        "ckpt_trunc_header.xbckpt",  "ckpt_bad_magic.xbckpt",
+        "ckpt_bad_version.xbckpt",   "ckpt_trunc_section.xbckpt",
+        "ckpt_bad_crc.xbckpt",       "ckpt_bad_guard.xbckpt",
+    };
+    for (const char *name : names) {
+        Expected<CheckpointFile> file =
+            readCheckpointFile(dataPath(name));
+        EXPECT_FALSE(file.ok()) << name << " was accepted";
+        if (!file.ok()) {
+            EXPECT_EQ(file.status().code(), StatusCode::Corrupt)
+                << name << ": " << file.status().toString();
+        }
+    }
+}
+
+TEST(CkptCorpus, MissingFileIsNotFound)
+{
+    Expected<CheckpointFile> file =
+        readCheckpointFile(dataPath("no_such_checkpoint.xbckpt"));
+    ASSERT_FALSE(file.ok());
+    EXPECT_EQ(file.status().code(), StatusCode::NotFound);
+}
+
+TEST(CkptMetaTest, EncodeDecodeRoundtrip)
+{
+    RunSpec spec;
+    spec.frontend = "tc";
+    spec.workload = "gcc";
+    spec.insts = 12345;
+    spec.capacity = 4096;
+    spec.ways = 2;
+    const Trace trace = makeCatalogTrace("gcc", 2000);
+    const CkptMeta meta = makeCkptMeta(spec, trace, 777);
+
+    Expected<CkptMeta> back = decodeCkptMeta(encodeCkptMeta(meta));
+    ASSERT_TRUE(back.ok()) << back.status().toString();
+    EXPECT_EQ(back.value().frontend, "tc");
+    EXPECT_EQ(back.value().workload, "gcc");
+    EXPECT_EQ(back.value().insts, 12345u);
+    EXPECT_EQ(back.value().cycle, 777u);
+    EXPECT_EQ(back.value().traceName, trace.name());
+    EXPECT_EQ(back.value().numRecords, trace.numRecords());
+    EXPECT_EQ(back.value().specDigest, meta.specDigest);
+    EXPECT_EQ(back.value().buildType, buildInfo().buildType);
+}
+
+TEST(CkptMetaTest, BuildGateRejectsMismatch)
+{
+    RunSpec spec;
+    const Trace trace = makeCatalogTrace("gcc", 2000);
+    CkptMeta meta = makeCkptMeta(spec, trace, 0);
+    EXPECT_TRUE(checkCkptBuild(meta, buildInfo().buildType,
+                               buildInfo().sanitized)
+                    .isOk());
+    EXPECT_FALSE(checkCkptBuild(meta, buildInfo().buildType,
+                                !buildInfo().sanitized)
+                     .isOk());
+    meta.buildType = "SomeOtherBuildType";
+    Status st = checkCkptBuild(meta, buildInfo().buildType,
+                               buildInfo().sanitized);
+    EXPECT_FALSE(st.isOk());
+    EXPECT_EQ(st.code(), StatusCode::Corrupt);
+}
+
+struct FrontendCase
+{
+    const char *flag;
+    SimConfig config;
+};
+
+std::vector<FrontendCase>
+allFrontends()
+{
+    return {
+        {"ic", SimConfig::icBaseline()},
+        {"dc", SimConfig::dcBaseline(8192)},
+        {"tc", SimConfig::tcBaseline(8192, 2)},
+        {"bbtc", SimConfig::bbtcBaseline(8192)},
+        {"xbc", SimConfig::xbcBaseline(8192, 2)},
+    };
+}
+
+RunSpec
+specFor(const char *flag)
+{
+    RunSpec spec;
+    spec.frontend = flag;
+    spec.workload = "gcc";
+    spec.insts = 30000;
+    spec.capacity = 8192;
+    spec.ways = 0;
+    return spec;
+}
+
+// The tentpole guarantee, per frontend: a run restored from a
+// mid-run checkpoint finishes with BIT-IDENTICAL metrics (headline
+// numbers at full precision, the attribution report, and the entire
+// stat tree) and passes the post-restore structural audit.
+TEST(CkptDivergence, RestoreIsBitExactOnEveryFrontend)
+{
+    const Trace trace = makeCatalogTrace("gcc", 30000);
+    for (const FrontendCase &fc : allFrontends()) {
+        Expected<DivergenceReport> rep = runDivergenceOracle(
+            fc.config, specFor(fc.flag), trace, 2000);
+        ASSERT_TRUE(rep.ok())
+            << fc.flag << ": " << rep.status().toString();
+        EXPECT_EQ(rep.value().auditViolations, 0u) << fc.flag;
+        EXPECT_TRUE(rep.value().identical)
+            << fc.flag << " diverged: " << rep.value().detail;
+        EXPECT_GE(rep.value().cutCycle, 2000u) << fc.flag;
+        EXPECT_GT(rep.value().checkpointBytes, 0u) << fc.flag;
+    }
+}
+
+TEST(CkptDivergence, UnreachableCheckpointCycleIsAnError)
+{
+    const Trace trace = makeCatalogTrace("gcc", 2000);
+    Expected<DivergenceReport> rep =
+        runDivergenceOracle(SimConfig::xbcBaseline(8192, 2),
+                            specFor("xbc"), trace, 1u << 30);
+    EXPECT_FALSE(rep.ok());
+}
+
+/** Cut a real checkpoint of @p flag's frontend in memory. */
+std::string
+captureCheckpoint(const FrontendCase &fc, const Trace &trace,
+                  RunSpec spec, uint64_t at = 2000)
+{
+    std::string bytes;
+    auto fe = makeFrontend(fc.config);
+    fe->armCheckpoint(at, [&](Frontend &f) -> Status {
+        bytes = encodeCheckpoint(
+            f, makeCkptMeta(spec, trace,
+                            f.metrics().cycles.value()));
+        return Status::ok();
+    });
+    fe->run(trace);
+    EXPECT_TRUE(fe->checkpointTaken());
+    return bytes;
+}
+
+// ckpt-flip injection: every seeded random single-bit flip of a real
+// frontend checkpoint must be rejected on the full restore path.
+TEST(CkptInject, SeededFlipsAlwaysRejected)
+{
+    const Trace trace = makeCatalogTrace("gcc", 30000);
+    FrontendCase fc{"xbc", SimConfig::xbcBaseline(8192, 2)};
+    const RunSpec spec = specFor("xbc");
+    const std::string good = captureCheckpoint(fc, trace, spec);
+    ASSERT_FALSE(good.empty());
+    ASSERT_TRUE(parseCheckpoint(good).ok());
+
+    Expected<InjectPlan> plan = parseInjectSpec("ckpt-flip");
+    ASSERT_TRUE(plan.ok());
+    for (uint64_t seed = 1; seed <= 64; ++seed) {
+        FaultInjector injector(plan.value(), seed);
+        const std::string bad =
+            injector.prepareCheckpointBytes(good);
+        EXPECT_EQ(injector.injections(), 1u);
+        EXPECT_NE(bad, good);
+        Expected<CheckpointFile> file = parseCheckpoint(bad);
+        EXPECT_FALSE(file.ok()) << "seed " << seed << " undetected";
+        if (!file.ok())
+            EXPECT_EQ(file.status().code(), StatusCode::Corrupt);
+    }
+}
+
+// A checkpoint must only restore the exact cell it was cut from:
+// wrong frontend kind, wrong trace, or a doctored spec all fail as
+// Corrupt before any state is touched.
+TEST(CkptIdentity, CrossFrontendRestoreRejected)
+{
+    const Trace trace = makeCatalogTrace("gcc", 30000);
+    FrontendCase tc{"tc", SimConfig::tcBaseline(8192, 2)};
+    const std::string bytes =
+        captureCheckpoint(tc, trace, specFor("tc"));
+    Expected<CheckpointFile> file = parseCheckpoint(bytes);
+    ASSERT_TRUE(file.ok());
+
+    auto xbc = makeFrontend(SimConfig::xbcBaseline(8192, 2));
+    Status st = restoreCheckpoint(*xbc, file.value(),
+                                  specFor("xbc"), trace);
+    ASSERT_FALSE(st.isOk());
+    EXPECT_EQ(st.code(), StatusCode::Corrupt);
+
+    // Even bypassing the meta gate, the self-describing stat tree
+    // refuses to load into the wrong frontend.
+    auto xbc2 = makeFrontend(SimConfig::xbcBaseline(8192, 2));
+    Status raw = xbc2->restoreState(file.value());
+    EXPECT_FALSE(raw.isOk());
+}
+
+TEST(CkptIdentity, WrongTraceRejected)
+{
+    const Trace trace = makeCatalogTrace("gcc", 30000);
+    FrontendCase fc{"xbc", SimConfig::xbcBaseline(8192, 2)};
+    const std::string bytes =
+        captureCheckpoint(fc, trace, specFor("xbc"));
+    Expected<CheckpointFile> file = parseCheckpoint(bytes);
+    ASSERT_TRUE(file.ok());
+
+    const Trace other = makeCatalogTrace("gcc", 31000);
+    auto fe = makeFrontend(fc.config);
+    Status st = restoreCheckpoint(*fe, file.value(),
+                                  specFor("xbc"), other);
+    ASSERT_FALSE(st.isOk());
+    EXPECT_EQ(st.code(), StatusCode::Corrupt);
+}
+
+// The result cache must never alias a warm run with a cold one (or
+// with a restore from different checkpoint content), while the
+// user-facing label treats them as the same cell.
+TEST(CkptCache, WarmKeyNeverAliasesCold)
+{
+    const Trace trace = makeCatalogTrace("gcc", 30000);
+    FrontendCase fc{"xbc", SimConfig::xbcBaseline(8192, 2)};
+    RunSpec cold = specFor("xbc");
+    const std::string bytes =
+        captureCheckpoint(fc, trace, cold);
+
+    const std::string dir =
+        ::testing::TempDir() + "/xbs_ckpt_cache_test";
+    ASSERT_TRUE(ensureDir(dir).isOk());
+    const std::string path_a = dir + "/warm_a.xbckpt";
+    const std::string path_b = dir + "/warm_b.xbckpt";
+    ASSERT_TRUE(writeFileAtomic(path_a, bytes).isOk());
+    ASSERT_TRUE(writeFileAtomic(path_b, bytes).isOk());
+
+    RunSpec warm_a = cold;
+    warm_a.restoreFrom = path_a;
+    RunSpec warm_b = cold;
+    warm_b.restoreFrom = path_b;
+
+    // Same simulation cell in every identity-facing way...
+    EXPECT_EQ(warm_a.label(), cold.label());
+
+    Expected<CacheKey> key_cold = makeCacheKey(cold);
+    Expected<CacheKey> key_a = makeCacheKey(warm_a);
+    Expected<CacheKey> key_b = makeCacheKey(warm_b);
+    ASSERT_TRUE(key_cold.ok()) << key_cold.status().toString();
+    ASSERT_TRUE(key_a.ok()) << key_a.status().toString();
+    ASSERT_TRUE(key_b.ok()) << key_b.status().toString();
+
+    // ...but the warm key folds in the checkpoint content: distinct
+    // from cold, stable across paths with identical bytes.
+    EXPECT_NE(key_a.value().hex, key_cold.value().hex);
+    EXPECT_EQ(key_a.value().hex, key_b.value().hex);
+    EXPECT_EQ(key_a.value().ckptDigest, key_b.value().ckptDigest);
+    EXPECT_TRUE(key_cold.value().ckptDigest.empty());
+
+    // A rewritten (different-content) checkpoint moves the key.
+    std::string other = bytes;
+    {
+        CheckpointWriter w;
+        w.addSection("meta", "different");
+        other = w.encode();
+    }
+    ASSERT_TRUE(writeFileAtomic(path_a, other).isOk());
+    Expected<CacheKey> key_a2 = makeCacheKey(warm_a);
+    ASSERT_TRUE(key_a2.ok());
+    EXPECT_NE(key_a2.value().hex, key_a.value().hex);
+
+    // Missing checkpoint: no key at all (callers fall through to a
+    // real simulation, which then reports the defect).
+    RunSpec gone = cold;
+    gone.restoreFrom = dir + "/never_written.xbckpt";
+    EXPECT_FALSE(makeCacheKey(gone).ok());
+
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}
+
+// Restoring build-incompatible state fails through the full
+// restoreCheckpoint path (meta is re-encoded with a doctored build
+// type; container integrity stays intact, so only the gate fires).
+TEST(CkptIdentity, BuildMismatchRejectedOnRestorePath)
+{
+    const Trace trace = makeCatalogTrace("gcc", 30000);
+    FrontendCase fc{"xbc", SimConfig::xbcBaseline(8192, 2)};
+    const std::string bytes =
+        captureCheckpoint(fc, trace, specFor("xbc"));
+    Expected<CheckpointFile> file = parseCheckpoint(bytes);
+    ASSERT_TRUE(file.ok());
+
+    Expected<CkptMeta> meta =
+        decodeCkptMeta(*file.value().section("meta"));
+    ASSERT_TRUE(meta.ok());
+    CkptMeta doctored = meta.take();
+    doctored.buildType = "NotThisBuildType";
+
+    CheckpointWriter w;
+    w.addSection("meta", encodeCkptMeta(doctored));
+    for (const auto &kv : file.value().sections()) {
+        if (kv.first != "meta")
+            w.addSection(kv.first, kv.second);
+    }
+    Expected<CheckpointFile> redone = parseCheckpoint(w.encode());
+    ASSERT_TRUE(redone.ok()) << redone.status().toString();
+
+    auto fe = makeFrontend(fc.config);
+    Status st = restoreCheckpoint(*fe, redone.value(),
+                                  specFor("xbc"), trace);
+    ASSERT_FALSE(st.isOk());
+    EXPECT_EQ(st.code(), StatusCode::Corrupt);
+}
+
+} // anonymous namespace
+} // namespace xbs

@@ -9,6 +9,9 @@
  *   xbsim --frontend=tc --capacity=65536 --ways=2 --json
  *   xbsim --frontend=xbc --trace=run.xbt --stats
  *   xbsim --frontend=xbc --trace-events=out.json --interval-stats=10000
+ *   xbsim --frontend=xbc --checkpoint-at=500000 --checkpoint-out=warm.xbckpt
+ *   xbsim --frontend=xbc --restore-from=warm.xbckpt
+ *   xbsim --frontend=xbc --verify-ckpt=500000
  *   xbsim --list-workloads
  */
 
@@ -18,8 +21,10 @@
 #include <memory>
 #include <optional>
 
+#include "ckpt/checkpoint.hh"
 #include "common/args.hh"
 #include "common/event_trace.hh"
+#include "common/fs.hh"
 #include "common/interval_stats.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -29,10 +34,12 @@
 #include "prof/build_info.hh"
 #include "prof/host_counters.hh"
 #include "prof/phase_profiler.hh"
+#include "sim/ckpt_io.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "trace/trace_io.hh"
 #include "verify/auditor.hh"
+#include "verify/divergence.hh"
 #include "verify/inject.hh"
 #include "workload/catalog.hh"
 
@@ -109,6 +116,10 @@ main(int argc, char **argv)
     bool build_info_only = false;
     std::string heartbeat_path;
     double heartbeat_period = 1.0;
+    uint64_t checkpoint_at = 0;
+    std::string checkpoint_out;
+    std::string restore_from;
+    uint64_t verify_ckpt = 0;
 
     ArgParser args("xbsim",
                    "trace-driven frontend simulator (XBC, HPCA 2000)");
@@ -148,7 +159,20 @@ main(int argc, char **argv)
     args.addString("inject", &inject_spec,
                    "fault injection spec: kind[@period],... with kind "
                    "in xbtb-flip|xfu-drop|line-kill|slot-corrupt|"
-                   "trace-flip|trace-trunc|hang");
+                   "trace-flip|trace-trunc|hang|ckpt-flip");
+    args.addUint("checkpoint-at", &checkpoint_at,
+                 "cut a warm-state checkpoint at this cycle (0 = off)");
+    args.addString("checkpoint-out", &checkpoint_out,
+                   "checkpoint output path (default "
+                   "<workload>.<frontend>.xbckpt)");
+    args.addString("restore-from", &restore_from,
+                   "restore warm state from a checkpoint before "
+                   "simulating (exit 2 if missing/corrupt/mismatched)");
+    args.addUint("verify-ckpt", &verify_ckpt,
+                 "divergence oracle: checkpoint at this cycle, "
+                 "restore into a fresh frontend, finish both runs, "
+                 "and require bit-identical metrics (exit 2 on "
+                 "divergence)");
     args.addString("heartbeat", &heartbeat_path,
                    "atomically rewrite a JSON progress record at "
                    "this path while running (live telemetry)");
@@ -298,7 +322,118 @@ main(int argc, char **argv)
     const std::string trace_name = trace.name();
     const uint64_t total_uops = trace.totalUops();
 
+    // The spec identity a checkpoint of this run carries, and a
+    // restored checkpoint is verified against. (Only the batch-layer
+    // flags; a geometry mismatch in the extra flags is still caught
+    // by the per-section size checks on restore.)
+    RunSpec spec;
+    spec.frontend = frontend;
+    spec.workload = trace_path.empty() ? workload : trace_path;
+    spec.insts = insts;
+    spec.capacity = capacity;
+    spec.ways = ways;
+    spec.restoreFrom = restore_from;
+
+    // Divergence-oracle mode: a self-contained experiment (two full
+    // in-process runs), not a simulation of this cell.
+    if (verify_ckpt) {
+        Expected<DivergenceReport> rep =
+            runDivergenceOracle(config, spec, trace, verify_ckpt);
+        if (!rep.ok()) {
+            std::fprintf(stderr, "xbsim: %s\n",
+                         rep.status().toString().c_str());
+            return kExitData;
+        }
+        const DivergenceReport &r = rep.value();
+        if (json) {
+            JsonWriter jw(std::cout);
+            jw.beginObject();
+            jw.field("frontend", frontend);
+            jw.field("workload", trace_name);
+            jw.field("checkpointCycle", r.cutCycle);
+            jw.field("checkpointBytes", r.checkpointBytes);
+            jw.field("auditViolations", (uint64_t)r.auditViolations);
+            jw.field("identical", r.identical);
+            if (!r.detail.empty())
+                jw.field("detail", r.detail);
+            jw.endObject();
+            std::cout << "\n";
+        } else {
+            std::printf("checkpoint divergence oracle: %s on '%s', "
+                        "cut at cycle %llu (%llu bytes)\n",
+                        frontend.c_str(), trace_name.c_str(),
+                        (unsigned long long)r.cutCycle,
+                        (unsigned long long)r.checkpointBytes);
+            std::printf("  restore is %s\n",
+                        r.identical ? "bit-exact" : "DIVERGENT");
+            if (!r.detail.empty())
+                std::printf("  %s\n", r.detail.c_str());
+        }
+        return r.identical ? kExitOk : kExitData;
+    }
+
+    // Warm start: restore checkpointed state before the run. Every
+    // failure here is typed and exits with kExitData; the batch
+    // layer implements demote-to-cold-start by clearing the flag and
+    // re-launching, so a bad checkpoint costs warmup, never results.
+    if (!restore_from.empty()) {
+        if (heartbeat) {
+            heartbeat->setPhase("restore");
+            heartbeat->setRestoredFrom(restore_from);
+            heartbeat->beat(fe.get());
+        }
+        Expected<std::string> raw = readFileToString(restore_from);
+        if (!raw.ok()) {
+            Status st = raw.status();
+            st.withFile(restore_from);
+            std::fprintf(stderr, "xbsim: %s\n",
+                         st.toString().c_str());
+            return kExitData;
+        }
+        std::string bytes = raw.take();
+        if (injector && injector->plan().hasCkptActions())
+            bytes = injector->prepareCheckpointBytes(bytes);
+        Expected<CheckpointFile> ckpt = parseCheckpoint(bytes);
+        Status restored =
+            ckpt.ok() ? restoreCheckpoint(*fe, ckpt.value(), spec,
+                                          trace)
+                      : ckpt.status();
+        if (!restored.isOk()) {
+            restored.withFile(restore_from);
+            std::fprintf(stderr, "xbsim: restore failed: %s\n",
+                         restored.toString().c_str());
+            return kExitData;
+        }
+        // Mandatory post-restore audit: one structural walk over the
+        // restored structures before a single cycle is simulated on
+        // them. A checkpoint that passes every integrity check but
+        // decodes into invariant-violating state is still Corrupt.
+        InvariantAuditor restore_audit;
+        restore_audit.auditRestore(*fe, trace,
+                                   fe->metrics().cycles.value());
+        if (!restore_audit.violations().empty()) {
+            restore_audit.report(std::cerr);
+            std::fprintf(stderr,
+                         "xbsim: restored state from '%s' violates "
+                         "structural invariants\n",
+                         restore_from.c_str());
+            return kExitData;
+        }
+        xbs_inform("restored warm state at cycle %llu from %s",
+                   (unsigned long long)fe->metrics().cycles.value(),
+                   restore_from.c_str());
+    }
+
     std::unique_ptr<InvariantAuditor> auditor;
+    if (audit && !restore_from.empty()) {
+        // The delivery oracle grounds at record 0 of the trace; a
+        // restored run only delivers the tail, so the full auditor
+        // would report spurious violations. The mandatory one-shot
+        // structural audit above already covered the restored state.
+        xbs_inform("--audit disabled for a restored run (delivery "
+                   "oracle needs a cold start)");
+        audit = false;
+    }
     if (audit) {
         AuditorOptions opts;
         opts.interval = audit_interval;
@@ -350,6 +485,24 @@ main(int argc, char **argv)
         });
     }
 
+    // Live-point cut: arm the run loop to serialize the complete
+    // warm state the first time the cycle counter reaches the mark
+    // (the write happens mid-run, atomically, without stopping the
+    // simulation).
+    std::string ckpt_path = checkpoint_out;
+    if (checkpoint_at) {
+        if (ckpt_path.empty())
+            ckpt_path = spec.workload + "." + frontend + ".xbckpt";
+        fe->armCheckpoint(
+            checkpoint_at, [&](Frontend &f) -> Status {
+                return writeCheckpoint(
+                    f,
+                    makeCkptMeta(spec, trace,
+                                 f.metrics().cycles.value()),
+                    ckpt_path);
+            });
+    }
+
     meter.reset();
     fe->run(trace);
 
@@ -397,6 +550,23 @@ main(int argc, char **argv)
     if (interrupted)
         exit_code = kExitInterrupted;
 
+    if (checkpoint_at) {
+        if (!fe->checkpointTaken()) {
+            xbs_inform("run ended before checkpoint cycle %llu; no "
+                       "checkpoint written",
+                       (unsigned long long)checkpoint_at);
+        } else if (!fe->checkpointStatus().isOk()) {
+            std::fprintf(stderr,
+                         "xbsim: checkpoint write failed: %s\n",
+                         fe->checkpointStatus().toString().c_str());
+            if (exit_code == kExitOk)
+                exit_code = kExitData;
+        } else {
+            xbs_inform("wrote checkpoint to %s",
+                       ckpt_path.c_str());
+        }
+    }
+
     const auto &m = fe->metrics();
     const HostCounters hc = HostCounters::self();
     const ThroughputMeter::Rates overall = meter.overall(
@@ -435,6 +605,12 @@ main(int argc, char **argv)
         }
         if (interrupted)
             jw.field("interrupted", true);
+        if (!restore_from.empty())
+            jw.field("restoredFrom", restore_from);
+        if (checkpoint_at && fe->checkpointTaken() &&
+            fe->checkpointStatus().isOk()) {
+            jw.field("checkpointOut", ckpt_path);
+        }
         if (auditor) {
             jw.field("auditViolations",
                      (uint64_t)auditor->violations().size());

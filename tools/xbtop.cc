@@ -215,7 +215,9 @@ writeSnapshotJson(std::ostream &os, const std::string &dir,
 {
     JsonWriter jw(os, /*pretty=*/true);
     jw.beginObject();
-    jw.field("version", (uint64_t)2);
+    // Version 3: per-job "restoredFrom" (warm starts) and the
+    // "restore" heartbeat phase.
+    jw.field("version", (uint64_t)3);
     jw.field("dir", dir);
     jw.field("service", !snap.hasManifest);
     jw.field("workers", (uint64_t)snap.manifest.workers);
@@ -259,6 +261,8 @@ writeSnapshotJson(std::ostream &os, const std::string &dir,
             jw.field("rssKb", view.hb.rssKb);
             jw.field("heartbeatSeq", view.hb.seq);
             jw.field("ageSeconds", view.hbAge);
+            if (!view.hb.restoredFrom.empty())
+                jw.field("restoredFrom", view.hb.restoredFrom);
         }
         if (rec.done)
             jw.field("seconds", rec.seconds);
