@@ -106,6 +106,42 @@ struct JobUsage
     uint64_t maxRssKb = 0;  ///< peak resident set, KiB
     double userSec = 0.0;   ///< user CPU time
     double sysSec = 0.0;    ///< system CPU time
+    uint64_t inBlock = 0;   ///< block-input ops (trace-decode I/O)
+    uint64_t outBlock = 0;  ///< block-output ops
+};
+
+/**
+ * Per-child host perf counters, parsed from the child's `perf.total`
+ * object when the sweep runs with --perf and the counters were
+ * available in the child. Multiplex-scaled doubles (see
+ * prof/perf_counters.hh); never served from the result cache, since
+ * host counters are a property of the machine, not the spec.
+ */
+struct JobPerf
+{
+    double cycles = 0.0;
+    double instructions = 0.0;
+    double cacheRefs = 0.0;
+    double cacheMisses = 0.0;
+    double branches = 0.0;
+    double branchMisses = 0.0;
+
+    /// @{ Derived rates (0 when the denominator is 0).
+    double ipc() const
+    {
+        return cycles > 0.0 ? instructions / cycles : 0.0;
+    }
+    double cacheMpki() const
+    {
+        return instructions > 0.0
+                   ? cacheMisses * 1000.0 / instructions
+                   : 0.0;
+    }
+    double branchMissRate() const
+    {
+        return branches > 0.0 ? branchMisses / branches : 0.0;
+    }
+    /// @}
 };
 
 /** What the supervisor remembers about one job across attempts. */
@@ -122,6 +158,8 @@ struct JobRecord
     JobMetrics metrics;
     bool hasUsage = false;     ///< last attempt's rusage captured
     JobUsage usage;
+    bool hasPerf = false;      ///< child reported live perf counters
+    JobPerf perf;
     std::string note;          ///< first stderr line of a failure
     std::string heartbeatPath; ///< live-telemetry file ("" if off)
     bool replayed = false;     ///< restored from a journal on resume

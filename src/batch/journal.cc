@@ -87,6 +87,8 @@ SweepJournal::writeManifest(const std::string &dir,
             jw.field("stallPeriods",
                      (uint64_t)manifest.stallPeriods);
         }
+        if (manifest.perf)
+            jw.field("perf", true);
         jw.beginArray("jobs");
         for (const JobSpec &job : manifest.jobs) {
             jw.beginObject();
@@ -145,6 +147,8 @@ SweepJournal::readManifest(const std::string &dir)
         m.heartbeatSec = v->asNumber();
     if (const JsonValue *v = root.find("stallPeriods"))
         m.stallPeriods = (unsigned)v->asUint();
+    if (const JsonValue *v = root.find("perf"))
+        m.perf = v->isBool() && v->boolValue;
 
     const JsonValue *jobs = root.find("jobs");
     if (!jobs || !jobs->isArray())
@@ -215,6 +219,24 @@ SweepJournal::append(JournalEvent &event, bool durable)
                 jw.field("maxRssKb", event.usage.maxRssKb);
                 jw.field("userSec", event.usage.userSec);
                 jw.field("sysSec", event.usage.sysSec);
+                if (event.usage.inBlock)
+                    jw.field("inBlock", event.usage.inBlock);
+                if (event.usage.outBlock)
+                    jw.field("outBlock", event.usage.outBlock);
+            }
+            if (event.hasPerf) {
+                // Full precision like the paper metrics: replayed
+                // perf counters must round-trip bit-identically into
+                // a resumed report.
+                jw.fieldFull("perfCycles", event.perf.cycles);
+                jw.fieldFull("perfInstructions",
+                             event.perf.instructions);
+                jw.fieldFull("perfCacheRefs", event.perf.cacheRefs);
+                jw.fieldFull("perfCacheMisses",
+                             event.perf.cacheMisses);
+                jw.fieldFull("perfBranches", event.perf.branches);
+                jw.fieldFull("perfBranchMisses",
+                             event.perf.branchMisses);
             }
             if (!event.note.empty())
                 jw.field("note", event.note);
@@ -327,6 +349,24 @@ SweepJournal::replay(const std::string &dir)
                 ev.usage.userSec = u->asNumber();
             if (const JsonValue *u = v.find("sysSec"))
                 ev.usage.sysSec = u->asNumber();
+            if (const JsonValue *u = v.find("inBlock"))
+                ev.usage.inBlock = u->asUint();
+            if (const JsonValue *u = v.find("outBlock"))
+                ev.usage.outBlock = u->asUint();
+        }
+        if (const JsonValue *f = v.find("perfCycles")) {
+            ev.hasPerf = true;
+            ev.perf.cycles = f->asNumber();
+            if (const JsonValue *u = v.find("perfInstructions"))
+                ev.perf.instructions = u->asNumber();
+            if (const JsonValue *u = v.find("perfCacheRefs"))
+                ev.perf.cacheRefs = u->asNumber();
+            if (const JsonValue *u = v.find("perfCacheMisses"))
+                ev.perf.cacheMisses = u->asNumber();
+            if (const JsonValue *u = v.find("perfBranches"))
+                ev.perf.branches = u->asNumber();
+            if (const JsonValue *u = v.find("perfBranchMisses"))
+                ev.perf.branchMisses = u->asNumber();
         }
         if (const JsonValue *f = v.find("note"))
             ev.note = f->asString();

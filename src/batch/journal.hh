@@ -64,6 +64,10 @@ struct SweepManifest
     /// sweep supervises exactly like the original.
     double heartbeatSec = 0.0;
     unsigned stallPeriods = 4;
+    /// Children run with --perf (host microarchitecture counters).
+    /// Optional in the file; recorded so a resumed sweep relaunches
+    /// with the same observation flags.
+    bool perf = false;
     std::vector<JobSpec> jobs;
 };
 
@@ -96,6 +100,8 @@ struct JournalEvent
     JobMetrics metrics;
     bool hasUsage = false;
     JobUsage usage;            ///< child rusage (wait4) if captured
+    bool hasPerf = false;
+    JobPerf perf;              ///< child host perf counters (--perf)
     std::string note;
     /// Final only: the result came from the cache, not a simulation
     /// (`seconds` is then the hit latency).

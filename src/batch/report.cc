@@ -112,6 +112,23 @@ renderSweepReport(const std::vector<JobRecord> &records,
                 jw.field("maxRssKb", rec.usage.maxRssKb);
                 jw.field("userSec", rec.usage.userSec);
                 jw.field("sysSec", rec.usage.sysSec);
+                if (rec.usage.inBlock || rec.usage.outBlock) {
+                    jw.field("inBlock", rec.usage.inBlock);
+                    jw.field("outBlock", rec.usage.outBlock);
+                }
+                jw.endObject();
+            }
+            if (rec.hasPerf) {
+                jw.beginObject("perf");
+                jw.field("cycles", rec.perf.cycles);
+                jw.field("instructions", rec.perf.instructions);
+                jw.field("cacheRefs", rec.perf.cacheRefs);
+                jw.field("cacheMisses", rec.perf.cacheMisses);
+                jw.field("branches", rec.perf.branches);
+                jw.field("branchMisses", rec.perf.branchMisses);
+                jw.field("ipc", rec.perf.ipc());
+                jw.field("cacheMpki", rec.perf.cacheMpki());
+                jw.field("branchMissRate", rec.perf.branchMissRate());
                 jw.endObject();
             }
             if (!rec.note.empty())

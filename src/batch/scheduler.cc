@@ -39,6 +39,39 @@ parseChildMetrics(const std::string &out, JobMetrics *metrics)
     return v.find("bandwidth") != nullptr;
 }
 
+/** Parse the child's perf.total counters (xbsim --perf). Absent or
+ *  typed-unavailable perf demotes to "no perf" without complaint:
+ *  availability is a property of the host, not the job. */
+bool
+parseChildPerf(const std::string &out, JobPerf *perf)
+{
+    JsonValue v;
+    if (!parseJson(out, &v, nullptr) || !v.isObject())
+        return false;
+    const JsonValue *p = v.find("perf");
+    if (!p || !p->isObject())
+        return false;
+    const JsonValue *avail = p->find("available");
+    if (!avail || !avail->boolValue)
+        return false;
+    const JsonValue *total = p->find("total");
+    if (!total || !total->isObject())
+        return false;
+    if (const JsonValue *f = total->find("cycles"))
+        perf->cycles = f->asNumber();
+    if (const JsonValue *f = total->find("instructions"))
+        perf->instructions = f->asNumber();
+    if (const JsonValue *f = total->find("cacheRefs"))
+        perf->cacheRefs = f->asNumber();
+    if (const JsonValue *f = total->find("cacheMisses"))
+        perf->cacheMisses = f->asNumber();
+    if (const JsonValue *f = total->find("branches"))
+        perf->branches = f->asNumber();
+    if (const JsonValue *f = total->find("branchMisses"))
+        perf->branchMisses = f->asNumber();
+    return total->find("cycles") != nullptr;
+}
+
 /** First non-empty line of a child's stderr, for failure notes. */
 std::string
 firstLineOf(const std::string &text)
@@ -123,6 +156,8 @@ SweepScheduler::restore(const std::vector<JournalEvent> &events)
                 rec.seconds = ev.seconds;
                 rec.hasUsage = ev.hasUsage;
                 rec.usage = ev.usage;
+                rec.hasPerf = ev.hasPerf;
+                rec.perf = ev.perf;
             }
             break;
           case JournalEvent::Kind::Final:
@@ -137,6 +172,8 @@ SweepScheduler::restore(const std::vector<JournalEvent> &events)
             rec.metrics = ev.metrics;
             rec.hasUsage = ev.hasUsage;
             rec.usage = ev.usage;
+            rec.hasPerf = ev.hasPerf;
+            rec.perf = ev.perf;
             rec.note = ev.note;
             rec.cached = ev.cached;
             break;
@@ -180,6 +217,7 @@ SweepScheduler::submit(const RunSpec &run, const std::string &tenant,
                        int priority, bool durable)
 {
     const int id = nextId_++;
+    ++submits_;
 
     // Journal first: the Submit event is the only persistent record
     // of a service-mode job's existence, so it must be on disk (or
@@ -234,6 +272,7 @@ SweepScheduler::cancel(int job_id)
     ev.attempt = rec.attempts;
     ev.cls = JobClass::Canceled;
     journalAppend(ev);
+    ++cancels_;
 
     auto pend = std::find(pending_.begin(), pending_.end(), idx);
     if (pend != pending_.end()) {
@@ -292,8 +331,10 @@ SweepScheduler::tryServeFromCache(std::size_t idx,
         return false;
     *key_hex = key.value().hex;
     Expected<CacheEntry> hit = opts_.cache->lookup(key.value());
-    if (!hit.ok())
+    if (!hit.ok()) {
+        ++cacheMisses_;
         return false;  // miss or corrupt entry: simulate
+    }
 
     rec.exitCode = kExitOk;
     rec.termSignal = 0;
@@ -476,6 +517,7 @@ SweepScheduler::pollHeartbeat(Running &run, Clock::time_point now)
         // Alive but not advancing: kill as stalled (retryable) with
         // the same TERM-then-KILL escalation as a timeout.
         run.stalled = true;
+        ++stalls_;
         run.termSent = true;
         run.killAt =
             now + std::chrono::microseconds(
@@ -514,6 +556,8 @@ SweepScheduler::finalize(std::size_t idx, JobClass cls,
     ev.metrics = metrics;
     ev.hasUsage = rec.hasUsage;
     ev.usage = rec.usage;
+    ev.hasPerf = rec.hasPerf;
+    ev.perf = rec.perf;
     ev.note = rec.note;
     ev.cached = rec.cached;
     journalAppend(ev, durable);
@@ -568,7 +612,14 @@ SweepScheduler::handleExit(Running &run, int raw_status)
         rec.usage.maxRssKb = run.child.maxRssKb;
         rec.usage.userSec = run.child.userSec;
         rec.usage.sysSec = run.child.sysSec;
+        rec.usage.inBlock = run.child.inBlock;
+        rec.usage.outBlock = run.child.outBlock;
     }
+    // Host perf counters ride the same stdout document as the paper
+    // metrics; only a live Ok simulation carries them (cache hits
+    // deliberately do not — they are host facts, not spec facts).
+    rec.hasPerf =
+        cls == JobClass::Ok && parseChildPerf(run.child.out, &rec.perf);
     if (cls != JobClass::Ok)
         rec.note = sanitizeNote(firstLineOf(run.child.err));
     if (cls == JobClass::Stalled && rec.note.empty()) {
@@ -589,6 +640,8 @@ SweepScheduler::handleExit(Running &run, int raw_status)
     ev.metrics = metrics;
     ev.hasUsage = rec.hasUsage;
     ev.usage = rec.usage;
+    ev.hasPerf = rec.hasPerf;
+    ev.perf = rec.perf;
     ev.note = rec.note;
     journalAppend(ev);
 
@@ -683,6 +736,15 @@ SweepScheduler::pickPending(Clock::time_point now)
     pending_.erase(best);
     ++tenantServed_[records_[idx].tenant];
     return idx;
+}
+
+std::map<std::string, uint64_t>
+SweepScheduler::pendingByTenant() const
+{
+    std::map<std::string, uint64_t> depth;
+    for (std::size_t idx : pending_)
+        ++depth[records_[idx].tenant];
+    return depth;
 }
 
 void

@@ -180,6 +180,15 @@ class SweepScheduler
     /** Jobs served from the result cache by this instance. */
     uint64_t cacheHits() const { return cacheHits_; }
 
+    /// @{ Cumulative service counters (xbatchd `metrics` verb).
+    uint64_t submits() const { return submits_; }
+    uint64_t cacheMisses() const { return cacheMisses_; }
+    uint64_t stallKills() const { return stalls_; }
+    uint64_t cancelCount() const { return cancels_; }
+    /** Pending-queue depth per tenant (keys present tenants only). */
+    std::map<std::string, uint64_t> pendingByTenant() const;
+    /// @}
+
     bool interrupted() const { return interrupted_; }
 
   private:
@@ -249,6 +258,10 @@ class SweepScheduler
     int nextId_ = 0;                    ///< next submit() job id
     unsigned retries_ = 0;
     uint64_t cacheHits_ = 0;
+    uint64_t cacheMisses_ = 0;
+    uint64_t submits_ = 0;
+    uint64_t stalls_ = 0;
+    uint64_t cancels_ = 0;
     unsigned unsyncedFinals_ = 0;       ///< batched cache-hit finals
     bool draining_ = false;
     bool interrupted_ = false;

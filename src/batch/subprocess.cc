@@ -158,6 +158,8 @@ reapChild(Child &child, int *raw_status)
                         (double)ru.ru_utime.tv_usec / 1e6;
         child.sysSec = (double)ru.ru_stime.tv_sec +
                        (double)ru.ru_stime.tv_usec / 1e6;
+        child.inBlock = (uint64_t)ru.ru_inblock;
+        child.outBlock = (uint64_t)ru.ru_oublock;
     }
     // Exited (or waitpid lost it): drain the tail of both pipes and
     // close them.

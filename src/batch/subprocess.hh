@@ -39,6 +39,8 @@ struct Child
     uint64_t maxRssKb = 0;   ///< peak resident set, KiB
     double userSec = 0.0;    ///< user CPU time
     double sysSec = 0.0;     ///< system CPU time
+    uint64_t inBlock = 0;    ///< block-input operations
+    uint64_t outBlock = 0;   ///< block-output operations
     /// @}
 
     /** Heartbeat file this child was asked to write ("" when live

@@ -70,6 +70,44 @@ writeHost(JsonWriter &jw, const BenchHost &h, const std::string &key)
     jw.endObject();
 }
 
+BenchPerf
+parsePerf(const JsonValue &obj)
+{
+    BenchPerf p;
+    p.has = true;
+    if (const JsonValue *v = obj.find("cycles"))
+        p.cycles = v->asNumber();
+    if (const JsonValue *v = obj.find("instructions"))
+        p.instructions = v->asNumber();
+    if (const JsonValue *v = obj.find("cacheRefs"))
+        p.cacheRefs = v->asNumber();
+    if (const JsonValue *v = obj.find("cacheMisses"))
+        p.cacheMisses = v->asNumber();
+    if (const JsonValue *v = obj.find("branches"))
+        p.branches = v->asNumber();
+    if (const JsonValue *v = obj.find("branchMisses"))
+        p.branchMisses = v->asNumber();
+    return p;
+}
+
+void
+writePerf(JsonWriter &jw, const BenchPerf &p, const std::string &key)
+{
+    // Derived rates are written for readers but recomputed from the
+    // counters on parse, so round trips cannot drift.
+    jw.beginObject(key);
+    jw.field("cycles", p.cycles);
+    jw.field("instructions", p.instructions);
+    jw.field("cacheRefs", p.cacheRefs);
+    jw.field("cacheMisses", p.cacheMisses);
+    jw.field("branches", p.branches);
+    jw.field("branchMisses", p.branchMisses);
+    jw.field("ipc", p.ipc());
+    jw.field("cacheMpki", p.cacheMpki());
+    jw.field("branchMissRate", p.branchMissRate());
+    jw.endObject();
+}
+
 /**
  * Fold one job's interval JSONL into bandwidth percentiles. A torn
  * tail (crash mid-write) or a malformed line stops the scan but
@@ -85,6 +123,7 @@ readIntervalFile(const std::string &path)
 
     iv.has = true;
     Histogram bw(kBwMaxMilli);
+    Histogram ipc(kBwMaxMilli);
     std::istringstream is(text.value());
     JsonlScan scan = forEachJsonLine(is, [&](const JsonValue &window) {
         const JsonValue *b = window.find("bandwidth");
@@ -99,6 +138,20 @@ readIntervalFile(const std::string &path)
             milli = kBwMaxMilli;
         bw.add((uint32_t)std::lround(milli));
         ++iv.windows;
+        // Windows annotated with host perf (child ran --perf with
+        // counters available) feed the host-IPC percentiles.
+        if (const JsonValue *p = window.find("perf");
+            p && p->isObject()) {
+            if (const JsonValue *v = p->find("ipc")) {
+                double im = v->asNumber() * kBwScale;
+                if (im < 0.0)
+                    im = 0.0;
+                if (im > kBwMaxMilli)
+                    im = kBwMaxMilli;
+                ipc.add((uint32_t)std::lround(im));
+                ++iv.ipcWindows;
+            }
+        }
         return true;
     });
     if (!scan.clean())
@@ -107,6 +160,11 @@ readIntervalFile(const std::string &path)
         iv.bwP50 = (double)bw.percentile(0.50) / kBwScale;
         iv.bwP95 = (double)bw.percentile(0.95) / kBwScale;
         iv.bwP99 = (double)bw.percentile(0.99) / kBwScale;
+    }
+    if (iv.ipcWindows > 0) {
+        iv.ipcP50 = (double)ipc.percentile(0.50) / kBwScale;
+        iv.ipcP95 = (double)ipc.percentile(0.95) / kBwScale;
+        iv.ipcP99 = (double)ipc.percentile(0.99) / kBwScale;
     }
     return iv;
 }
@@ -126,6 +184,8 @@ writeRow(JsonWriter &jw, const BenchRow &row)
     jw.field("totalUops", row.totalUops);
     if (row.host.has)
         writeHost(jw, row.host, "host");
+    if (row.perf.has)
+        writePerf(jw, row.perf, "perf");
     if (row.intervals.has) {
         jw.beginObject("intervals");
         jw.field("windows", row.intervals.windows);
@@ -133,6 +193,12 @@ writeRow(JsonWriter &jw, const BenchRow &row)
         jw.field("bwP50", row.intervals.bwP50);
         jw.field("bwP95", row.intervals.bwP95);
         jw.field("bwP99", row.intervals.bwP99);
+        if (row.intervals.ipcWindows) {
+            jw.field("ipcWindows", row.intervals.ipcWindows);
+            jw.field("ipcP50", row.intervals.ipcP50);
+            jw.field("ipcP95", row.intervals.ipcP95);
+            jw.field("ipcP99", row.intervals.ipcP99);
+        }
         jw.endObject();
     }
     if (row.attrib.has)
@@ -164,6 +230,8 @@ parseRow(const JsonValue &obj)
         row.totalUops = v->asUint();
     if (const JsonValue *v = obj.find("host"); v && v->isObject())
         row.host = parseHost(*v);
+    if (const JsonValue *v = obj.find("perf"); v && v->isObject())
+        row.perf = parsePerf(*v);
     if (const JsonValue *v = obj.find("intervals");
         v && v->isObject()) {
         row.intervals.has = true;
@@ -177,6 +245,14 @@ parseRow(const JsonValue &obj)
             row.intervals.bwP95 = w->asNumber();
         if (const JsonValue *w = v->find("bwP99"))
             row.intervals.bwP99 = w->asNumber();
+        if (const JsonValue *w = v->find("ipcWindows"))
+            row.intervals.ipcWindows = w->asUint();
+        if (const JsonValue *w = v->find("ipcP50"))
+            row.intervals.ipcP50 = w->asNumber();
+        if (const JsonValue *w = v->find("ipcP95"))
+            row.intervals.ipcP95 = w->asNumber();
+        if (const JsonValue *w = v->find("ipcP99"))
+            row.intervals.ipcP99 = w->asNumber();
     }
     if (const JsonValue *v = obj.find("attrib"))
         row.attrib = parseAttribRollup(*v);
@@ -283,6 +359,18 @@ aggregateSweepDir(const std::string &dir)
             host_uops += row.totalUops;
         }
 
+        if (const JsonValue *pf = job.find("perf");
+            pf && pf->isObject()) {
+            row.perf = parsePerf(*pf);
+            bench.perf.has = true;
+            bench.perf.cycles += row.perf.cycles;
+            bench.perf.instructions += row.perf.instructions;
+            bench.perf.cacheRefs += row.perf.cacheRefs;
+            bench.perf.cacheMisses += row.perf.cacheMisses;
+            bench.perf.branches += row.perf.branches;
+            bench.perf.branchMisses += row.perf.branchMisses;
+        }
+
         row.intervals = readIntervalFile(
             dir + "/intervals/job-" + std::to_string(id) + ".jsonl");
 
@@ -321,6 +409,8 @@ renderBenchJson(const BenchReport &report)
         jw.field("intervalCycles", report.intervalCycles);
         if (report.host.has)
             writeHost(jw, report.host, "host");
+        if (report.perf.has)
+            writePerf(jw, report.perf, "perf");
         jw.beginArray("rows");
         for (const BenchRow &row : report.rows)
             writeRow(jw, row);
@@ -363,6 +453,8 @@ parseBenchJson(const std::string &text, const std::string &path)
         bench.intervalCycles = v->asUint();
     if (const JsonValue *v = doc.find("host"); v && v->isObject())
         bench.host = parseHost(*v);
+    if (const JsonValue *v = doc.find("perf"); v && v->isObject())
+        bench.perf = parsePerf(*v);
     if (const JsonValue *rows = doc.find("rows");
         rows && rows->isArray()) {
         for (const JsonValue &row : rows->items)
@@ -602,6 +694,27 @@ compareBench(const BenchReport &current, const BenchReport &baseline,
                           Direction::Higher, true);
         }
     }
+
+    // Host microarchitecture counters: like host throughput, the
+    // per-job numbers are noisy, so only the sweep-wide IPC and cache
+    // MPKI are compared, and always in the loose host class (warn
+    // unless --gate-host). A baseline without perf (counters
+    // unavailable where it was recorded) skips the comparison; a
+    // current report without perf against a perf baseline is a
+    // missing metric so CI notices the counters went away.
+    if (baseline.perf.has) {
+        if (!current.perf.has) {
+            missingMetric(out, "host.ipc", baseline.perf.ipc(), true);
+        } else {
+            compareMetric(out, opts, "host.ipc", baseline.perf.ipc(),
+                          current.perf.ipc(), Direction::Higher,
+                          true);
+            compareMetric(out, opts, "host.cacheMpki",
+                          baseline.perf.cacheMpki(),
+                          current.perf.cacheMpki(), Direction::Lower,
+                          true);
+        }
+    }
     return out;
 }
 
@@ -701,6 +814,8 @@ renderBenchRecord(const BenchReport &current,
         jw.field("intervalCycles", current.intervalCycles);
         if (current.host.has)
             writeHost(jw, current.host, "host");
+        if (current.perf.has)
+            writePerf(jw, current.perf, "perf");
         jw.beginArray("rows");
         for (const BenchRow &row : current.rows)
             writeRow(jw, row);

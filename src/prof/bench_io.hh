@@ -48,6 +48,40 @@ struct BenchHost
     double cpuSec() const { return userSec + sysSec; }
 };
 
+/** Host microarchitecture counters from the child's --perf group
+ *  (per row: one job; top level: sweep-wide sums; derived rates are
+ *  recomputed from the sums, never summed themselves). Absent
+ *  (has==false) whenever the sweep ran without --perf or
+ *  perf_event_open was unavailable on the host. */
+struct BenchPerf
+{
+    bool has = false;
+    double cycles = 0.0;
+    double instructions = 0.0;
+    double cacheRefs = 0.0;
+    double cacheMisses = 0.0;
+    double branches = 0.0;
+    double branchMisses = 0.0;
+
+    double
+    ipc() const
+    {
+        return cycles > 0.0 ? instructions / cycles : 0.0;
+    }
+    double
+    cacheMpki() const
+    {
+        return instructions > 0.0
+                   ? cacheMisses * 1000.0 / instructions
+                   : 0.0;
+    }
+    double
+    branchMissRate() const
+    {
+        return branches > 0.0 ? branchMisses / branches : 0.0;
+    }
+};
+
 /** Interval-bandwidth rollup over one job's JSONL window stream. */
 struct BenchIntervals
 {
@@ -57,6 +91,13 @@ struct BenchIntervals
     double bwP50 = 0.0;
     double bwP95 = 0.0;
     double bwP99 = 0.0;
+    /// @{ Host-IPC percentiles over windows carrying a --perf
+    ///    annotation (0 ipcWindows: the stream had none).
+    uint64_t ipcWindows = 0;
+    double ipcP50 = 0.0;
+    double ipcP95 = 0.0;
+    double ipcP99 = 0.0;
+    /// @}
 };
 
 /** One (frontend, workload, geometry) cell of the sweep. */
@@ -74,6 +115,7 @@ struct BenchRow
     uint64_t totalUops = 0;
 
     BenchHost host;
+    BenchPerf perf;
     BenchIntervals intervals;
     AttribRollup attrib;  ///< root-cause rollup (has==false: absent)
 };
@@ -90,6 +132,7 @@ struct BenchReport
     uint64_t intervalCycles = 0;  ///< 0: sweep ran without intervals
     std::vector<BenchRow> rows;   ///< ok jobs only, matrix order
     BenchHost host;               ///< sweep-wide rollup
+    BenchPerf perf;               ///< sweep-wide counter sums
 };
 
 /**

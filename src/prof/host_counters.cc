@@ -19,6 +19,10 @@ HostCounters::fromRusage(const ::rusage &ru)
     hc.majorFaults = (uint64_t)ru.ru_majflt;
     hc.volCtxSw = (uint64_t)ru.ru_nvcsw;
     hc.involCtxSw = (uint64_t)ru.ru_nivcsw;
+    // Block I/O distinguishes trace-decode read pressure from CPU
+    // time in sweep reports.
+    hc.inBlock = (uint64_t)ru.ru_inblock;
+    hc.outBlock = (uint64_t)ru.ru_oublock;
     return hc;
 }
 
@@ -42,6 +46,8 @@ HostCounters::writeJson(JsonWriter &jw, const std::string &key) const
     jw.field("majorFaults", majorFaults);
     jw.field("volCtxSw", volCtxSw);
     jw.field("involCtxSw", involCtxSw);
+    jw.field("inBlock", inBlock);
+    jw.field("outBlock", outBlock);
     jw.endObject();
 }
 

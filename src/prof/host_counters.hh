@@ -35,6 +35,8 @@ struct HostCounters
     uint64_t majorFaults = 0;  ///< page faults that hit storage
     uint64_t volCtxSw = 0;     ///< voluntary context switches
     uint64_t involCtxSw = 0;   ///< involuntary context switches
+    uint64_t inBlock = 0;      ///< block-input operations (reads)
+    uint64_t outBlock = 0;     ///< block-output operations (writes)
 
     /** Snapshot the calling process (getrusage(RUSAGE_SELF)). */
     static HostCounters self();

@@ -1,0 +1,318 @@
+#include "prof/perf_counters.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace xbs
+{
+
+namespace
+{
+
+/** Slot metadata: human name + perf event coordinates. */
+struct EventDef
+{
+    const char *name;
+    uint32_t type;
+    uint64_t config;
+    bool optional;
+};
+
+#ifdef __linux__
+constexpr uint64_t
+hwCache(uint64_t id, uint64_t op, uint64_t result)
+{
+    return id | (op << 8) | (result << 16);
+}
+#endif
+
+const EventDef kEvents[PerfCounterGroup::kMaxEvents] = {
+#ifdef __linux__
+    {"cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, false},
+    {"instructions", PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_INSTRUCTIONS, false},
+    {"cacheRefs", PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_CACHE_REFERENCES, false},
+    {"cacheMisses", PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_CACHE_MISSES, false},
+    {"branches", PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_BRANCH_INSTRUCTIONS, false},
+    {"branchMisses", PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_BRANCH_MISSES, false},
+    {"dtlbMisses", PERF_TYPE_HW_CACHE,
+     hwCache(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+             PERF_COUNT_HW_CACHE_RESULT_MISS),
+     true},
+    {"llcMisses", PERF_TYPE_HW_CACHE,
+     hwCache(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+             PERF_COUNT_HW_CACHE_RESULT_MISS),
+     true},
+#else
+    {"cycles", 0, 0, false},       {"instructions", 0, 0, false},
+    {"cacheRefs", 0, 0, false},    {"cacheMisses", 0, 0, false},
+    {"branches", 0, 0, false},     {"branchMisses", 0, 0, false},
+    {"dtlbMisses", 0, 0, true},    {"llcMisses", 0, 0, true},
+#endif
+};
+
+/** Typed reason string for a perf_event_open failure. */
+std::string
+reasonFor(int err)
+{
+    if (err == EACCES || err == EPERM) {
+        return std::string("denied: perf_event_open: ") +
+               std::strerror(err) +
+               " (check /proc/sys/kernel/perf_event_paranoid)";
+    }
+    if (err == ENOSYS) {
+        return "unsupported: kernel built without "
+               "perf_event_open";
+    }
+    if (err == ENOENT || err == EOPNOTSUPP) {
+        return std::string("unsupported: event not available: ") +
+               std::strerror(err);
+    }
+    return std::string("error: perf_event_open: ") +
+           std::strerror(err);
+}
+
+/** XBS_PERF_DENY simulates a denial for tests and CI legs that
+ *  need the unavailable path on unrestricted kernels. */
+const char *
+simulatedDenial()
+{
+    const char *deny = std::getenv("XBS_PERF_DENY");
+    if (!deny || !*deny)
+        return nullptr;
+    if (std::strcmp(deny, "enosys") == 0)
+        return "unsupported: kernel built without perf_event_open";
+    // "eacces", "paranoid", or anything else: the common container
+    // shape, a perf_event_paranoid denial.
+    return "denied: perf_event_open: Permission denied (check "
+           "/proc/sys/kernel/perf_event_paranoid)";
+}
+
+} // anonymous namespace
+
+void
+PerfDelta::add(const PerfDelta &o)
+{
+    samples += o.samples;
+    cycles += o.cycles;
+    instructions += o.instructions;
+    cacheRefs += o.cacheRefs;
+    cacheMisses += o.cacheMisses;
+    branches += o.branches;
+    branchMisses += o.branchMisses;
+    dtlbMisses += o.dtlbMisses;
+    llcMisses += o.llcMisses;
+    enabledNs += o.enabledNs;
+    runningNs += o.runningNs;
+}
+
+double
+PerfDelta::ipc() const
+{
+    return cycles > 0.0 ? instructions / cycles : 0.0;
+}
+
+double
+PerfDelta::cacheMpki() const
+{
+    return instructions > 0.0 ? cacheMisses * 1000.0 / instructions
+                              : 0.0;
+}
+
+double
+PerfDelta::branchMissRate() const
+{
+    return branches > 0.0 ? branchMisses / branches : 0.0;
+}
+
+double
+PerfDelta::multiplexFraction() const
+{
+    return enabledNs > 0.0 ? runningNs / enabledNs : 1.0;
+}
+
+void
+PerfDelta::writeJson(JsonWriter &jw, const std::string &key) const
+{
+    jw.beginObject(key);
+    jw.field("samples", samples);
+    jw.fieldFull("cycles", cycles);
+    jw.fieldFull("instructions", instructions);
+    jw.fieldFull("cacheRefs", cacheRefs);
+    jw.fieldFull("cacheMisses", cacheMisses);
+    jw.fieldFull("branches", branches);
+    jw.fieldFull("branchMisses", branchMisses);
+    if (dtlbMisses > 0.0)
+        jw.fieldFull("dtlbMisses", dtlbMisses);
+    if (llcMisses > 0.0)
+        jw.fieldFull("llcMisses", llcMisses);
+    jw.field("ipc", ipc());
+    jw.field("cacheMpki", cacheMpki());
+    jw.field("branchMissRate", branchMissRate());
+    jw.field("multiplexFraction", multiplexFraction());
+    jw.endObject();
+}
+
+PerfCounterGroup::~PerfCounterGroup()
+{
+#ifdef __linux__
+    for (unsigned i = 0; i < kMaxEvents; ++i) {
+        if (present_[i])
+            ::close(fds_[i]);
+    }
+#endif
+    groupFd_ = -1;
+}
+
+bool
+PerfCounterGroup::open()
+{
+    if (const char *deny = simulatedDenial()) {
+        reason_ = deny;
+        return false;
+    }
+#ifndef __linux__
+    reason_ = "unsupported: perf_event_open requires Linux";
+    return false;
+#else
+    for (unsigned i = 0; i < kMaxEvents; ++i) {
+        struct perf_event_attr attr;
+        std::memset(&attr, 0, sizeof(attr));
+        attr.size = sizeof(attr);
+        attr.type = kEvents[i].type;
+        attr.config = kEvents[i].config;
+        attr.disabled = i == kCycles ? 1 : 0;
+        attr.exclude_kernel = 1;
+        attr.exclude_hv = 1;
+        attr.inherit = 0;  // group reads forbid inherit
+        attr.read_format = PERF_FORMAT_GROUP |
+                           PERF_FORMAT_TOTAL_TIME_ENABLED |
+                           PERF_FORMAT_TOTAL_TIME_RUNNING;
+
+        const int leader = i == kCycles ? -1 : groupFd_;
+        const long fd = ::syscall(SYS_perf_event_open, &attr,
+                                  /*pid=*/0, /*cpu=*/-1, leader,
+                                  /*flags=*/0UL);
+        if (fd < 0) {
+            if (kEvents[i].optional)
+                continue;  // skip the event, keep the group
+            const int err = errno;
+            reason_ = reasonFor(err);
+            // Roll back whatever already opened.
+            for (unsigned j = 0; j < i; ++j) {
+                if (present_[j]) {
+                    ::close(fds_[j]);
+                    present_[j] = false;
+                }
+            }
+            groupFd_ = -1;
+            nrEvents_ = 0;
+            return false;
+        }
+        fds_[i] = (int)fd;
+        present_[i] = true;
+        ++nrEvents_;
+        if (i == kCycles)
+            groupFd_ = (int)fd;
+    }
+    ::ioctl(groupFd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ::ioctl(groupFd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    return true;
+#endif
+}
+
+std::vector<std::string>
+PerfCounterGroup::eventNames() const
+{
+    std::vector<std::string> names;
+    for (unsigned i = 0; i < kMaxEvents; ++i) {
+        if (present_[i])
+            names.push_back(kEvents[i].name);
+    }
+    return names;
+}
+
+PerfCounterGroup::Snapshot
+PerfCounterGroup::read() const
+{
+    Snapshot snap;
+#ifdef __linux__
+    if (groupFd_ < 0)
+        return snap;
+    // Group-read layout: nr, time_enabled, time_running, values[nr]
+    // in open order (absent optional slots simply do not appear).
+    uint64_t buf[3 + kMaxEvents];
+    const ssize_t want =
+        (ssize_t)((3 + nrEvents_) * sizeof(uint64_t));
+    if (::read(groupFd_, buf, sizeof(buf)) < want)
+        return snap;
+    if (buf[0] != nrEvents_)
+        return snap;
+    snap.timeEnabled = buf[1];
+    snap.timeRunning = buf[2];
+    unsigned next = 3;
+    for (unsigned i = 0; i < kMaxEvents; ++i) {
+        if (present_[i])
+            snap.raw[i] = buf[next++];
+    }
+    snap.valid = true;
+#endif
+    return snap;
+}
+
+PerfDelta
+PerfCounterGroup::scale(const Snapshot &begin, const Snapshot &end,
+                        const bool present[kMaxEvents])
+{
+    PerfDelta d;
+    if (!begin.valid || !end.valid)
+        return d;
+    const uint64_t d_enabled = end.timeEnabled - begin.timeEnabled;
+    const uint64_t d_running = end.timeRunning - begin.timeRunning;
+    d.samples = 1;
+    d.enabledNs = (double)d_enabled;
+    d.runningNs = (double)d_running;
+    // Multiplexing extrapolation: the group only counted for
+    // d_running of the d_enabled window, so scale raw deltas by
+    // enabled/running. A window the group never ran in contributes
+    // nothing (raw deltas are zero and the ratio is meaningless).
+    if (d_running == 0)
+        return d;
+    const double up = (double)d_enabled / (double)d_running;
+    double scaled[kMaxEvents];
+    for (unsigned i = 0; i < kMaxEvents; ++i) {
+        scaled[i] = present[i]
+                        ? (double)(end.raw[i] - begin.raw[i]) * up
+                        : 0.0;
+    }
+    d.cycles = scaled[kCycles];
+    d.instructions = scaled[kInstructions];
+    d.cacheRefs = scaled[kCacheRefs];
+    d.cacheMisses = scaled[kCacheMisses];
+    d.branches = scaled[kBranches];
+    d.branchMisses = scaled[kBranchMisses];
+    d.dtlbMisses = scaled[kDtlbMisses];
+    d.llcMisses = scaled[kLlcMisses];
+    return d;
+}
+
+PerfDelta
+PerfCounterGroup::delta(const Snapshot &begin,
+                        const Snapshot &end) const
+{
+    return scale(begin, end, present_);
+}
+
+} // namespace xbs

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Host microarchitecture self-profiling: a perf_event_open counter
+ * group (cycles, instructions, cache-references/misses,
+ * branch-instructions/misses, plus optional dTLB/LLC miss events
+ * probed at startup) read atomically via the group-read format.
+ *
+ * PhaseProfiler snapshots the group at the same sampled ScopedPhase
+ * boundaries the wall-clock path already uses, so `xbsim --perf`
+ * attributes host IPC / cache MPKI / branch-miss rate per phase at
+ * the existing <=2% overhead budget — the instrument the hot-loop
+ * rewrite (ROADMAP item 2) will be measured against.
+ *
+ * The kernel time-multiplexes conflicting groups; every snapshot
+ * carries TIME_ENABLED/TIME_RUNNING so deltas are scaled up by
+ * enabled/running (the standard perf extrapolation). Degradation is
+ * graceful and typed: EACCES/EPERM (perf_event_paranoid, containers)
+ * or ENOSYS (kernels without perf) leaves the group unavailable with
+ * a machine-readable reason ("denied: ..." / "unsupported: ...") and
+ * paper metrics byte-identical. Set XBS_PERF_DENY=eacces|paranoid|
+ * enosys to force a denial path deterministically (tests, CI).
+ */
+
+#ifndef XBS_PROF_PERF_COUNTERS_HH
+#define XBS_PROF_PERF_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace xbs
+{
+
+/**
+ * Multiplex-scaled counter deltas over one or more snapshot pairs.
+ * Counts are doubles: each delta is scaled by its own
+ * enabled/running ratio, so accumulated values are estimates (like
+ * perf-stat's scaled output), not exact event counts.
+ */
+struct PerfDelta
+{
+    uint64_t samples = 0;     ///< snapshot pairs accumulated
+    double cycles = 0.0;
+    double instructions = 0.0;
+    double cacheRefs = 0.0;
+    double cacheMisses = 0.0;
+    double branches = 0.0;
+    double branchMisses = 0.0;
+    double dtlbMisses = 0.0;  ///< optional event; 0 when absent
+    double llcMisses = 0.0;   ///< optional event; 0 when absent
+    double enabledNs = 0.0;   ///< sum of TIME_ENABLED deltas
+    double runningNs = 0.0;   ///< sum of TIME_RUNNING deltas
+
+    void add(const PerfDelta &o);
+
+    /// @{ Derived rates (0 when the denominator is 0).
+    double ipc() const;            ///< instructions per host cycle
+    double cacheMpki() const;      ///< cache misses per 1k instrs
+    double branchMissRate() const; ///< branch misses / branches
+    /** Fraction of enabled time the group was actually counting
+     *  (1.0 = never multiplexed out). */
+    double multiplexFraction() const;
+    /// @}
+
+    /** Emit base counters + derived rates as object member @p key. */
+    void writeJson(JsonWriter &jw, const std::string &key) const;
+};
+
+/**
+ * One perf_event counter group on the calling process (all CPUs),
+ * cycles as the leader so members are scheduled — and multiplexed —
+ * as a unit and a single read() yields a consistent snapshot.
+ */
+class PerfCounterGroup
+{
+  public:
+    /** Fixed slots in the group-read value array. */
+    enum Slot
+    {
+        kCycles = 0,
+        kInstructions,
+        kCacheRefs,
+        kCacheMisses,
+        kBranches,
+        kBranchMisses,
+        kDtlbMisses,  ///< optional, probed at open
+        kLlcMisses,   ///< optional, probed at open
+        kMaxEvents
+    };
+
+    PerfCounterGroup() = default;
+    ~PerfCounterGroup();
+
+    PerfCounterGroup(const PerfCounterGroup &) = delete;
+    PerfCounterGroup &operator=(const PerfCounterGroup &) = delete;
+
+    /**
+     * Open the group on the calling process. Failure to open the
+     * six core events marks the whole group unavailable with a
+     * typed reason; the optional dTLB/LLC events are probed
+     * individually and silently skipped where unsupported.
+     */
+    bool open();
+
+    bool available() const { return groupFd_ >= 0; }
+
+    /** Why open() failed: "denied: ...", "unsupported: ...", or
+     *  "error: ..."; empty while available. */
+    const std::string &unavailableReason() const { return reason_; }
+
+    bool hasDtlb() const { return present_[kDtlbMisses]; }
+    bool hasLlc() const { return present_[kLlcMisses]; }
+
+    /** Names of the events actually counting, in slot order. */
+    std::vector<std::string> eventNames() const;
+
+    /** One atomic group read. */
+    struct Snapshot
+    {
+        bool valid = false;
+        uint64_t timeEnabled = 0;  ///< ns the group was scheduled-in
+        uint64_t timeRunning = 0;  ///< ns it was actually counting
+        uint64_t raw[kMaxEvents] = {};
+    };
+
+    /** Read the group now; invalid snapshot when unavailable. */
+    Snapshot read() const;
+
+    /**
+     * end - begin, scaled by the pair's own enabled/running ratio
+     * (the multiplexing extrapolation: scaled = raw * dEnabled /
+     * dRunning). Pure so tests can drive the math on synthetic
+     * snapshots. Slots reported absent are left at zero.
+     */
+    static PerfDelta scale(const Snapshot &begin, const Snapshot &end,
+                           const bool present[kMaxEvents]);
+
+    /** scale() with this group's probed event set. */
+    PerfDelta delta(const Snapshot &begin, const Snapshot &end) const;
+
+  private:
+    int groupFd_ = -1;
+    int fds_[kMaxEvents];
+    bool present_[kMaxEvents] = {};
+    unsigned nrEvents_ = 0;  ///< events in the kernel's value array
+    std::string reason_;
+};
+
+} // namespace xbs
+
+#endif // XBS_PROF_PERF_COUNTERS_HH

@@ -16,7 +16,54 @@ PhaseProfiler::definePhase(const std::string &name, unsigned parent)
     p.name = name;
     p.parent = parent;
     phases_.push_back(std::move(p));
+    perfPhases_.resize(phases_.size());
     return (unsigned)phases_.size() - 1;
+}
+
+void
+PhaseProfiler::attachPerf(PerfCounterGroup *grp, unsigned perf_shift)
+{
+    perf_ = grp && grp->available() ? grp : nullptr;
+    perfMask_ = (1u << perf_shift) - 1;
+    perfPhases_.assign(phases_.size(), PhasePerf{});
+}
+
+PerfCounterGroup::Snapshot
+PhaseProfiler::perfEnter(unsigned id)
+{
+    PhasePerf &pp = perfPhases_[id];
+    if ((pp.armed++ & (uint64_t)perfMask_) != 0)
+        return PerfCounterGroup::Snapshot{};
+    return perf_->read();
+}
+
+void
+PhaseProfiler::perfExit(unsigned id,
+                        const PerfCounterGroup::Snapshot &begin)
+{
+    const PerfCounterGroup::Snapshot end = perf_->read();
+    perfPhases_[id].delta.add(perf_->delta(begin, end));
+}
+
+void
+PhaseProfiler::writePerfJson(JsonWriter &jw,
+                             const std::string &key) const
+{
+    jw.beginArray(key);
+    for (unsigned i = 0; i < phases_.size(); ++i) {
+        const Phase &p = phases_[i];
+        const PerfDelta &d = perfPhases_[i].delta;
+        if (!d.samples)
+            continue;
+        jw.beginObject();
+        jw.field("name", p.name);
+        jw.field("parent", p.parent == kNoPhase
+                               ? ""
+                               : phases_[p.parent].name);
+        d.writeJson(jw, "perf");
+        jw.endObject();
+    }
+    jw.endArray();
 }
 
 uint64_t
@@ -83,8 +130,9 @@ PhaseProfiler::render() const
     const uint64_t total = totalEstimatedNs();
     std::string out;
     char line[160];
-    std::snprintf(line, sizeof(line), "  %-24s %12s %10s %7s\n",
-                  "phase", "calls", "est ms", "share");
+    std::snprintf(line, sizeof(line),
+                  "  %-24s %12s %10s %10s %7s\n", "phase", "calls",
+                  "sampled", "est ms", "share");
     out += line;
     // Depth-first over the registration order (parents are always
     // registered before their children).
@@ -113,9 +161,14 @@ PhaseProfiler::render() const
         std::string name(2 * depthOf(id), ' ');
         name += p.name;
         uint64_t ns = estimatedNs(id);
+        // sampledCalls sits next to calls so a reader can judge how
+        // much confidence the scaled estimate deserves for
+        // rarely-entered phases.
         std::snprintf(line, sizeof(line),
-                      "  %-24s %12llu %10.2f %6.1f%%\n", name.c_str(),
-                      (unsigned long long)p.calls, (double)ns / 1e6,
+                      "  %-24s %12llu %10llu %10.2f %6.1f%%\n",
+                      name.c_str(), (unsigned long long)p.calls,
+                      (unsigned long long)p.sampledCalls,
+                      (double)ns / 1e6,
                       total ? 100.0 * (double)ns / (double)total
                             : 0.0);
         out += line;

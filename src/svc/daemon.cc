@@ -113,6 +113,7 @@ SweepDaemon::open()
         closeSocket();
         return st;
     }
+    startedAt_ = std::chrono::steady_clock::now();
     return Status::ok();
 }
 
@@ -256,6 +257,37 @@ SweepDaemon::statusJson(int job) const
     return os.str();
 }
 
+std::string
+SweepDaemon::metricsJson() const
+{
+    const double uptime =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - startedAt_).count();
+    std::ostringstream os;
+    {
+        JsonWriter jw(os, /*pretty=*/false);
+        jw.beginObject();
+        jw.field("ok", true);
+        jw.field("uptimeSeconds", uptime);
+        jw.field("submits", sched_->submits());
+        jw.field("cacheHits", sched_->cacheHits());
+        jw.field("cacheMisses", sched_->cacheMisses());
+        jw.field("completions", (uint64_t)sched_->doneCount());
+        jw.field("retries", (uint64_t)sched_->totalRetries());
+        jw.field("stalls", sched_->stallKills());
+        jw.field("cancels", sched_->cancelCount());
+        jw.field("running", (uint64_t)sched_->runningCount());
+        jw.field("pending", (uint64_t)sched_->pendingCount());
+        jw.beginObject("pendingByTenant");
+        for (const auto &[tenant, depth] : sched_->pendingByTenant())
+            jw.field(tenant.empty() ? "(default)" : tenant, depth);
+        jw.endObject();
+        jw.field("draining", draining_ || shutdown_);
+        jw.endObject();
+    }
+    return os.str();
+}
+
 void
 SweepDaemon::handleLine(Conn &conn, const std::string &line,
                         std::vector<std::pair<Conn *, int>> &acks)
@@ -274,6 +306,10 @@ SweepDaemon::handleLine(Conn &conn, const std::string &line,
         return;
       case ProtoOp::Status:
         conn.out += statusJson(req.job);
+        conn.out += '\n';
+        return;
+      case ProtoOp::Metrics:
+        conn.out += metricsJson();
         conn.out += '\n';
         return;
       case ProtoOp::Cancel: {

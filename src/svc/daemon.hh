@@ -38,6 +38,7 @@
 #ifndef XBS_SVC_DAEMON_HH
 #define XBS_SVC_DAEMON_HH
 
+#include <chrono>
 #include <csignal>
 #include <memory>
 #include <string>
@@ -109,6 +110,8 @@ class SweepDaemon
     void handleLine(Conn &conn, const std::string &line,
                     std::vector<std::pair<Conn *, int>> &acks);
     std::string statusJson(int job) const;
+    /** One cumulative-counters snapshot (the `metrics` op). */
+    std::string metricsJson() const;
     void closeSocket();
 
     DaemonOptions opts_;
@@ -117,6 +120,8 @@ class SweepDaemon
     std::unique_ptr<SweepScheduler> sched_;
     int listenFd_ = -1;
     std::vector<std::unique_ptr<Conn>> conns_;
+    /// Service start (stamped by open()) for the metrics uptime.
+    std::chrono::steady_clock::time_point startedAt_;
     /// Drain/shutdown request (protocol op or signal); the scheduler
     /// watches this address as its stop flag for shutdown_.
     volatile std::sig_atomic_t stop_ = 0;

@@ -21,6 +21,7 @@ protoOpName(ProtoOp op)
       case ProtoOp::Ping:     return "ping";
       case ProtoOp::Submit:   return "submit";
       case ProtoOp::Status:   return "status";
+      case ProtoOp::Metrics:  return "metrics";
       case ProtoOp::Cancel:   return "cancel";
       case ProtoOp::Drain:    return "drain";
       case ProtoOp::Shutdown: return "shutdown";
@@ -48,6 +49,8 @@ parseProtoRequest(const std::string &line)
         req.op = ProtoOp::Submit;
     } else if (name == "status") {
         req.op = ProtoOp::Status;
+    } else if (name == "metrics") {
+        req.op = ProtoOp::Metrics;
     } else if (name == "cancel") {
         req.op = ProtoOp::Cancel;
     } else if (name == "drain") {

@@ -11,6 +11,11 @@
  *    "tenant":"alice","priority":0}
  *   {"op":"status"}            whole-service counters
  *   {"op":"status","job":N}    one job's record
+ *   {"op":"metrics"}           cumulative service counters snapshot
+ *                              (submits, cache hits/misses,
+ *                              completions, retries, stalls,
+ *                              cancels, queue depth per tenant,
+ *                              uptime)
  *   {"op":"cancel","job":N}
  *   {"op":"drain"}             stop admitting; finish queued work
  *   {"op":"shutdown"}          stop admitting; interrupt in-flight
@@ -42,6 +47,7 @@ enum class ProtoOp
     Ping,
     Submit,
     Status,
+    Metrics,
     Cancel,
     Drain,
     Shutdown,

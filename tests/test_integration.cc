@@ -11,6 +11,8 @@
 #include "core/xbc_frontend.hh"
 #include "dc/dc_frontend.hh"
 #include "ic/ic_frontend.hh"
+#include "prof/perf_counters.hh"
+#include "prof/phase_profiler.hh"
 #include "sim/runner.hh"
 #include "tc/tc_frontend.hh"
 #include "workload/catalog.hh"
@@ -205,6 +207,45 @@ TEST(SurveyOrdering, DecodedStructuresBeatAddressIndexed)
               dc.metrics().bandwidth() + 2.0);
     EXPECT_GT(dc.metrics().missRate(), tc.metrics().missRate());
     EXPECT_GT(dc.metrics().missRate(), xbc.metrics().missRate());
+}
+
+TEST(Determinism, HostProfilingNeverPerturbsPaperMetrics)
+{
+    // The --perf contract: host-side observation (phase timers plus
+    // the perf counter group, available or not) must leave every
+    // simulated metric bit-identical across all five frontends.
+    Trace trace = makeCatalogTrace("gcc", 40000);
+    for (FrontendKind kind :
+         {FrontendKind::Ic, FrontendKind::Dc, FrontendKind::Tc,
+          FrontendKind::Bbtc, FrontendKind::Xbc}) {
+        SimConfig config;
+        config.kind = kind;
+
+        auto bare = makeFrontend(config);
+        bare->run(trace);
+
+        PhaseProfiler prof(0);  // worst case: sample every entry
+        PerfCounterGroup grp;
+        grp.open();  // may fail on this host; attach either way
+        if (grp.available())
+            prof.attachPerf(&grp, 0);
+        auto profiled = makeFrontend(config);
+        profiled->attachProfiler(&prof);
+        profiled->run(trace);
+
+        const auto &a = bare->metrics();
+        const auto &b = profiled->metrics();
+        EXPECT_EQ(a.deliveryUops.value(), b.deliveryUops.value())
+            << frontendKindName(kind);
+        EXPECT_EQ(a.buildUops.value(), b.buildUops.value())
+            << frontendKindName(kind);
+        EXPECT_EQ(a.cycles.value(), b.cycles.value())
+            << frontendKindName(kind);
+        EXPECT_EQ(a.bandwidth(), b.bandwidth())
+            << frontendKindName(kind);
+        EXPECT_EQ(a.missRate(), b.missRate())
+            << frontendKindName(kind);
+    }
 }
 
 TEST(Determinism, IdenticalTracesAcrossProcessRuns)

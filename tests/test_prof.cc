@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -21,6 +23,7 @@
 #include "prof/bench_io.hh"
 #include "prof/build_info.hh"
 #include "prof/host_counters.hh"
+#include "prof/perf_counters.hh"
 #include "prof/phase_profiler.hh"
 
 using namespace xbs;
@@ -657,4 +660,392 @@ TEST(Regress, TableAndRecordNameOffenders)
     const JsonValue *bench = doc.find("bench");
     ASSERT_NE(bench, nullptr);
     EXPECT_NE(bench->find("rows"), nullptr);
+}
+
+// ----------------------------------------------------------------
+// Host perf counters: scale-up math, typed denial, attribution.
+
+namespace
+{
+
+/** A synthetic group snapshot: raw[i] = base * (i + 1). */
+PerfCounterGroup::Snapshot
+perfSnap(uint64_t enabled, uint64_t running, uint64_t base)
+{
+    PerfCounterGroup::Snapshot s;
+    s.valid = true;
+    s.timeEnabled = enabled;
+    s.timeRunning = running;
+    for (int i = 0; i < PerfCounterGroup::kMaxEvents; ++i)
+        s.raw[i] = base * (uint64_t)(i + 1);
+    return s;
+}
+
+/** The core six events present, the optional ones absent. */
+void
+coreSix(bool present[PerfCounterGroup::kMaxEvents])
+{
+    for (int i = 0; i < PerfCounterGroup::kMaxEvents; ++i)
+        present[i] = i <= PerfCounterGroup::kBranchMisses;
+}
+
+} // anonymous namespace
+
+TEST(PerfCounters, DerivedRatesGuardZeroDenominators)
+{
+    PerfDelta d;
+    EXPECT_DOUBLE_EQ(d.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(d.cacheMpki(), 0.0);
+    EXPECT_DOUBLE_EQ(d.branchMissRate(), 0.0);
+    EXPECT_DOUBLE_EQ(d.multiplexFraction(), 1.0);
+
+    d.cycles = 1000.0;
+    d.instructions = 2500.0;
+    d.cacheMisses = 5.0;
+    d.branches = 100.0;
+    d.branchMisses = 10.0;
+    EXPECT_DOUBLE_EQ(d.ipc(), 2.5);
+    EXPECT_DOUBLE_EQ(d.cacheMpki(), 2.0);
+    EXPECT_DOUBLE_EQ(d.branchMissRate(), 0.1);
+
+    PerfDelta other = d;
+    other.samples = 1;
+    d.add(other);
+    EXPECT_DOUBLE_EQ(d.cycles, 2000.0);
+    EXPECT_DOUBLE_EQ(d.instructions, 5000.0);
+    EXPECT_EQ(d.samples, 1u);
+    EXPECT_DOUBLE_EQ(d.ipc(), 2.5);  // rates survive accumulation
+}
+
+TEST(PerfCounters, ScaleIsIdentityWhenFullyScheduled)
+{
+    bool present[PerfCounterGroup::kMaxEvents];
+    coreSix(present);
+    PerfCounterGroup::Snapshot begin = perfSnap(0, 0, 0);
+    PerfCounterGroup::Snapshot end = perfSnap(1000, 1000, 1000);
+
+    PerfDelta d = PerfCounterGroup::scale(begin, end, present);
+    EXPECT_EQ(d.samples, 1u);
+    EXPECT_DOUBLE_EQ(d.cycles, 1000.0);
+    EXPECT_DOUBLE_EQ(d.instructions, 2000.0);
+    EXPECT_DOUBLE_EQ(d.cacheRefs, 3000.0);
+    EXPECT_DOUBLE_EQ(d.cacheMisses, 4000.0);
+    EXPECT_DOUBLE_EQ(d.branches, 5000.0);
+    EXPECT_DOUBLE_EQ(d.branchMisses, 6000.0);
+    // Absent optional events contribute nothing.
+    EXPECT_DOUBLE_EQ(d.dtlbMisses, 0.0);
+    EXPECT_DOUBLE_EQ(d.llcMisses, 0.0);
+    EXPECT_DOUBLE_EQ(d.multiplexFraction(), 1.0);
+}
+
+TEST(PerfCounters, ScaleExtrapolatesMultiplexedWindows)
+{
+    bool present[PerfCounterGroup::kMaxEvents];
+    coreSix(present);
+    PerfCounterGroup::Snapshot begin = perfSnap(0, 0, 0);
+    // The group was scheduled for only half its enabled window, so
+    // every raw delta extrapolates by time_enabled / time_running.
+    PerfCounterGroup::Snapshot end = perfSnap(1000, 500, 1000);
+
+    PerfDelta d = PerfCounterGroup::scale(begin, end, present);
+    EXPECT_DOUBLE_EQ(d.cycles, 2000.0);
+    EXPECT_DOUBLE_EQ(d.instructions, 4000.0);
+    EXPECT_DOUBLE_EQ(d.branchMisses, 12000.0);
+    EXPECT_NEAR(d.multiplexFraction(), 0.5, 1e-12);
+}
+
+TEST(PerfCounters, ScaleDropsWindowsThatNeverRan)
+{
+    bool present[PerfCounterGroup::kMaxEvents];
+    coreSix(present);
+    PerfCounterGroup::Snapshot begin = perfSnap(0, 0, 0);
+    PerfCounterGroup::Snapshot end = perfSnap(1000, 0, 1000);
+
+    // time_running did not advance: no basis for extrapolation, so
+    // the counts are dropped rather than invented.
+    PerfDelta d = PerfCounterGroup::scale(begin, end, present);
+    EXPECT_EQ(d.samples, 1u);
+    EXPECT_DOUBLE_EQ(d.cycles, 0.0);
+    EXPECT_DOUBLE_EQ(d.instructions, 0.0);
+    EXPECT_DOUBLE_EQ(d.multiplexFraction(), 0.0);
+}
+
+TEST(PerfCounters, SimulatedDenialIsTypedAndGraceful)
+{
+    ::setenv("XBS_PERF_DENY", "paranoid", 1);
+    PerfCounterGroup denied;
+    EXPECT_FALSE(denied.open());
+    EXPECT_FALSE(denied.available());
+    EXPECT_NE(denied.unavailableReason().find("denied"),
+              std::string::npos)
+        << denied.unavailableReason();
+    EXPECT_NE(denied.unavailableReason().find("perf_event_paranoid"),
+              std::string::npos)
+        << denied.unavailableReason();
+    EXPECT_FALSE(denied.read().valid);
+
+    ::setenv("XBS_PERF_DENY", "enosys", 1);
+    PerfCounterGroup nosys;
+    EXPECT_FALSE(nosys.open());
+    EXPECT_NE(nosys.unavailableReason().find("unsupported"),
+              std::string::npos)
+        << nosys.unavailableReason();
+    ::unsetenv("XBS_PERF_DENY");
+}
+
+TEST(PerfCounters, ProfilerIgnoresUnavailableGroup)
+{
+    ::setenv("XBS_PERF_DENY", "paranoid", 1);
+    PerfCounterGroup grp;
+    grp.open();
+    ::unsetenv("XBS_PERF_DENY");
+
+    PhaseProfiler prof(0);
+    unsigned id = prof.definePhase("hot");
+    prof.attachPerf(&grp);
+    EXPECT_FALSE(prof.perfAttached());
+    for (int i = 0; i < 16; ++i)
+        ScopedPhase t(&prof, id);
+    EXPECT_EQ(prof.phases()[id].calls, 16u);
+    EXPECT_EQ(prof.phasePerf(id).samples, 0u);
+}
+
+TEST(PerfCounters, LivePerPhaseAttributionWhenAvailable)
+{
+    PerfCounterGroup grp;
+    if (!grp.open())
+        GTEST_SKIP() << "host perf counters unavailable: "
+                     << grp.unavailableReason();
+    ASSERT_GE(grp.eventNames().size(), 6u);
+
+    PhaseProfiler prof(0);
+    unsigned id = prof.definePhase("hot");
+    prof.attachPerf(&grp, 0);  // snapshot every armed entry
+    EXPECT_TRUE(prof.perfAttached());
+
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 512; ++i) {
+        ScopedPhase t(&prof, id);
+        uint64_t x = (uint64_t)i | 1;
+        for (int k = 0; k < 64; ++k) {
+            x ^= x << 13;
+            x ^= x >> 7;
+        }
+        sink = sink ^ x;
+    }
+    const PerfDelta &d = prof.phasePerf(id);
+    EXPECT_GT(d.samples, 0u);
+    EXPECT_GT(d.cycles, 0.0);
+    EXPECT_GT(d.instructions, 0.0);
+    EXPECT_GT(d.ipc(), 0.0);
+}
+
+TEST(PhaseProfiler, RenderShowsSampledCalls)
+{
+    PhaseProfiler prof(0);
+    unsigned id = prof.definePhase("decode");
+    for (int i = 0; i < 4; ++i)
+        ScopedPhase t(&prof, id);
+    std::string tree = prof.render();
+    EXPECT_NE(tree.find("sampled"), std::string::npos) << tree;
+    EXPECT_NE(tree.find("decode"), std::string::npos) << tree;
+}
+
+TEST(PhaseProfiler, PerfSampledOverheadWithinTwoPercent)
+{
+    PerfCounterGroup grp;
+    if (!grp.open())
+        GTEST_SKIP() << "host perf counters unavailable: "
+                     << grp.unavailableReason();
+
+    // Same harness as SampledOverheadWithinTwoPercent, with the
+    // counter group attached at the production sampling shift.
+    constexpr int kEntries = 1 << 14;
+    constexpr int kWorkSteps = 128;
+    auto work = [](PhaseProfiler *prof, unsigned id) {
+        uint64_t acc = 0;
+        for (int i = 0; i < kEntries; ++i) {
+            ScopedPhase t(prof, id);
+            uint64_t x = (uint64_t)i * 2654435761u + 1;
+            for (int k = 0; k < kWorkSteps; ++k) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+            }
+            acc ^= x;
+        }
+        return acc;
+    };
+
+    PhaseProfiler prof;
+    unsigned id = prof.definePhase("hot");
+    prof.attachPerf(&grp);
+
+    auto rep = [&](PhaseProfiler *p) {
+        PhaseProfiler *volatile vp = p;
+        volatile uint64_t sink = 0;
+        double best = 1e300;
+        for (int r = 0; r < 9; ++r) {
+            auto t0 = std::chrono::steady_clock::now();
+            sink = sink ^ work(vp, id);
+            auto t1 = std::chrono::steady_clock::now();
+            double sec =
+                std::chrono::duration<double>(t1 - t0).count();
+            if (sec < best)
+                best = sec;
+        }
+        return best;
+    };
+
+    double off = rep(nullptr);
+    double on = rep(&prof);
+    double ratio = on / off;
+    EXPECT_LE(ratio, 1.02)
+        << "perf-profiled: " << on << "s bare: " << off << "s";
+}
+
+// ----------------------------------------------------------------
+// Bench aggregation and regression gating of host perf counters.
+
+namespace
+{
+
+/** syntheticReport() with host perf objects on jobs 0 and 1. */
+std::string
+syntheticPerfReport()
+{
+    std::string rep = syntheticReport();
+    auto inject = [&rep](const std::string &anchor,
+                         const std::string &perf) {
+        std::size_t at = rep.find(anchor);
+        ASSERT_NE(at, std::string::npos);
+        at += anchor.size();
+        rep.insert(at, perf);
+    };
+    inject("\"rusage\": {\"maxRssKb\": 10000, \"userSec\": 0.5, "
+           "\"sysSec\": 0.1}",
+           ",\n     \"perf\": {\"cycles\": 1000000, "
+           "\"instructions\": 2500000, \"cacheRefs\": 50000, "
+           "\"cacheMisses\": 2500, \"branches\": 500000, "
+           "\"branchMisses\": 10000, \"ipc\": 2.5, "
+           "\"cacheMpki\": 1.0, \"branchMissRate\": 0.02}");
+    inject("\"rusage\": {\"maxRssKb\": 20000, \"userSec\": 0.7, "
+           "\"sysSec\": 0.1}",
+           ",\n     \"perf\": {\"cycles\": 2000000, "
+           "\"instructions\": 3000000, \"cacheRefs\": 60000, "
+           "\"cacheMisses\": 3000, \"branches\": 600000, "
+           "\"branchMisses\": 6000, \"ipc\": 1.5, "
+           "\"cacheMpki\": 1.0, \"branchMissRate\": 0.01}");
+    return rep;
+}
+
+/** One interval window line carrying a host perf annotation. */
+std::string
+windowLinePerf(double bw, double ipc)
+{
+    std::ostringstream os;
+    os << "{\"interval\":0,\"cycles\":1000,\"bandwidth\":" << bw
+       << ",\"missRate\":0.01,\"perf\":{\"ipc\":" << ipc
+       << ",\"cacheMpki\":1.0,\"branchMissRate\":0.02,"
+          "\"multiplexFraction\":1.0}}\n";
+    return os.str();
+}
+
+} // anonymous namespace
+
+TEST(BenchAggregate, PerfCountersRollUpAndRoundTrip)
+{
+    const std::string dir = makeTempDir();
+    ASSERT_TRUE(ensureDir(dir + "/intervals").isOk());
+    writeFile(dir + "/report.json", syntheticPerfReport());
+
+    std::string lines;
+    for (int i = 1; i <= 100; ++i)
+        lines += windowLinePerf(i / 25.0, i / 50.0);
+    writeFile(dir + "/intervals/job-0.jsonl", lines);
+
+    Expected<BenchReport> bench = aggregateSweepDir(dir);
+    ASSERT_TRUE(bench.ok()) << bench.status().toString();
+    const BenchReport &b = bench.value();
+    ASSERT_EQ(b.rows.size(), 3u);
+
+    // Per-row counters come from report.json; derived rates are
+    // recomputed, never trusted from the file.
+    const BenchRow &r0 = b.rows[0];
+    ASSERT_TRUE(r0.perf.has);
+    EXPECT_DOUBLE_EQ(r0.perf.cycles, 1000000.0);
+    EXPECT_DOUBLE_EQ(r0.perf.instructions, 2500000.0);
+    EXPECT_DOUBLE_EQ(r0.perf.ipc(), 2.5);
+    EXPECT_DOUBLE_EQ(r0.perf.cacheMpki(), 1.0);
+    EXPECT_DOUBLE_EQ(r0.perf.branchMissRate(), 0.02);
+    EXPECT_TRUE(b.rows[1].perf.has);
+    EXPECT_FALSE(b.rows[2].perf.has);  // job 2 ran without --perf
+
+    // Interval IPC percentiles mirror the bandwidth percentile math.
+    ASSERT_TRUE(r0.intervals.has);
+    EXPECT_EQ(r0.intervals.ipcWindows, 100u);
+    EXPECT_NEAR(r0.intervals.ipcP50, 1.0, 1e-3);
+    EXPECT_NEAR(r0.intervals.ipcP95, 1.9, 1e-3);
+    EXPECT_NEAR(r0.intervals.ipcP99, 1.98, 1e-3);
+
+    // Sweep-wide perf: counter sums, rates recomputed from sums.
+    ASSERT_TRUE(b.perf.has);
+    EXPECT_DOUBLE_EQ(b.perf.cycles, 3000000.0);
+    EXPECT_DOUBLE_EQ(b.perf.instructions, 5500000.0);
+    EXPECT_DOUBLE_EQ(b.perf.cacheMisses, 5500.0);
+    EXPECT_NEAR(b.perf.ipc(), 5500000.0 / 3000000.0, 1e-12);
+    EXPECT_NEAR(b.perf.cacheMpki(), 1.0, 1e-12);
+
+    // Render / parse round trip preserves the perf surfaces.
+    Expected<BenchReport> back =
+        parseBenchJson(renderBenchJson(b), "mem");
+    ASSERT_TRUE(back.ok()) << back.status().toString();
+    const BenchReport &rt = back.value();
+    ASSERT_TRUE(rt.perf.has);
+    EXPECT_DOUBLE_EQ(rt.perf.cycles, b.perf.cycles);
+    EXPECT_DOUBLE_EQ(rt.perf.branchMisses, b.perf.branchMisses);
+    ASSERT_TRUE(rt.rows[0].perf.has);
+    EXPECT_DOUBLE_EQ(rt.rows[0].perf.instructions, 2500000.0);
+    EXPECT_EQ(rt.rows[0].intervals.ipcWindows, 100u);
+    EXPECT_NEAR(rt.rows[0].intervals.ipcP95, r0.intervals.ipcP95,
+                1e-9);
+    EXPECT_FALSE(rt.rows[2].perf.has);
+}
+
+TEST(Regress, HostPerfComparedSweepWideWarnOnly)
+{
+    BenchReport base = makeBaseline();
+    base.perf.has = true;
+    base.perf.cycles = 1e9;
+    base.perf.instructions = 2e9;  // ipc 2.0
+    base.perf.cacheRefs = 4e7;
+    base.perf.cacheMisses = 2e6;   // cacheMpki 1.0
+    base.perf.branches = 4e8;
+    base.perf.branchMisses = 8e6;
+
+    BenchReport cur = base;
+    RegressReport same = compareBench(cur, base, RegressOptions{});
+    EXPECT_TRUE(same.pass());
+    // 5 paper + 3 interval + 3 host + 2 sweep-wide perf metrics.
+    EXPECT_EQ(same.compared, 13u);
+
+    // Host IPC collapse is a warning by default, a failure when the
+    // host class is gated -- same policy as the rusage metrics.
+    cur.perf.instructions = 0.9e9;
+    RegressReport warn = compareBench(cur, base, RegressOptions{});
+    EXPECT_TRUE(warn.pass());
+    EXPECT_GE(warn.warnings, 1u);
+
+    RegressOptions gated;
+    gated.gateHost = true;
+    RegressReport fail = compareBench(cur, base, gated);
+    EXPECT_FALSE(fail.pass());
+
+    // A perf baseline against a counter-less current run flags the
+    // missing metric instead of silently shrinking coverage.
+    BenchReport bare = base;
+    bare.perf = BenchPerf{};
+    RegressReport missing = compareBench(bare, base, RegressOptions{});
+    EXPECT_FALSE(missing.pass());
+    EXPECT_GE(missing.missing, 1u);
 }

@@ -170,7 +170,8 @@ TEST(Proto, RenderParseRoundTrip)
 
 TEST(Proto, AllOpsRoundTrip)
 {
-    for (ProtoOp op : {ProtoOp::Ping, ProtoOp::Status, ProtoOp::Drain,
+    for (ProtoOp op : {ProtoOp::Ping, ProtoOp::Status,
+                       ProtoOp::Metrics, ProtoOp::Drain,
                        ProtoOp::Shutdown, ProtoOp::Cancel,
                        ProtoOp::Submit}) {
         ProtoRequest req;
@@ -705,4 +706,86 @@ TEST(Daemon, SubmitDuplicateStatusDrain)
 
     // The drained daemon leaves a report behind.
     EXPECT_TRUE(pathExists(dir + "/svc/report.json"));
+}
+
+TEST(Daemon, MetricsSnapshotCountsServiceActivity)
+{
+    const std::string dir = makeTempDir();
+    const std::string sim = writeScript(dir, "sim.sh", kOkJson);
+    const std::string sock = dir + "/m.sock";
+
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        DaemonOptions opts;
+        opts.socketPath = sock;
+        opts.dir = dir + "/svc";
+        opts.cacheDir = dir + "/cache";
+        opts.sched = fastOptions(sim);
+        SweepDaemon daemon(std::move(opts));
+        if (!daemon.open().isOk())
+            ::_exit(90);
+        ::_exit(daemon.runLoop());
+    }
+
+    int fd = -1;
+    for (int i = 0; i < 200 && fd < 0; ++i) {
+        Expected<int> c = connectUnixSocket(sock);
+        if (c.ok())
+            fd = c.take();
+        else
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+    ASSERT_GE(fd, 0) << "daemon socket never came up";
+
+    // Two identical submissions: one simulates, one is a cache hit.
+    ProtoRequest submit;
+    submit.op = ProtoOp::Submit;
+    submit.spec = gccSpec(1000).toArgv();
+    ASSERT_TRUE(okField(ctl(fd, submit)));
+    ASSERT_TRUE(okField(ctl(fd, submit)));
+
+    ProtoRequest metrics;
+    metrics.op = ProtoOp::Metrics;
+    uint64_t completions = 0;
+    Expected<JsonValue> snap = Status::error("never polled");
+    for (int i = 0; i < 500 && completions < 2; ++i) {
+        snap = ctl(fd, metrics);
+        ASSERT_TRUE(okField(snap));
+        completions = numField(snap, "completions");
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    // One cumulative snapshot carries the whole service story.
+    EXPECT_EQ(numField(snap, "submits"), 2u);
+    EXPECT_EQ(completions, 2u);
+    EXPECT_EQ(numField(snap, "cacheHits"), 1u);
+    // cacheMisses counts lookups that missed: the first job always
+    // misses; the duplicate misses too unless the first completed
+    // before it was picked (it then coalesces and hits later).
+    EXPECT_GE(numField(snap, "cacheMisses"), 1u);
+    EXPECT_LE(numField(snap, "cacheMisses"), 2u);
+    EXPECT_EQ(numField(snap, "retries"), 0u);
+    EXPECT_EQ(numField(snap, "stalls"), 0u);
+    EXPECT_EQ(numField(snap, "cancels"), 0u);
+    EXPECT_EQ(numField(snap, "pending"), 0u);
+    ASSERT_TRUE(snap.ok());
+    EXPECT_NE(snap.value().find("uptimeSeconds"), nullptr);
+    const JsonValue *by_tenant = snap.value().find("pendingByTenant");
+    ASSERT_NE(by_tenant, nullptr);
+    EXPECT_TRUE(by_tenant->isObject());
+    const JsonValue *draining = snap.value().find("draining");
+    ASSERT_NE(draining, nullptr);
+    EXPECT_FALSE(draining->boolValue);
+
+    ProtoRequest drain;
+    drain.op = ProtoOp::Drain;
+    EXPECT_TRUE(okField(ctl(fd, drain)));
+    ::close(fd);
+
+    int raw = 0;
+    ASSERT_EQ(::waitpid(pid, &raw, 0), pid);
+    ASSERT_TRUE(WIFEXITED(raw));
+    EXPECT_EQ(WEXITSTATUS(raw), kExitOk);
 }

@@ -96,6 +96,7 @@ main(int argc, char **argv)
     std::string resume_dir;
     std::string xbsim_path;
     std::string cache_dir;
+    bool perf = false;
     bool print_table = true;
 
     ArgParser args("xbatch",
@@ -142,6 +143,11 @@ main(int argc, char **argv)
                    "(spec, workload content, build) key hits are "
                    "served as `cached` without simulating; Ok runs "
                    "store their entries (empty = off)");
+    args.addBool("perf", &perf,
+                 "run children with --perf: host microarchitecture "
+                 "counters (IPC, cache/branch MPKI) captured per job "
+                 "into the journal and report.json; degrades "
+                 "gracefully where perf_event_open is unavailable");
     args.addBool("print", &print_table,
                  "print the per-job result table");
     if (!args.parse(argc, argv))
@@ -206,6 +212,7 @@ main(int argc, char **argv)
         manifest.intervalCycles = intervals;
         manifest.heartbeatSec = heartbeat;
         manifest.stallPeriods = (unsigned)stall_periods;
+        manifest.perf = perf;
         manifest.jobs = buildJobMatrix(workloads, frontends,
                                        capacities.value(), insts);
 
@@ -269,11 +276,16 @@ main(int argc, char **argv)
     SweepSpanLog span_log;
     if (!trace_out.empty())
         opts.spanLog = &span_log;
-    if (manifest.intervalCycles || !trace_out.empty()) {
+    if (manifest.intervalCycles || manifest.perf ||
+        !trace_out.empty()) {
         const uint64_t window = manifest.intervalCycles;
         const bool events = !trace_out.empty();
-        opts.extraArgs = [dir, window, events](const JobSpec &spec,
-                                               int attempt) {
+        // --perf rides on extraArgs, not RunSpec, so cache keys stay
+        // stable: host counters never change the simulated result.
+        const bool child_perf = manifest.perf;
+        opts.extraArgs = [dir, window, events,
+                          child_perf](const JobSpec &spec,
+                                      int attempt) {
             std::vector<std::string> extra;
             if (window) {
                 extra.push_back("--interval-stats=" +
@@ -288,6 +300,8 @@ main(int argc, char **argv)
                                 std::to_string(spec.id) + "-a" +
                                 std::to_string(attempt) + ".json");
             }
+            if (child_perf)
+                extra.push_back("--perf");
             return extra;
         };
     }

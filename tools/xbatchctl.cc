@@ -6,6 +6,10 @@
  *   ping                      liveness check
  *   submit                    one job from --workload/--frontend/...
  *   status                    whole-service counters (or --job=N)
+ *   metrics                   cumulative service counters snapshot
+ *                             (submits, cache hits/misses,
+ *                             completions, retries, stalls, cancels,
+ *                             per-tenant queue depth, uptime)
  *   cancel --job=N            cancel a pending or running job
  *   drain                     finish queued work, then daemon exits 0
  *   shutdown                  interrupt in-flight work resumably
@@ -326,8 +330,8 @@ main(int argc, char **argv)
         return 0;
     if (args.positional().size() != 1) {
         return fail(Status::error(
-            "expected one command: ping|submit|status|cancel|"
-            "drain|shutdown|wait|storm"));
+            "expected one command: ping|submit|status|metrics|"
+            "cancel|drain|shutdown|wait|storm"));
     }
     const std::string cmd = args.positional()[0];
     if (socket_path.empty())
@@ -380,13 +384,13 @@ main(int argc, char **argv)
                     err ? err->asString() : "submit rejected"));
             }
         }
-    } else if (cmd == "status") {
+    } else if (cmd == "status" || cmd == "metrics") {
         ProtoRequest req;
-        req.op = ProtoOp::Status;
+        req.op = cmd == "status" ? ProtoOp::Status : ProtoOp::Metrics;
         if (!job.empty())
             req.job = std::atoi(job.c_str());
-        // Print the daemon's raw response line: it IS the status
-        // JSON, no re-serialization needed.
+        // Print the daemon's raw response line: it IS the status/
+        // metrics JSON, no re-serialization needed.
         if (Status st = writeAll(fd.value(),
                                  renderProtoRequest(req) + "\n");
             !st.isOk()) {

@@ -103,6 +103,7 @@ main(int argc, char **argv)
     double heartbeat = 1.0;
     uint64_t stall_periods = 4;
     uint64_t poll_ms = 10;
+    bool perf = false;
     std::string xbsim_path;
     bool list_sites = false;
     std::string crash_victim_dir;
@@ -137,6 +138,11 @@ main(int argc, char **argv)
                  "heartbeat periods without progress before a kill");
     args.addUint("poll-ms", &poll_ms,
                  "socket poll / scheduler step interval");
+    args.addBool("perf", &perf,
+                 "run children with --perf: per-job host "
+                 "microarchitecture counters in the journal and "
+                 "report (graceful where perf_event_open is "
+                 "unavailable)");
     args.addString("xbsim", &xbsim_path,
                    "xbsim binary (default: next to xbatchd)");
     args.addBool("list-crash-sites", &list_sites,
@@ -191,6 +197,11 @@ main(int argc, char **argv)
         opts.sched.heartbeatDir = dir + "/heartbeats";
         opts.sched.heartbeatSec = heartbeat;
         opts.sched.stallPeriods = (unsigned)stall_periods;
+    }
+    if (perf) {
+        opts.sched.extraArgs = [](const JobSpec &, int) {
+            return std::vector<std::string>{"--perf"};
+        };
     }
 
     SweepDaemon daemon(std::move(opts));

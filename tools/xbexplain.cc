@@ -48,7 +48,39 @@ struct Unit
 {
     std::string id;  ///< "frontend/workload@capacity" label
     AttribRollup attrib;
+    /// @{ Host microarchitecture context (--perf runs): how the run
+    ///    behaved on the host, shown next to what it lost in the
+    ///    model. Absent when the input carries no perf object.
+    bool hasPerf = false;
+    double hostIpc = 0.0;
+    double hostCacheMpki = 0.0;
+    double hostBranchMissRate = 0.0;
+    /// @}
 };
+
+/** Fill a unit's host-perf fields from a job/run "perf" object
+ *  (report.json job shape: counters + precomputed rates; xbsim
+ *  single-doc shape: {available, total:{...}}). */
+void
+extractUnitPerf(const JsonValue &perf, Unit *u)
+{
+    const JsonValue *src = &perf;
+    if (const JsonValue *avail = perf.find("available")) {
+        // xbsim single-doc shape.
+        if (!avail->boolValue)
+            return;
+        src = perf.find("total");
+        if (!src || !src->isObject())
+            return;
+    }
+    u->hasPerf = true;
+    if (const JsonValue *v = src->find("ipc"))
+        u->hostIpc = v->asNumber();
+    if (const JsonValue *v = src->find("cacheMpki"))
+        u->hostCacheMpki = v->asNumber();
+    if (const JsonValue *v = src->find("branchMissRate"))
+        u->hostBranchMissRate = v->asNumber();
+}
 
 std::string
 unitLabel(const std::string &frontend, const std::string &workload,
@@ -108,6 +140,10 @@ extractUnits(const std::string &path, std::vector<Unit> *units)
             if (const JsonValue *v = job.find("ways"))
                 ways = v->asUint();
             u.id = unitLabel(frontend, workload, capacity, ways);
+            if (const JsonValue *pf = job.find("perf");
+                pf && pf->isObject()) {
+                extractUnitPerf(*pf, &u);
+            }
             units->push_back(std::move(u));
         }
         if (units->empty()) {
@@ -139,6 +175,8 @@ extractUnits(const std::string &path, std::vector<Unit> *units)
     if (const JsonValue *v = doc.find("capacityUops"))
         capacity = v->asUint();
     u.id = unitLabel(frontend, workload, capacity, 0);
+    if (const JsonValue *pf = doc.find("perf"); pf && pf->isObject())
+        extractUnitPerf(*pf, &u);
     units->push_back(std::move(u));
     return kExitOk;
 }
@@ -199,6 +237,12 @@ printTopLoss(const Unit &u, unsigned top)
                 u.id.c_str(),
                 (unsigned long long)u.attrib.buildUops,
                 (unsigned long long)u.attrib.silentCycles);
+    if (u.hasPerf) {
+        std::printf("  host: ipc %.2f, cacheMPKI %.2f, "
+                    "brMiss %.2f%%\n",
+                    u.hostIpc, u.hostCacheMpki,
+                    u.hostBranchMissRate * 100.0);
+    }
     auto render = [&](const char *kind, const Categories &cats,
                       uint64_t total) {
         Categories sorted = cats;
@@ -280,6 +324,13 @@ writeExplainJson(const std::string &path, const std::string &mode,
         jw.beginObject();
         jw.field("id", u.id);
         jw.field("sumsOk", u.attrib.sumsMatch());
+        if (u.hasPerf) {
+            jw.beginObject("hostPerf");
+            jw.field("ipc", u.hostIpc);
+            jw.field("cacheMpki", u.hostCacheMpki);
+            jw.field("branchMissRate", u.hostBranchMissRate);
+            jw.endObject();
+        }
         writeAttribRollup(jw, u.attrib);
         jw.endObject();
     }

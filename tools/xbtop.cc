@@ -216,8 +216,10 @@ writeSnapshotJson(std::ostream &os, const std::string &dir,
     JsonWriter jw(os, /*pretty=*/true);
     jw.beginObject();
     // Version 3: per-job "restoredFrom" (warm starts) and the
-    // "restore" heartbeat phase.
-    jw.field("version", (uint64_t)3);
+    // "restore" heartbeat phase. Version 4: per-job host perf
+    // counters (hostIpc/hostCacheMpki/hostBranchMissRate) for jobs
+    // that ran --perf with counters available.
+    jw.field("version", (uint64_t)4);
     jw.field("dir", dir);
     jw.field("service", !snap.hasManifest);
     jw.field("workers", (uint64_t)snap.manifest.workers);
@@ -266,6 +268,11 @@ writeSnapshotJson(std::ostream &os, const std::string &dir,
         }
         if (rec.done)
             jw.field("seconds", rec.seconds);
+        if (rec.hasPerf) {
+            jw.field("hostIpc", rec.perf.ipc());
+            jw.field("hostCacheMpki", rec.perf.cacheMpki());
+            jw.field("hostBranchMissRate", rec.perf.branchMissRate());
+        }
         if (!rec.note.empty())
             jw.field("note", rec.note);
         jw.endObject();
@@ -305,8 +312,20 @@ renderTable(std::ostream &os, const std::string &dir,
     }
     os << head.str() << "\n";
 
-    TextTable table({"job", "label", "state", "att", "phase",
-                     "uops", "rate", "rss", "beat"});
+    // Host perf columns only earn their width when some job carries
+    // counters (--perf sweep on a host with a PMU).
+    bool any_perf = false;
+    for (const JobView &view : snap.jobs)
+        any_perf = any_perf || view.rec->hasPerf;
+
+    std::vector<std::string> header{"job", "label", "state", "att",
+                                    "phase", "uops", "rate", "rss",
+                                    "beat"};
+    if (any_perf) {
+        header.push_back("hIPC");
+        header.push_back("hMPKI");
+    }
+    TextTable table(header);
     for (const JobView &view : snap.jobs) {
         const JobRecord &rec = *view.rec;
         // Keep the table focused on live rows unless the sweep is
@@ -334,6 +353,16 @@ renderTable(std::ostream &os, const std::string &dir,
             row.push_back("-");
             row.push_back("-");
             row.push_back("-");
+        }
+        if (any_perf) {
+            if (rec.hasPerf) {
+                row.push_back(TextTable::num(rec.perf.ipc(), 2));
+                row.push_back(
+                    TextTable::num(rec.perf.cacheMpki(), 2));
+            } else {
+                row.push_back("-");
+                row.push_back("-");
+            }
         }
         table.addRow(std::move(row));
     }
