@@ -88,6 +88,24 @@ JobClass classifyOutcome(bool timed_out, bool stalled, bool exited,
 std::string sanitizeNote(const std::string &text,
                          std::size_t max_len = 160);
 
+/** Streaming-statistics summary parsed from the child's "stats" and
+ *  "phases" JSON blocks (present when the child ran with an interval
+ *  sampler attached; has==false otherwise). Carries the n that any
+ *  statistical comparison downstream needs. */
+struct JobStats
+{
+    bool has = false;
+    uint64_t windows = 0;     ///< interval windows observed
+    uint64_t windowCycles = 0;///< window length in cycles
+    double bwMean = 0.0;      ///< mean window bandwidth
+    double bwVar = 0.0;
+    double bwLag1 = 0.0;
+    bool ciValid = false;     ///< false: insufficientData
+    double bwCi95 = 0.0;      ///< CI half-width (when ciValid)
+    uint64_t batches = 0;     ///< batch means behind the CI
+    uint64_t phases = 0;      ///< workload phases detected
+};
+
 /** Metrics parsed from a successful child's stdout JSON. */
 struct JobMetrics
 {
@@ -98,6 +116,8 @@ struct JobMetrics
     uint64_t totalUops = 0;
     /** Root-cause rollup (src/attrib); has==false on old children. */
     AttribRollup attrib;
+    /** Streaming interval statistics (src/obs/stats). */
+    JobStats stats;
 };
 
 /** Per-child host resource usage (wait4; see batch/subprocess). */

@@ -20,6 +20,21 @@ writeJobMetricsFields(JsonWriter &jw, const JobMetrics &m)
     jw.field("totalUops", m.totalUops);
     if (m.attrib.has)
         writeAttribRollup(jw, m.attrib);
+    if (m.stats.has) {
+        jw.beginObject("stats");
+        jw.field("windows", m.stats.windows);
+        jw.field("windowCycles", m.stats.windowCycles);
+        jw.fieldFull("bwMean", m.stats.bwMean);
+        jw.fieldFull("bwVar", m.stats.bwVar);
+        jw.fieldFull("bwLag1", m.stats.bwLag1);
+        jw.field("ciValid", m.stats.ciValid);
+        if (m.stats.ciValid) {
+            jw.fieldFull("bwCi95", m.stats.bwCi95);
+            jw.field("batches", m.stats.batches);
+        }
+        jw.field("phases", m.stats.phases);
+        jw.endObject();
+    }
 }
 
 JobMetrics
@@ -38,6 +53,27 @@ readJobMetricsFields(const JsonValue &v)
         m.totalUops = f->asUint();
     if (const JsonValue *f = v.find("attrib"))
         m.attrib = parseAttribRollup(*f);
+    if (const JsonValue *s = v.find("stats"); s && s->isObject()) {
+        m.stats.has = true;
+        if (const JsonValue *f = s->find("windows"))
+            m.stats.windows = f->asUint();
+        if (const JsonValue *f = s->find("windowCycles"))
+            m.stats.windowCycles = f->asUint();
+        if (const JsonValue *f = s->find("bwMean"))
+            m.stats.bwMean = f->asNumber();
+        if (const JsonValue *f = s->find("bwVar"))
+            m.stats.bwVar = f->asNumber();
+        if (const JsonValue *f = s->find("bwLag1"))
+            m.stats.bwLag1 = f->asNumber();
+        if (const JsonValue *f = s->find("ciValid"))
+            m.stats.ciValid = f->isBool() && f->boolValue;
+        if (const JsonValue *f = s->find("bwCi95"))
+            m.stats.bwCi95 = f->asNumber();
+        if (const JsonValue *f = s->find("batches"))
+            m.stats.batches = f->asUint();
+        if (const JsonValue *f = s->find("phases"))
+            m.stats.phases = f->asUint();
+    }
     return m;
 }
 

@@ -105,6 +105,22 @@ renderSweepReport(const std::vector<JobRecord> &records,
                 jw.field("totalUops", rec.metrics.totalUops);
                 if (rec.metrics.attrib.has)
                     writeAttribRollup(jw, rec.metrics.attrib);
+                if (rec.metrics.stats.has) {
+                    const JobStats &st = rec.metrics.stats;
+                    jw.beginObject("stats");
+                    jw.field("windows", st.windows);
+                    jw.field("windowCycles", st.windowCycles);
+                    jw.field("bwMean", st.bwMean);
+                    jw.field("bwVar", st.bwVar);
+                    jw.field("bwLag1", st.bwLag1);
+                    jw.field("ciValid", st.ciValid);
+                    if (st.ciValid) {
+                        jw.field("bwCi95", st.bwCi95);
+                        jw.field("batches", st.batches);
+                    }
+                    jw.field("phases", st.phases);
+                    jw.endObject();
+                }
                 jw.endObject();
             }
             if (rec.hasUsage) {

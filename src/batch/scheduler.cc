@@ -36,6 +36,33 @@ parseChildMetrics(const std::string &out, JobMetrics *metrics)
         metrics->totalUops = f->asUint();
     if (const JsonValue *f = v.find("attrib"))
         metrics->attrib = parseAttribRollup(*f);
+    // The child's streaming-stats summary (interval runs): keep the
+    // window-bandwidth estimator and the phase count so report.json
+    // carries the n behind every statistical comparison downstream.
+    if (const JsonValue *s = v.find("stats"); s && s->isObject()) {
+        metrics->stats.has = true;
+        if (const JsonValue *f = s->find("windows"))
+            metrics->stats.windows = f->asUint();
+        if (const JsonValue *f = s->find("windowCycles"))
+            metrics->stats.windowCycles = f->asUint();
+        if (const JsonValue *bw = s->find("bandwidth");
+            bw && bw->isObject()) {
+            if (const JsonValue *f = bw->find("mean"))
+                metrics->stats.bwMean = f->asNumber();
+            if (const JsonValue *f = bw->find("var"))
+                metrics->stats.bwVar = f->asNumber();
+            if (const JsonValue *f = bw->find("lag1"))
+                metrics->stats.bwLag1 = f->asNumber();
+            if (const JsonValue *f = bw->find("ci95")) {
+                metrics->stats.ciValid = true;
+                metrics->stats.bwCi95 = f->asNumber();
+            }
+            if (const JsonValue *f = bw->find("batches"))
+                metrics->stats.batches = f->asUint();
+        }
+    }
+    if (const JsonValue *p = v.find("phases"); p && p->isArray())
+        metrics->stats.phases = (uint64_t)p->items.size();
     return v.find("bandwidth") != nullptr;
 }
 

@@ -1,0 +1,129 @@
+#include "obs/stats/phase_detect.hh"
+
+#include <cmath>
+
+namespace xbs
+{
+
+PhaseDetector::PhaseDetector(Config cfg) : cfg_(cfg)
+{
+    if (cfg_.hysteresis < 1)
+        cfg_.hysteresis = 1;
+}
+
+double
+PhaseDetector::manhattan(const std::vector<double> &a,
+                         const std::vector<double> &b)
+{
+    double d = 0.0;
+    const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+    for (std::size_t i = 0; i < n; ++i)
+        d += std::fabs(a[i] - b[i]);
+    for (std::size_t i = n; i < a.size(); ++i)
+        d += std::fabs(a[i]);
+    for (std::size_t i = n; i < b.size(); ++i)
+        d += std::fabs(b[i]);
+    return d;
+}
+
+void
+PhaseDetector::assimilate(Phase &p, const std::vector<double> &v,
+                          uint64_t window)
+{
+    ++p.windows;
+    if (p.mean.size() < v.size())
+        p.mean.resize(v.size(), 0.0);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        p.mean[i] += (v[i] - p.mean[i]) / (double)p.windows;
+    // The representative chases the running mean: the window that
+    // scored the smallest distance to the mean as it stood when the
+    // window was observed. As the mean converges, later in-phase
+    // windows can displace the founding window.
+    const double d = manhattan(v, p.mean);
+    if (d < p.repDist) {
+        p.repDist = d;
+        p.representative = window;
+    }
+}
+
+int
+PhaseDetector::startPhase(const std::vector<double> &v,
+                          uint64_t window)
+{
+    Phase p;
+    p.id = (int)phases_.size();
+    p.mean = v;
+    p.windows = 1;
+    p.firstWindow = window;
+    p.representative = window;
+    phases_.push_back(std::move(p));
+    return phases_.back().id;
+}
+
+int
+PhaseDetector::observe(const std::vector<double> &raw, uint64_t window)
+{
+    ++observed_;
+
+    // L1-normalize: phase identity is the *shape* of the activity.
+    double sum = 0.0;
+    for (double x : raw)
+        sum += std::fabs(x);
+    std::vector<double> v(raw.size(), 0.0);
+    if (sum > 0.0) {
+        for (std::size_t i = 0; i < raw.size(); ++i)
+            v[i] = raw[i] / sum;
+    }
+
+    if (current_ < 0) {
+        current_ = startPhase(v, window);
+        outliers_ = 0;
+        return current_;
+    }
+
+    Phase &cur = phases_[(std::size_t)current_];
+
+    // A window with no attributable activity carries no shape
+    // evidence: count it into the current phase, leave the mean
+    // alone, and do not let it advance the outlier counter.
+    if (sum <= 0.0) {
+        ++cur.windows;
+        return current_;
+    }
+
+    if (manhattan(v, cur.mean) <= cfg_.threshold) {
+        outliers_ = 0;
+        assimilate(cur, v, window);
+        return current_;
+    }
+
+    // Outlier. Below the hysteresis count it stays in the current
+    // phase (counted, mean untouched, so one burst cannot drag the
+    // mean toward itself and manufacture a change point).
+    if (++outliers_ < cfg_.hysteresis) {
+        ++cur.windows;
+        return current_;
+    }
+
+    // Change point confirmed: re-match against every known phase so
+    // an A-B-A workload reuses A's id instead of minting a third.
+    outliers_ = 0;
+    int best = -1;
+    double best_d = cfg_.threshold;
+    for (const Phase &p : phases_) {
+        const double d = manhattan(v, p.mean);
+        if (d <= best_d) {
+            best_d = d;
+            best = p.id;
+        }
+    }
+    if (best >= 0) {
+        current_ = best;
+        assimilate(phases_[(std::size_t)best], v, window);
+    } else {
+        current_ = startPhase(v, window);
+    }
+    return current_;
+}
+
+} // namespace xbs

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Online phase segmentation over per-window attribution vectors.
+ *
+ * Each interval window yields a vector of attrib deltas (uops and
+ * stall cycles per root cause). L1-normalizing the vector turns it
+ * into a *shape* — which mechanisms the window's work went to —
+ * independent of how much work the window did. Workload phases are
+ * runs of windows with the same shape; a change point is a window
+ * whose Manhattan distance from the current phase's running mean
+ * shape exceeds a threshold, confirmed by hysteresis (a single
+ * outlier window — one cold miss burst — must not split a phase).
+ *
+ * Phase IDs are stable: when a confirmed change point's shape matches
+ * an *earlier* phase's mean within the threshold, that phase's ID is
+ * reused (A-B-A patterns keep two IDs, not three). The detector keeps
+ * a phase table (mean shape, window count, representative window)
+ * for end-of-run reporting.
+ *
+ * Invariant (tested): every observed window is counted in exactly one
+ * phase, so per-phase window counts sum to the total window count.
+ */
+
+#ifndef XBS_OBS_STATS_PHASE_DETECT_HH
+#define XBS_OBS_STATS_PHASE_DETECT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace xbs
+{
+
+class PhaseDetector
+{
+  public:
+    struct Config
+    {
+        /** Manhattan distance (on L1-normalized vectors, range
+         *  [0, 2]) beyond which a window is an outlier vs. the
+         *  current phase mean. */
+        double threshold = 0.25;
+        /** Consecutive outlier windows required to confirm a change
+         *  point (>= 1). */
+        unsigned hysteresis = 2;
+    };
+
+    struct Phase
+    {
+        int id = 0;
+        std::vector<double> mean;   ///< running mean shape
+        uint64_t windows = 0;       ///< windows labeled with this id
+        uint64_t firstWindow = 0;
+        /** Window closest to the running mean at observation time
+         *  (a cheap online stand-in for the medoid). */
+        uint64_t representative = 0;
+        /** Distance the representative scored (internal). */
+        double repDist = 1e300;
+    };
+
+    explicit PhaseDetector(Config cfg);
+    PhaseDetector() : PhaseDetector(Config{}) {}
+
+    /**
+     * Classify one window. @p raw is the window's attrib delta
+     * vector (unnormalized; all dimensions, fixed order); @p window
+     * is its index. Returns the phase ID assigned to this window.
+     * An all-zero window (no attributable activity) stays in the
+     * current phase without perturbing its mean.
+     */
+    int observe(const std::vector<double> &raw, uint64_t window);
+
+    int currentPhase() const { return current_; }
+    const std::vector<Phase> &phases() const { return phases_; }
+    uint64_t windowsObserved() const { return observed_; }
+
+  private:
+    static double manhattan(const std::vector<double> &a,
+                            const std::vector<double> &b);
+    void assimilate(Phase &p, const std::vector<double> &v,
+                    uint64_t window);
+    int startPhase(const std::vector<double> &v, uint64_t window);
+
+    Config cfg_;
+    std::vector<Phase> phases_;
+    int current_ = -1;
+    unsigned outliers_ = 0;  ///< consecutive outliers pending
+    uint64_t observed_ = 0;
+};
+
+} // namespace xbs
+
+#endif // XBS_OBS_STATS_PHASE_DETECT_HH

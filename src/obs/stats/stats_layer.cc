@@ -1,0 +1,169 @@
+#include "obs/stats/stats_layer.hh"
+
+#include <cstdio>
+
+#include "attrib/taxonomy.hh"
+#include "common/json.hh"
+
+namespace xbs
+{
+
+StatsLayer::StatsLayer(IntervalSampler &sampler, Config cfg)
+    : sampler_(sampler), cfg_(cfg), detector_(cfg.phase)
+{
+    // Metric 0: window bandwidth, derived from the headline deltas
+    // the sampler already computes. Metric 1: stall cycles (absent
+    // from trees without a frontend group — synthetic test trees —
+    // where it must not fall back to the bandwidth sentinel).
+    metrics_.push_back({"bandwidth", IntervalSampler::npos, {}});
+    if (std::size_t idx =
+            sampler_.findPathIndex("frontend.stallCycles");
+        idx != IntervalSampler::npos) {
+        metrics_.push_back({"stallCycles", idx, {}});
+    }
+
+    // Every per-cause attribution counter in the sampled tree, in
+    // path order: these form the phase-segmentation vector and each
+    // gets its own estimator.
+    const std::vector<std::string> &paths = sampler_.paths();
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        if (!isAttribDeltaPath(paths[i]))
+            continue;
+        attribIdx_.push_back(i);
+        attribKeys_.push_back(attribDeltaKey(paths[i]));
+        metrics_.push_back({attribKeys_.back(), i, {}});
+    }
+
+    sampler_.setWindowHook(
+        [this](const IntervalSampler::WindowInfo &info,
+               JsonWriter *jw) { onWindow(info, jw); });
+}
+
+void
+StatsLayer::onWindow(const IntervalSampler::WindowInfo &info,
+                     JsonWriter *jw)
+{
+    ++windows_;
+
+    for (Metric &m : metrics_) {
+        if (m.pathIdx == IntervalSampler::npos)
+            m.stat.push(info.bandwidth);
+        else
+            m.stat.push((double)sampler_.pendingDelta(m.pathIdx));
+    }
+
+    std::vector<double> vec(attribIdx_.size(), 0.0);
+    for (std::size_t i = 0; i < attribIdx_.size(); ++i)
+        vec[i] = (double)sampler_.pendingDelta(attribIdx_[i]);
+    const int phase = detector_.observe(vec, info.index);
+
+    if (jw)
+        jw->field("phase", (uint64_t)phase);
+
+    if (phase != lastPhase_) {
+        lastPhase_ = phase;
+        if (phaseCb_)
+            phaseCb_(phase, info.index);
+    }
+}
+
+void
+StatsLayer::writeStatsJson(JsonWriter &jw) const
+{
+    jw.beginObject("stats");
+    jw.field("windows", windows_);
+    jw.field("windowCycles", sampler_.interval());
+    for (const Metric &m : metrics_) {
+        // Attribution causes this run never charged would be rows of
+        // zeros; skip them (mirrors the nonzero-only delta emission).
+        if (m.pathIdx != IntervalSampler::npos &&
+            m.stat.mean() == 0.0 && m.stat.variance() == 0.0) {
+            continue;
+        }
+        jw.beginObject(m.name);
+        jw.fieldFull("mean", m.stat.mean());
+        jw.fieldFull("var", m.stat.variance());
+        jw.fieldFull("lag1", m.stat.lag1());
+        const StreamStat::Ci95 ci = m.stat.ci95(cfg_.ci);
+        if (ci.valid) {
+            jw.fieldFull("ci95", ci.halfWidth);
+            jw.field("batches", ci.batches);
+            jw.field("batchSize", ci.batchSize);
+        } else {
+            jw.field("insufficientData", true);
+        }
+        jw.endObject();
+    }
+    jw.endObject();
+}
+
+void
+StatsLayer::writePhasesJson(JsonWriter &jw) const
+{
+    jw.beginArray("phases");
+    for (const PhaseDetector::Phase &p : detector_.phases()) {
+        jw.beginObject();
+        jw.field("id", (uint64_t)p.id);
+        jw.field("windows", p.windows);
+        jw.field("firstWindow", p.firstWindow);
+        jw.field("representative", p.representative);
+        jw.beginObject("mean");
+        for (std::size_t i = 0;
+             i < p.mean.size() && i < attribKeys_.size(); ++i) {
+            if (p.mean[i] != 0.0)
+                jw.field(attribKeys_[i], p.mean[i]);
+        }
+        jw.endObject();
+        jw.endObject();
+    }
+    jw.endArray();
+}
+
+void
+StatsLayer::writeText(std::ostream &os) const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  interval stats: %llu windows of %llu cycles\n",
+                  (unsigned long long)windows_,
+                  (unsigned long long)sampler_.interval());
+    os << buf;
+    for (const Metric &m : metrics_) {
+        if (m.pathIdx != IntervalSampler::npos &&
+            m.stat.mean() == 0.0 && m.stat.variance() == 0.0) {
+            continue;
+        }
+        const StreamStat::Ci95 ci = m.stat.ci95(cfg_.ci);
+        if (ci.valid) {
+            std::snprintf(buf, sizeof(buf),
+                          "    %-28s mean %12.4f  lag1 %+.3f  "
+                          "ci95 +-%.4f (%llu batches x %llu)\n",
+                          m.name.c_str(), m.stat.mean(),
+                          m.stat.lag1(), ci.halfWidth,
+                          (unsigned long long)ci.batches,
+                          (unsigned long long)ci.batchSize);
+        } else {
+            std::snprintf(buf, sizeof(buf),
+                          "    %-28s mean %12.4f  lag1 %+.3f  "
+                          "ci95 insufficient data\n",
+                          m.name.c_str(), m.stat.mean(),
+                          m.stat.lag1());
+        }
+        os << buf;
+    }
+    const auto &phases = detector_.phases();
+    std::snprintf(buf, sizeof(buf), "  phases: %zu detected\n",
+                  phases.size());
+    os << buf;
+    for (const PhaseDetector::Phase &p : phases) {
+        std::snprintf(buf, sizeof(buf),
+                      "    phase %d: %llu windows (first %llu, "
+                      "representative %llu)\n",
+                      p.id, (unsigned long long)p.windows,
+                      (unsigned long long)p.firstWindow,
+                      (unsigned long long)p.representative);
+        os << buf;
+    }
+}
+
+} // namespace xbs

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The streaming statistics layer: rides IntervalSampler windows and
+ * keeps, per tracked metric, a StreamStat (Welford mean/variance,
+ * lag-1 autocorrelation, batch-means 95% CI) plus an online phase
+ * segmentation over the per-window attribution vectors.
+ *
+ * Tracked metrics: window bandwidth (uops/cycle), window stall
+ * cycles, and every per-cause attribution delta
+ * ("attrib.uops.<cause>", "attrib.cycles.<cause>") present in the
+ * sampled stat tree.
+ *
+ * The layer is a pure observer: it installs the sampler's window
+ * hook, reads the not-yet-committed deltas, and never touches a
+ * simulator counter — paper metrics are byte-identical with the
+ * layer attached or not. When the sampler writes JSONL, the layer
+ * appends one member, the window's "phase" id.
+ */
+
+#ifndef XBS_OBS_STATS_STATS_LAYER_HH
+#define XBS_OBS_STATS_STATS_LAYER_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/interval_stats.hh"
+#include "obs/stats/phase_detect.hh"
+#include "obs/stats/stream_stats.hh"
+
+namespace xbs
+{
+
+class JsonWriter;
+
+class StatsLayer
+{
+  public:
+    struct Config
+    {
+        StreamStat::Config ci;
+        PhaseDetector::Config phase;
+    };
+
+    /** One tracked metric and its streaming estimator. */
+    struct Metric
+    {
+        std::string name;      ///< "bandwidth", "stallCycles",
+                               ///< "attrib.uops.coldStart", ...
+        std::size_t pathIdx;   ///< sampler path index (npos: derived)
+        StreamStat stat;
+    };
+
+    /** Installs the window hook on @p sampler; the layer must
+     *  outlive the sampler's last emitted window. */
+    StatsLayer(IntervalSampler &sampler, Config cfg);
+
+    explicit StatsLayer(IntervalSampler &sampler)
+        : StatsLayer(sampler, Config{})
+    {
+    }
+
+    /**
+     * Fired when a window is assigned a different phase than the
+     * previous window (including the first window). Drivers hang the
+     * Perfetto phase track and the heartbeat phase field off this.
+     */
+    void
+    setPhaseCallback(std::function<void(int phase, uint64_t window)> fn)
+    {
+        phaseCb_ = std::move(fn);
+    }
+
+    uint64_t windows() const { return windows_; }
+    const std::vector<Metric> &metrics() const { return metrics_; }
+    const PhaseDetector &detector() const { return detector_; }
+    const Config &config() const { return cfg_; }
+
+    /** Emit the "stats" JSON member: per-metric
+     *  {mean, var, lag1, ci95, batches} (insufficientData when the
+     *  batch-means estimator cannot produce an honest CI). Attrib
+     *  metrics that never fired are skipped. */
+    void writeStatsJson(JsonWriter &jw) const;
+
+    /** Emit the "phases" JSON member: the phase table (per-phase
+     *  normalized mean attribution vector, window count,
+     *  representative window). */
+    void writePhasesJson(JsonWriter &jw) const;
+
+    /** Human-readable summary (xbsim --stats text mode). */
+    void writeText(std::ostream &os) const;
+
+  private:
+    void onWindow(const IntervalSampler::WindowInfo &info,
+                  JsonWriter *jw);
+
+    IntervalSampler &sampler_;
+    Config cfg_;
+    std::vector<Metric> metrics_;        ///< [0] bandwidth (derived)
+    std::vector<std::size_t> attribIdx_; ///< sampler indices, vector order
+    std::vector<std::string> attribKeys_;///< "attrib.uops.<cause>", ...
+    PhaseDetector detector_;
+    uint64_t windows_ = 0;
+    int lastPhase_ = -1;
+    std::function<void(int, uint64_t)> phaseCb_;
+};
+
+} // namespace xbs
+
+#endif // XBS_OBS_STATS_STATS_LAYER_HH

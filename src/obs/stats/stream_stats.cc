@@ -1,0 +1,156 @@
+#include "obs/stats/stream_stats.hh"
+
+#include <cmath>
+
+namespace xbs
+{
+
+double
+tCritical95(uint64_t df)
+{
+    // Two-sided 95% (upper 2.5%) Student-t critical values.
+    static const double kTable[] = {
+        0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (df == 0)
+        return 1e30;  // no estimate is ever significant on 0 df
+    if (df <= 30)
+        return kTable[df];
+    if (df <= 40)
+        return 2.021;
+    if (df <= 60)
+        return 2.000;
+    if (df <= 120)
+        return 1.980;
+    return 1.960;
+}
+
+double
+lag1Autocorr(const std::vector<double> &xs)
+{
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= (double)n;
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double c = xs[i] - mean;
+        den += c * c;
+        if (i + 1 < n)
+            num += c * (xs[i + 1] - mean);
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+void
+StreamStat::push(double x)
+{
+    // Welford.
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / (double)n_;
+    m2_ += d * (x - mean_);
+
+    // Lag-1 raw accumulators.
+    if (n_ == 1)
+        first_ = x;
+    else
+        sumCross_ += prev_ * x;
+    prev_ = x;
+
+    // Batch means with size doubling: collapse pairwise when the
+    // bounded buffer fills, so memory stays O(1) for any run length.
+    batchAcc_ += x;
+    if (++batchFill_ == batchSize_) {
+        batchMeans_.push_back(batchAcc_ / (double)batchSize_);
+        batchAcc_ = 0.0;
+        batchFill_ = 0;
+        if (batchMeans_.size() == kMaxBatches) {
+            for (std::size_t i = 0; i < kMaxBatches / 2; ++i) {
+                batchMeans_[i] = 0.5 * (batchMeans_[2 * i] +
+                                        batchMeans_[2 * i + 1]);
+            }
+            batchMeans_.resize(kMaxBatches / 2);
+            batchSize_ *= 2;
+        }
+    }
+}
+
+double
+StreamStat::lag1() const
+{
+    // r1 = sum (x_t - m)(x_{t+1} - m) / sum (x_t - m)^2, with the
+    // centered cross-sum reconstructed from the running product sum
+    // and the series endpoints:
+    //   sum (x_t - m)(x_{t+1} - m)
+    //     = sumCross - m*(2*sumAll - first - last) + (n-1)*m^2
+    if (n_ < 2 || m2_ <= 0.0)
+        return 0.0;
+    const double sum_all = mean_ * (double)n_;
+    const double num = sumCross_ -
+                       mean_ * (2.0 * sum_all - first_ - prev_) +
+                       (double)(n_ - 1) * mean_ * mean_;
+    return num / m2_;
+}
+
+StreamStat::Ci95
+StreamStat::ci95(const Config &cfg) const
+{
+    Ci95 out;
+    const uint64_t min_b = cfg.minBatches < 2 ? 2 : cfg.minBatches;
+    std::vector<double> bm = batchMeans_;  // completed batches only
+    uint64_t bsize = batchSize_;
+
+    // Merge adjacent batches until their means decorrelate; give up
+    // (insufficient data) before dropping below the minimum count.
+    while (true) {
+        if (bm.size() < min_b)
+            return out;  // valid == false: insufficientData
+        if (lag1Autocorr(bm) <= cfg.autocorrThreshold)
+            break;
+        if (bm.size() / 2 < min_b)
+            return out;
+        for (std::size_t i = 0; i < bm.size() / 2; ++i)
+            bm[i] = 0.5 * (bm[2 * i] + bm[2 * i + 1]);
+        bm.resize(bm.size() / 2);
+        bsize *= 2;
+    }
+
+    const std::size_t k = bm.size();
+    double bmean = 0.0;
+    for (double b : bm)
+        bmean += b;
+    bmean /= (double)k;
+    double s2 = 0.0;
+    for (double b : bm)
+        s2 += (b - bmean) * (b - bmean);
+    s2 /= (double)(k - 1);
+
+    out.valid = true;
+    out.halfWidth = tCritical95(k - 1) * std::sqrt(s2 / (double)k);
+    out.batches = k;
+    out.batchSize = bsize;
+    return out;
+}
+
+StreamStat::Ci95
+StreamStat::naiveCi95() const
+{
+    Ci95 out;
+    if (n_ < 2)
+        return out;
+    out.valid = true;
+    out.halfWidth =
+        tCritical95(n_ - 1) * std::sqrt(variance() / (double)n_);
+    out.batches = n_;
+    out.batchSize = 1;
+    return out;
+}
+
+} // namespace xbs

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Streaming per-metric statistics over interval windows: Welford
+ * online mean/variance, lag-1 autocorrelation, and a batch-means 95%
+ * confidence interval that is honest about autocorrelated windows.
+ *
+ * Interval windows from one run are *not* independent samples — a
+ * workload phase stretches across many adjacent windows, so a naive
+ * i.i.d. t-interval on the window series is far too narrow. The
+ * classic fix (batch means, see any discrete-event-simulation text)
+ * merges adjacent windows into batches until the batch means are
+ * approximately uncorrelated, then applies the t-interval to the
+ * batch means. When too few batches survive the merging, the
+ * estimator reports "insufficient data" instead of inventing a CI —
+ * downstream gates (xbregress) fall back to the legacy raw-threshold
+ * comparison in that case.
+ *
+ * Memory is O(1): the batch-mean buffer is bounded (64 entries) and
+ * collapses pairwise, doubling the batch size, whenever it fills.
+ */
+
+#ifndef XBS_OBS_STATS_STREAM_STATS_HH
+#define XBS_OBS_STATS_STREAM_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace xbs
+{
+
+/** Two-sided 95% Student-t critical value for @p df degrees of
+ *  freedom (tabulated through 30, then the standard coarse steps;
+ *  1.96 asymptotically). df 0 returns +inf's stand-in (a huge value)
+ *  so a 1-sample "interval" can never look significant. */
+double tCritical95(uint64_t df);
+
+/** Lag-1 autocorrelation of a finite series (0 when n < 2 or the
+ *  series is constant). */
+double lag1Autocorr(const std::vector<double> &xs);
+
+class StreamStat
+{
+  public:
+    struct Config
+    {
+        /** Batch means are merged pairwise until their lag-1
+         *  autocorrelation drops to this threshold or below. */
+        double autocorrThreshold = 0.10;
+        /** Minimum batches for a t-interval; fewer (after merging)
+         *  means insufficientData. */
+        uint64_t minBatches = 8;
+    };
+
+    /** One 95% confidence interval (half-width form: mean ± half). */
+    struct Ci95
+    {
+        bool valid = false;     ///< false: insufficient data
+        double halfWidth = 0.0;
+        uint64_t batches = 0;   ///< batch means the t-interval used
+        uint64_t batchSize = 0; ///< windows per batch at that level
+    };
+
+    void push(double x);
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Sample variance of the raw window series (n-1 denominator). */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / (double)(n_ - 1) : 0.0;
+    }
+
+    /** Lag-1 autocorrelation of the raw window series. */
+    double lag1() const;
+
+    /** Batch-means CI (honest under autocorrelation). */
+    Ci95 ci95(const Config &cfg) const;
+    Ci95 ci95() const { return ci95(Config{}); }
+
+    /** The naive i.i.d. t-interval on the raw windows — what the CI
+     *  would be if windows were independent. Kept for comparison and
+     *  the widens-under-autocorrelation test; never used for gating. */
+    Ci95 naiveCi95() const;
+
+  private:
+    static constexpr std::size_t kMaxBatches = 64;
+
+    // Welford accumulators over the raw series.
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+
+    // Lag-1 accumulators: sum of adjacent products plus the series
+    // endpoints reconstruct the centered cross-sum exactly.
+    double sumCross_ = 0.0;
+    double first_ = 0.0;
+    double prev_ = 0.0;
+
+    // Bounded batch-mean buffer with batch-size doubling.
+    std::vector<double> batchMeans_;
+    uint64_t batchSize_ = 1;
+    double batchAcc_ = 0.0;
+    uint64_t batchFill_ = 0;
+};
+
+} // namespace xbs
+
+#endif // XBS_OBS_STATS_STREAM_STATS_HH

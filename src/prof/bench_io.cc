@@ -9,6 +9,7 @@
 #include "common/histogram.hh"
 #include "common/json.hh"
 #include "common/table.hh"
+#include "obs/stats/stream_stats.hh"
 
 namespace xbs
 {
@@ -109,12 +110,14 @@ writePerf(JsonWriter &jw, const BenchPerf &p, const std::string &key)
 }
 
 /**
- * Fold one job's interval JSONL into bandwidth percentiles. A torn
- * tail (crash mid-write) or a malformed line stops the scan but
- * keeps every complete window before it.
+ * Fold one job's interval JSONL into bandwidth percentiles plus a
+ * streaming bandwidth estimator (mean/variance/lag-1/batch-means CI,
+ * written into @p stats when non-null). A torn tail (crash
+ * mid-write) or a malformed line stops the scan but keeps every
+ * complete window before it.
  */
 BenchIntervals
-readIntervalFile(const std::string &path)
+readIntervalFile(const std::string &path, BenchStats *stats)
 {
     BenchIntervals iv;
     Expected<std::string> text = readFileToString(path);
@@ -122,6 +125,7 @@ readIntervalFile(const std::string &path)
         return iv;  // missing file: has stays false
 
     iv.has = true;
+    StreamStat bw_stat;
     Histogram bw(kBwMaxMilli);
     Histogram ipc(kBwMaxMilli);
     std::istringstream is(text.value());
@@ -131,6 +135,7 @@ readIntervalFile(const std::string &path)
             iv.torn = true;
             return false;
         }
+        bw_stat.push(b->asNumber());
         double milli = b->asNumber() * kBwScale;
         if (milli < 0.0)
             milli = 0.0;
@@ -166,7 +171,60 @@ readIntervalFile(const std::string &path)
         iv.ipcP95 = (double)ipc.percentile(0.95) / kBwScale;
         iv.ipcP99 = (double)ipc.percentile(0.99) / kBwScale;
     }
+    if (stats && iv.windows > 0) {
+        stats->has = true;
+        stats->windows = bw_stat.count();
+        stats->mean = bw_stat.mean();
+        stats->var = bw_stat.variance();
+        stats->lag1 = bw_stat.lag1();
+        const StreamStat::Ci95 ci = bw_stat.ci95();
+        stats->ciValid = ci.valid;
+        stats->ci95 = ci.halfWidth;
+        stats->batches = ci.batches;
+        stats->batchSize = ci.batchSize;
+    }
     return iv;
+}
+
+void
+writeStats(JsonWriter &jw, const BenchStats &st, const char *key)
+{
+    jw.beginObject(key);
+    jw.field("windows", st.windows);
+    jw.fieldFull("mean", st.mean);
+    jw.fieldFull("var", st.var);
+    jw.fieldFull("lag1", st.lag1);
+    jw.field("ciValid", st.ciValid);
+    if (st.ciValid) {
+        jw.fieldFull("ci95", st.ci95);
+        jw.field("batches", st.batches);
+        jw.field("batchSize", st.batchSize);
+    }
+    jw.endObject();
+}
+
+BenchStats
+parseStats(const JsonValue &obj)
+{
+    BenchStats st;
+    st.has = true;
+    if (const JsonValue *v = obj.find("windows"))
+        st.windows = v->asUint();
+    if (const JsonValue *v = obj.find("mean"))
+        st.mean = v->asNumber();
+    if (const JsonValue *v = obj.find("var"))
+        st.var = v->asNumber();
+    if (const JsonValue *v = obj.find("lag1"))
+        st.lag1 = v->asNumber();
+    if (const JsonValue *v = obj.find("ciValid"))
+        st.ciValid = v->isBool() && v->boolValue;
+    if (const JsonValue *v = obj.find("ci95"))
+        st.ci95 = v->asNumber();
+    if (const JsonValue *v = obj.find("batches"))
+        st.batches = v->asUint();
+    if (const JsonValue *v = obj.find("batchSize"))
+        st.batchSize = v->asUint();
+    return st;
 }
 
 void
@@ -201,6 +259,8 @@ writeRow(JsonWriter &jw, const BenchRow &row)
         }
         jw.endObject();
     }
+    if (row.bwStats.has)
+        writeStats(jw, row.bwStats, "stats");
     if (row.attrib.has)
         writeAttribRollup(jw, row.attrib);
     jw.endObject();
@@ -254,6 +314,8 @@ parseRow(const JsonValue &obj)
         if (const JsonValue *w = v->find("ipcP99"))
             row.intervals.ipcP99 = w->asNumber();
     }
+    if (const JsonValue *v = obj.find("stats"); v && v->isObject())
+        row.bwStats = parseStats(*v);
     if (const JsonValue *v = obj.find("attrib"))
         row.attrib = parseAttribRollup(*v);
     return row;
@@ -372,9 +434,36 @@ aggregateSweepDir(const std::string &dir)
         }
 
         row.intervals = readIntervalFile(
-            dir + "/intervals/job-" + std::to_string(id) + ".jsonl");
+            dir + "/intervals/job-" + std::to_string(id) + ".jsonl",
+            &row.bwStats);
 
         bench.rows.push_back(std::move(row));
+    }
+
+    // Sweep-wide dispersion: a t-interval over the per-row bandwidth
+    // means (not the pooled windows — rows are different workloads,
+    // so between-row variance is the honest spread).
+    {
+        StreamStat rows_stat;
+        for (const BenchRow &row : bench.rows)
+            if (row.bwStats.has)
+                rows_stat.push(row.bwStats.mean);
+        if (rows_stat.count() > 0) {
+            bench.bwStats.has = true;
+            bench.bwStats.windows = rows_stat.count();
+            bench.bwStats.mean = rows_stat.mean();
+            bench.bwStats.var = rows_stat.variance();
+            bench.bwStats.lag1 = 0.0;  // rows are not a time series
+            if (rows_stat.count() >= 2) {
+                bench.bwStats.ciValid = true;
+                bench.bwStats.ci95 =
+                    tCritical95(rows_stat.count() - 1) *
+                    std::sqrt(rows_stat.variance() /
+                              (double)rows_stat.count());
+                bench.bwStats.batches = rows_stat.count();
+                bench.bwStats.batchSize = 1;
+            }
+        }
     }
 
     if (any_host) {
@@ -411,6 +500,8 @@ renderBenchJson(const BenchReport &report)
             writeHost(jw, report.host, "host");
         if (report.perf.has)
             writePerf(jw, report.perf, "perf");
+        if (report.bwStats.has)
+            writeStats(jw, report.bwStats, "stats");
         jw.beginArray("rows");
         for (const BenchRow &row : report.rows)
             writeRow(jw, row);
@@ -455,6 +546,8 @@ parseBenchJson(const std::string &text, const std::string &path)
         bench.host = parseHost(*v);
     if (const JsonValue *v = doc.find("perf"); v && v->isObject())
         bench.perf = parsePerf(*v);
+    if (const JsonValue *v = doc.find("stats"); v && v->isObject())
+        bench.bwStats = parseStats(*v);
     if (const JsonValue *rows = doc.find("rows");
         rows && rows->isArray()) {
         for (const JsonValue &row : rows->items)
@@ -480,6 +573,7 @@ metricVerdictName(MetricVerdict v)
       case MetricVerdict::Warn:          return "warn";
       case MetricVerdict::Regress:       return "regress";
       case MetricVerdict::MissingMetric: return "missing";
+      case MetricVerdict::LowPower:      return "lowPower";
     }
     return "?";
 }
@@ -544,6 +638,101 @@ compareMetric(RegressReport &out, const RegressOptions &opts,
         if (d.improved)
             ++out.improvements;
     }
+    ++out.compared;
+    out.deltas.push_back(std::move(d));
+}
+
+/**
+ * CI-aware comparison (both sides carried valid batch-means CIs).
+ * Decision table (docs/MODEL.md "Statistical observability"):
+ *
+ *   no overlap, worse direction, beyond tol  -> Regress
+ *   no overlap, better direction, beyond tol -> Pass (improved)
+ *   overlap, CIs too wide to detect tol      -> LowPower (warn)
+ *   otherwise                                -> Pass
+ *
+ * The Welch t statistic and its Welch-Satterthwaite degrees of
+ * freedom are recorded for reporting; the gate itself uses the
+ * simpler and more conservative interval-overlap test.
+ */
+void
+compareStatisticalMetric(RegressReport &out, const RegressOptions &opts,
+                         const std::string &name, const BenchStats &base,
+                         const BenchStats &cur, Direction dir)
+{
+    MetricDelta d;
+    d.name = name;
+    d.baseline = base.mean;
+    d.current = cur.mean;
+    d.tol = opts.paperTol;
+    d.statistical = true;
+    d.ci95Base = base.ci95;
+    d.ci95Cur = cur.ci95;
+    if (std::fabs(base.mean) > 1e-12)
+        d.rel = (cur.mean - base.mean) / std::fabs(base.mean);
+    else
+        d.rel = cur.mean - base.mean;
+
+    // Standard errors recovered from the interval half-widths, for
+    // the Welch report fields.
+    const double se_b =
+        base.batches > 1 ? base.ci95 / tCritical95(base.batches - 1)
+                         : 0.0;
+    const double se_c =
+        cur.batches > 1 ? cur.ci95 / tCritical95(cur.batches - 1)
+                        : 0.0;
+    const double se2 = se_b * se_b + se_c * se_c;
+    if (se2 > 0.0) {
+        d.welchT = (cur.mean - base.mean) / std::sqrt(se2);
+        double denom = 0.0;
+        if (base.batches > 1)
+            denom += (se_b * se_b) * (se_b * se_b) /
+                     (double)(base.batches - 1);
+        if (cur.batches > 1)
+            denom += (se_c * se_c) * (se_c * se_c) /
+                     (double)(cur.batches - 1);
+        d.welchDf = denom > 0.0 ? se2 * se2 / denom : 0.0;
+    }
+
+    const double diff = cur.mean - base.mean;
+    const bool overlap = std::fabs(diff) <= base.ci95 + cur.ci95;
+    const double tol_abs = d.tol * std::fabs(base.mean);
+    const bool beyond_tol = std::fabs(diff) > tol_abs;
+    // Minimum detectable difference: intervals this wide cannot see
+    // a tolerance-sized drift, so "overlap" is not evidence of
+    // stability.
+    const bool low_power = base.ci95 + cur.ci95 > tol_abs;
+    bool worse = false;
+    bool better = false;
+    switch (dir) {
+      case Direction::Lower:
+        worse = diff > 0.0;
+        better = diff < 0.0;
+        break;
+      case Direction::Higher:
+        worse = diff < 0.0;
+        better = diff > 0.0;
+        break;
+      case Direction::Exact:
+        worse = diff != 0.0;
+        break;
+    }
+
+    if (!overlap && worse && beyond_tol) {
+        d.verdict = MetricVerdict::Regress;
+        ++out.regressions;
+    } else if (!overlap && better && beyond_tol) {
+        d.verdict = MetricVerdict::Pass;
+        d.improved = true;
+        ++out.improvements;
+    } else if (overlap && low_power) {
+        d.verdict = MetricVerdict::LowPower;
+        ++out.lowPower;
+        ++out.warnings;
+    } else {
+        d.verdict = MetricVerdict::Pass;
+    }
+    ++out.statistical;
     ++out.compared;
     out.deltas.push_back(std::move(d));
 }
@@ -630,9 +819,21 @@ compareBench(const BenchReport &current, const BenchReport &baseline,
         compareMetric(out, opts, base.id + ".missRate",
                       base.missRate, cur.missRate, Direction::Lower,
                       false);
-        compareMetric(out, opts, base.id + ".bandwidth",
-                      base.bandwidth, cur.bandwidth,
-                      Direction::Higher, false);
+        // Interval bandwidth gets the statistical gate whenever both
+        // sides carry a valid batch-means CI; CI-less baselines (old
+        // BENCH_<n>.json records, sweeps without --interval-stats)
+        // fall back to the legacy raw-threshold comparison.
+        if (base.bwStats.has && base.bwStats.ciValid &&
+            cur.bwStats.has && cur.bwStats.ciValid) {
+            compareStatisticalMetric(out, opts,
+                                     base.id + ".bandwidth",
+                                     base.bwStats, cur.bwStats,
+                                     Direction::Higher);
+        } else {
+            compareMetric(out, opts, base.id + ".bandwidth",
+                          base.bandwidth, cur.bandwidth,
+                          Direction::Higher, false);
+        }
         compareMetric(out, opts, base.id + ".overallIpc",
                       base.overallIpc, cur.overallIpc,
                       Direction::Higher, false);
@@ -729,6 +930,10 @@ renderRegressTable(const RegressReport &report, bool all)
         std::string verdict = metricVerdictName(d.verdict);
         if (d.improved)
             verdict += " (improved)";
+        if (d.statistical) {
+            verdict += " [ci " + TextTable::num(d.ci95Base, 4) + "/" +
+                       TextTable::num(d.ci95Cur, 4) + "]";
+        }
         table.addRow({d.name, TextTable::num(d.baseline, 4),
                       d.verdict == MetricVerdict::MissingMetric
                           ? "-"
@@ -751,7 +956,7 @@ renderRegressTable(const RegressReport &report, bool all)
     }
     if (table.numRows() > 0)
         os << table.render();
-    char line[160];
+    char line[224];
     std::snprintf(line, sizeof(line),
                   "regress: %zu compared, %zu regression%s, %zu "
                   "warning%s, %zu missing, %zu improved -> %s\n",
@@ -761,6 +966,15 @@ renderRegressTable(const RegressReport &report, bool all)
                   report.improvements,
                   report.pass() ? "PASS" : "FAIL");
     os << line;
+    if (report.statistical > 0) {
+        std::snprintf(line, sizeof(line),
+                      "regress: %zu metric%s decided by CI overlap"
+                      " (%zu low-power)\n",
+                      report.statistical,
+                      report.statistical == 1 ? "" : "s",
+                      report.lowPower);
+        os << line;
+    }
     return os.str();
 }
 
@@ -781,8 +995,30 @@ renderBenchRecord(const BenchReport &current,
         jw.field("warnings", (uint64_t)regress.warnings);
         jw.field("missing", (uint64_t)regress.missing);
         jw.field("improved", (uint64_t)regress.improvements);
+        jw.field("statistical", (uint64_t)regress.statistical);
+        jw.field("lowPower", (uint64_t)regress.lowPower);
         jw.field("buildMismatch", regress.buildMismatch);
         jw.endObject();
+        // Baseline provenance: the sampling geometry the record was
+        // taken with, so a refresh with a different window size or
+        // window count is visible at review time.
+        {
+            uint64_t windows = 0;
+            uint64_t ci_rows = 0;
+            for (const BenchRow &row : current.rows) {
+                if (row.bwStats.has) {
+                    windows += row.bwStats.windows;
+                    if (row.bwStats.ciValid)
+                        ++ci_rows;
+                }
+            }
+            jw.beginObject("recordedFrom");
+            jw.field("intervalCycles", current.intervalCycles);
+            jw.field("windows", windows);
+            jw.field("rows", (uint64_t)current.rows.size());
+            jw.field("ciRows", ci_rows);
+            jw.endObject();
+        }
         jw.beginArray("attribNotes");
         for (const std::string &note : regress.attribNotes)
             jw.field("", note);
@@ -816,6 +1052,8 @@ renderBenchRecord(const BenchReport &current,
             writeHost(jw, current.host, "host");
         if (current.perf.has)
             writePerf(jw, current.perf, "perf");
+        if (current.bwStats.has)
+            writeStats(jw, current.bwStats, "stats");
         jw.beginArray("rows");
         for (const BenchRow &row : current.rows)
             writeRow(jw, row);

@@ -82,6 +82,26 @@ struct BenchPerf
     }
 };
 
+/**
+ * Streaming statistics over one row's interval-bandwidth series
+ * (batch-means 95% CI; see src/obs/stats), or — at the top level —
+ * the t-interval over the row means (sweep-wide dispersion). ciValid
+ * is false when the estimator had insufficient data; gates then fall
+ * back to the legacy raw-threshold comparison.
+ */
+struct BenchStats
+{
+    bool has = false;
+    uint64_t windows = 0;   ///< samples behind the estimate
+    double mean = 0.0;
+    double var = 0.0;
+    double lag1 = 0.0;
+    bool ciValid = false;
+    double ci95 = 0.0;      ///< half-width (mean +- ci95)
+    uint64_t batches = 0;
+    uint64_t batchSize = 0;
+};
+
 /** Interval-bandwidth rollup over one job's JSONL window stream. */
 struct BenchIntervals
 {
@@ -117,6 +137,7 @@ struct BenchRow
     BenchHost host;
     BenchPerf perf;
     BenchIntervals intervals;
+    BenchStats bwStats;   ///< interval-bandwidth CI (src/obs/stats)
     AttribRollup attrib;  ///< root-cause rollup (has==false: absent)
 };
 
@@ -133,6 +154,7 @@ struct BenchReport
     std::vector<BenchRow> rows;   ///< ok jobs only, matrix order
     BenchHost host;               ///< sweep-wide rollup
     BenchPerf perf;               ///< sweep-wide counter sums
+    BenchStats bwStats;           ///< t-interval over row bw means
 };
 
 /**
@@ -161,6 +183,10 @@ enum class MetricVerdict
     Warn,           ///< worse beyond threshold, but not gated
     Regress,        ///< worse beyond threshold, gated
     MissingMetric,  ///< baseline has it, current does not
+    /** Statistical comparison only: the CIs overlap but are too wide
+     *  to detect a tolerance-sized drift — the verdict is "cannot
+     *  tell", reported as a typed warning, never a failure. */
+    LowPower,
 };
 
 const char *metricVerdictName(MetricVerdict v);
@@ -176,6 +202,15 @@ struct MetricDelta
     bool host = false;     ///< host-perf metric (loose/warn class)
     bool improved = false; ///< better beyond threshold
     MetricVerdict verdict = MetricVerdict::Pass;
+    /// @{ Statistical comparison (both sides carried valid CIs):
+    ///    the interval half-widths and the Welch t statistic with
+    ///    its Welch-Satterthwaite degrees of freedom.
+    bool statistical = false;
+    double ci95Base = 0.0;
+    double ci95Cur = 0.0;
+    double welchT = 0.0;
+    double welchDf = 0.0;
+    /// @}
 };
 
 struct RegressOptions
@@ -200,6 +235,8 @@ struct RegressReport
     std::size_t warnings = 0;
     std::size_t missing = 0;
     std::size_t improvements = 0;
+    std::size_t statistical = 0;  ///< metrics decided by CI overlap
+    std::size_t lowPower = 0;     ///< of which: verdict LowPower
 
     bool
     pass() const

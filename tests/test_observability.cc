@@ -368,6 +368,37 @@ TEST(IntervalSampler, BoundaryEndFlushesResidualDeltas)
     EXPECT_EQ(clean.windowsEmitted(), 1u);
 }
 
+// Regression: a trace shorter than one window (the run ends before
+// the first boundary is ever crossed) must emit exactly one final
+// partial window carrying all the deltas — not zero windows, and
+// not a duplicate.
+TEST(IntervalSampler, SubWindowRunEmitsOnePartialWindow)
+{
+    StatGroup root("root");
+    ScalarStat s(&root, "counter", "a counter");
+    std::ostringstream os;
+    IntervalSampler sampler(root, /*interval=*/10000);
+    sampler.setOutput(&os);
+
+    s += 42;
+    sampler.tick(137);     // never reaches the 10000-cycle boundary
+    sampler.finish(137);
+    sampler.finish(137);   // idempotent
+
+    EXPECT_EQ(sampler.windowsEmitted(), 1u);
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(os.str(), &doc, &err)) << err;
+    EXPECT_EQ(doc.find("startCycle")->asUint(), 0u);
+    EXPECT_EQ(doc.find("endCycle")->asUint(), 137u);
+    const JsonValue *deltas = doc.find("deltas");
+    ASSERT_NE(deltas, nullptr);
+    uint64_t sum = 0;
+    for (const auto &[k, v] : deltas->members)
+        sum += v.asUint();
+    EXPECT_EQ(sum, 42u);
+}
+
 TEST(Stats, FindNestedPaths)
 {
     StatGroup root("fe");

@@ -1049,3 +1049,186 @@ TEST(Regress, HostPerfComparedSweepWideWarnOnly)
     EXPECT_FALSE(missing.pass());
     EXPECT_GE(missing.missing, 1u);
 }
+
+// ---------------------------------------------------------------
+// Statistical gate: CI-carrying baselines decide bandwidth by
+// interval overlap instead of the raw threshold.
+
+namespace
+{
+
+BenchStats
+makeStats(double mean, double ci95, uint64_t batches)
+{
+    BenchStats st;
+    st.has = true;
+    st.windows = batches * 8;
+    st.mean = mean;
+    st.var = 0.02;
+    st.lag1 = 0.05;
+    st.ciValid = true;
+    st.ci95 = ci95;
+    st.batches = batches;
+    st.batchSize = 8;
+    return st;
+}
+
+/** The bandwidth delta row for the baseline's single bench row. */
+const MetricDelta *
+bandwidthDelta(const RegressReport &rep)
+{
+    for (const MetricDelta &d : rep.deltas)
+        if (d.name == "xbc/gcc@32768.bandwidth")
+            return &d;
+    return nullptr;
+}
+
+} // anonymous namespace
+
+TEST(RegressStatistical, StatsRoundTripExactly)
+{
+    const std::string dir = makeTempDir();
+    BenchReport b = makeBaseline();
+    b.rows[0].bwStats = makeStats(8.012345678901234, 0.0312, 16);
+    b.bwStats = makeStats(8.012345678901234, 0.11, 4);
+
+    Expected<BenchReport> back =
+        parseBenchJson(renderBenchJson(b), "mem");
+    ASSERT_TRUE(back.ok()) << back.status().toString();
+    const BenchStats &r = back.value().rows[0].bwStats;
+    ASSERT_TRUE(r.has);
+    ASSERT_TRUE(r.ciValid);
+    // fieldFull doubles round-trip bit-exactly.
+    EXPECT_EQ(r.mean, b.rows[0].bwStats.mean);
+    EXPECT_EQ(r.ci95, b.rows[0].bwStats.ci95);
+    EXPECT_EQ(r.batches, 16u);
+    EXPECT_EQ(r.batchSize, 8u);
+    const BenchStats &s = back.value().bwStats;
+    ASSERT_TRUE(s.has);
+    EXPECT_EQ(s.mean, b.bwStats.mean);
+}
+
+TEST(RegressStatistical, TrueDriftRegresses)
+{
+    BenchReport base = makeBaseline();
+    base.rows[0].bwStats = makeStats(8.0, 0.01, 16);
+    BenchReport cur = base;
+    // -0.3 on disjoint +-0.01 intervals, far beyond 0.5% of 8.0.
+    cur.rows[0].bwStats = makeStats(7.7, 0.01, 16);
+    cur.rows[0].bandwidth = 7.7;
+
+    RegressReport rep = compareBench(cur, base, RegressOptions{});
+    EXPECT_FALSE(rep.pass());
+    EXPECT_EQ(rep.statistical, 1u);
+    EXPECT_EQ(rep.lowPower, 0u);
+    const MetricDelta *d = bandwidthDelta(rep);
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->statistical);
+    EXPECT_EQ(d->verdict, MetricVerdict::Regress);
+    EXPECT_LT(d->welchT, -2.0);  // strongly significant drop
+    EXPECT_GT(d->welchDf, 1.0);
+}
+
+TEST(RegressStatistical, InCiJitterPasses)
+{
+    BenchReport base = makeBaseline();
+    base.rows[0].bwStats = makeStats(8.0, 0.01, 16);
+    BenchReport cur = base;
+    // +0.015 overlaps the +-0.01 intervals (sum 0.02), and the CIs
+    // are tight enough (0.02 < 0.5% of 8.0) that power is fine.
+    cur.rows[0].bwStats = makeStats(8.015, 0.01, 16);
+
+    RegressReport rep = compareBench(cur, base, RegressOptions{});
+    EXPECT_TRUE(rep.pass());
+    const MetricDelta *d = bandwidthDelta(rep);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->verdict, MetricVerdict::Pass);
+    EXPECT_EQ(rep.lowPower, 0u);
+}
+
+TEST(RegressStatistical, WideIntervalsWarnLowPower)
+{
+    BenchReport base = makeBaseline();
+    base.rows[0].bwStats = makeStats(8.0, 0.5, 16);
+    BenchReport cur = base;
+    // Overlapping but the +-0.5 intervals cannot see a 0.5% drift:
+    // the verdict is "cannot tell", typed, and never a failure.
+    cur.rows[0].bwStats = makeStats(7.8, 0.5, 16);
+    cur.rows[0].bandwidth = 7.8;
+
+    RegressReport rep = compareBench(cur, base, RegressOptions{});
+    EXPECT_TRUE(rep.pass());
+    EXPECT_EQ(rep.lowPower, 1u);
+    EXPECT_GE(rep.warnings, 1u);
+    const MetricDelta *d = bandwidthDelta(rep);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->verdict, MetricVerdict::LowPower);
+
+    // And the verdict renders with its own name.
+    EXPECT_NE(renderRegressTable(rep, false).find("lowPower"),
+              std::string::npos);
+}
+
+TEST(RegressStatistical, SignificantImprovementCounts)
+{
+    BenchReport base = makeBaseline();
+    base.rows[0].bwStats = makeStats(8.0, 0.01, 16);
+    BenchReport cur = base;
+    cur.rows[0].bwStats = makeStats(8.3, 0.01, 16);
+    cur.rows[0].bandwidth = 8.3;
+
+    RegressReport rep = compareBench(cur, base, RegressOptions{});
+    EXPECT_TRUE(rep.pass());
+    EXPECT_EQ(rep.improvements, 1u);
+    const MetricDelta *d = bandwidthDelta(rep);
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->improved);
+}
+
+TEST(RegressStatistical, CiLessBaselineKeepsLegacyThreshold)
+{
+    // Old baselines (BENCH_1.json vintage) carry no stats: the gate
+    // must keep the raw-threshold path, so checked-in history stays
+    // comparable without re-recording.
+    BenchReport base = makeBaseline();
+    BenchReport cur = base;
+    cur.rows[0].bwStats = makeStats(8.0, 0.01, 16);  // current only
+    cur.rows[0].bandwidth = 8.0 * 0.98;  // -2% on a +-0.5% gate
+
+    RegressReport rep = compareBench(cur, base, RegressOptions{});
+    EXPECT_FALSE(rep.pass());
+    EXPECT_EQ(rep.statistical, 0u);
+    const MetricDelta *d = bandwidthDelta(rep);
+    ASSERT_NE(d, nullptr);
+    EXPECT_FALSE(d->statistical);
+    EXPECT_EQ(d->verdict, MetricVerdict::Regress);
+
+    // insufficientData on either side (ciValid false) also falls
+    // back, even when the structs are present.
+    BenchReport base2 = makeBaseline();
+    base2.rows[0].bwStats = makeStats(8.0, 0.0, 16);
+    base2.rows[0].bwStats.ciValid = false;
+    RegressReport rep2 = compareBench(cur, base2, RegressOptions{});
+    EXPECT_EQ(rep2.statistical, 0u);
+}
+
+TEST(RegressStatistical, RecordStampsSamplingGeometry)
+{
+    BenchReport base = makeBaseline();
+    base.rows[0].bwStats = makeStats(8.0, 0.01, 16);
+    RegressReport rep = compareBench(base, base, RegressOptions{});
+    const std::string rec = renderBenchRecord(base, rep, "base.json");
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(rec, &doc, &err)) << err;
+    const JsonValue *from = doc.find("recordedFrom");
+    ASSERT_NE(from, nullptr);
+    EXPECT_EQ(from->find("intervalCycles")->asUint(), 1000u);
+    EXPECT_EQ(from->find("windows")->asUint(), 128u);
+    EXPECT_EQ(from->find("rows")->asUint(), 1u);
+    EXPECT_EQ(from->find("ciRows")->asUint(), 1u);
+    const JsonValue *cmp = doc.find("comparison");
+    ASSERT_NE(cmp, nullptr);
+    EXPECT_EQ(cmp->find("statistical")->asUint(), 1u);
+}

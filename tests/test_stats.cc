@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Tests for the streaming statistics layer (src/obs/stats): the
+ * Student-t table, the Welford/lag-1/batch-means estimator — with an
+ * empirical coverage check that the batch-means 95% CI actually
+ * covers ~95% on both i.i.d. and AR(1) series — the online phase
+ * detector and its exact-sum invariant, and the StatsLayer riding a
+ * synthetic IntervalSampler tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "common/interval_stats.hh"
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "obs/stats/phase_detect.hh"
+#include "obs/stats/stream_stats.hh"
+#include "obs/stats/stats_layer.hh"
+
+using namespace xbs;
+
+namespace
+{
+
+/** Fraction of @p reps seeded replications whose CI covers the true
+ *  mean. @p gen produces one series per call; invalid CIs (too few
+ *  batches) do not count against coverage but do shrink the sample,
+ *  so the test lengths are chosen to keep them rare. */
+template <typename Gen>
+double
+coverage(unsigned reps, double true_mean, Gen gen)
+{
+    unsigned covered = 0, valid = 0;
+    for (unsigned r = 0; r < reps; ++r) {
+        StreamStat st;
+        for (double x : gen(r))
+            st.push(x);
+        StreamStat::Ci95 ci = st.ci95();
+        if (!ci.valid)
+            continue;
+        ++valid;
+        if (std::fabs(st.mean() - true_mean) <= ci.halfWidth)
+            ++covered;
+    }
+    EXPECT_GT(valid, reps * 9 / 10);  // CIs must mostly materialize
+    return valid ? (double)covered / valid : 0.0;
+}
+
+std::vector<double>
+iidSeries(unsigned seed, std::size_t n)
+{
+    std::mt19937 rng(12345 + seed * 7919);
+    std::normal_distribution<double> dist(5.0, 1.0);
+    std::vector<double> xs(n);
+    for (double &x : xs)
+        x = dist(rng);
+    return xs;
+}
+
+std::vector<double>
+ar1Series(unsigned seed, std::size_t n, double phi)
+{
+    // x_t = phi*x_{t-1} + e_t shifted to mean 5; innovations scaled
+    // so the marginal variance is 1 regardless of phi.
+    std::mt19937 rng(54321 + seed * 104729);
+    std::normal_distribution<double> dist(0.0,
+                                          std::sqrt(1.0 - phi * phi));
+    std::vector<double> xs(n);
+    double x = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        x = phi * x + dist(rng);
+        xs[i] = 5.0 + x;
+    }
+    return xs;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------
+// tCritical95
+
+TEST(TCritical95, TableValues)
+{
+    EXPECT_NEAR(tCritical95(1), 12.706, 1e-3);
+    EXPECT_NEAR(tCritical95(2), 4.303, 1e-3);
+    EXPECT_NEAR(tCritical95(10), 2.228, 1e-3);
+    EXPECT_NEAR(tCritical95(30), 2.042, 1e-3);
+    EXPECT_NEAR(tCritical95(40), 2.021, 1e-3);
+    EXPECT_NEAR(tCritical95(120), 1.980, 1e-3);
+    EXPECT_NEAR(tCritical95(10000), 1.960, 1e-3);
+    // df 0 (one sample) must never look significant.
+    EXPECT_GT(tCritical95(0), 1e20);
+}
+
+TEST(TCritical95, MonotoneNonIncreasing)
+{
+    double prev = tCritical95(1);
+    for (uint64_t df = 2; df <= 200; ++df) {
+        const double t = tCritical95(df);
+        EXPECT_LE(t, prev + 1e-12) << "df=" << df;
+        prev = t;
+    }
+}
+
+// ---------------------------------------------------------------
+// StreamStat moments
+
+TEST(StreamStat, WelfordMatchesTwoPass)
+{
+    std::vector<double> xs = iidSeries(0, 257);
+    StreamStat st;
+    for (double x : xs)
+        st.push(x);
+
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    const double mean = sum / (double)xs.size();
+    double m2 = 0.0;
+    for (double x : xs)
+        m2 += (x - mean) * (x - mean);
+
+    EXPECT_EQ(st.count(), xs.size());
+    EXPECT_NEAR(st.mean(), mean, 1e-9);
+    EXPECT_NEAR(st.variance(), m2 / (double)(xs.size() - 1), 1e-9);
+    EXPECT_NEAR(st.lag1(), lag1Autocorr(xs), 1e-9);
+}
+
+TEST(StreamStat, Lag1DetectsCorrelationStructure)
+{
+    StreamStat pos, alt;
+    std::vector<double> xs = ar1Series(0, 4096, 0.8);
+    for (double x : xs)
+        pos.push(x);
+    for (int i = 0; i < 4096; ++i)
+        alt.push(i % 2 ? 1.0 : -1.0);
+    EXPECT_GT(pos.lag1(), 0.6);
+    EXPECT_LT(alt.lag1(), -0.9);
+}
+
+TEST(StreamStat, InsufficientDataOnShortSeries)
+{
+    StreamStat st;
+    for (int i = 0; i < 5; ++i)
+        st.push((double)i);
+    StreamStat::Ci95 ci = st.ci95();
+    EXPECT_FALSE(ci.valid);  // fewer than minBatches windows
+
+    // Constant series: enough batches, CI collapses to zero width.
+    StreamStat flat;
+    for (int i = 0; i < 64; ++i)
+        flat.push(3.0);
+    ci = flat.ci95();
+    ASSERT_TRUE(ci.valid);
+    EXPECT_NEAR(ci.halfWidth, 0.0, 1e-12);
+}
+
+TEST(StreamStat, BatchMeansWidensUnderAutocorrelation)
+{
+    // On a strongly autocorrelated series the naive i.i.d. interval
+    // is a lie (far too narrow); batch means must widen it.
+    StreamStat st;
+    for (double x : ar1Series(3, 8192, 0.9))
+        st.push(x);
+    StreamStat::Ci95 batch = st.ci95();
+    StreamStat::Ci95 naive = st.naiveCi95();
+    ASSERT_TRUE(batch.valid);
+    ASSERT_TRUE(naive.valid);
+    EXPECT_GT(batch.halfWidth, naive.halfWidth * 2.0);
+    EXPECT_GT(batch.batchSize, 1u);  // merging actually happened
+
+    // On an i.i.d. series the two should be the same scale.
+    StreamStat iid;
+    for (double x : iidSeries(3, 8192))
+        iid.push(x);
+    batch = iid.ci95();
+    naive = iid.naiveCi95();
+    ASSERT_TRUE(batch.valid);
+    EXPECT_LT(batch.halfWidth, naive.halfWidth * 3.0);
+}
+
+TEST(StreamStat, EmpiricalCoverageIid)
+{
+    const double cov = coverage(200, 5.0, [](unsigned r) {
+        return iidSeries(100 + r, 1024);
+    });
+    EXPECT_GE(cov, 0.90);
+    EXPECT_LE(cov, 0.99);
+}
+
+TEST(StreamStat, EmpiricalCoverageAr1)
+{
+    // The acceptance criterion: ~95% coverage on autocorrelated
+    // windows, which the naive interval would badly miss.
+    const double cov = coverage(200, 5.0, [](unsigned r) {
+        return ar1Series(300 + r, 4096, 0.7);
+    });
+    EXPECT_GE(cov, 0.90);
+    EXPECT_LE(cov, 0.99);
+
+    // Control: the naive i.i.d. interval under-covers on the same
+    // series — the whole reason batch means exist.
+    unsigned covered = 0;
+    for (unsigned r = 0; r < 200; ++r) {
+        StreamStat st;
+        for (double x : ar1Series(300 + r, 4096, 0.7))
+            st.push(x);
+        StreamStat::Ci95 ci = st.naiveCi95();
+        ASSERT_TRUE(ci.valid);
+        if (std::fabs(st.mean() - 5.0) <= ci.halfWidth)
+            ++covered;
+    }
+    EXPECT_LT((double)covered / 200.0, 0.85);
+}
+
+// ---------------------------------------------------------------
+// PhaseDetector
+
+namespace
+{
+
+/** Two clearly different 3-dim shapes plus a zero vector. */
+const std::vector<double> kShapeA{10.0, 1.0, 0.0};
+const std::vector<double> kShapeB{0.0, 1.0, 10.0};
+const std::vector<double> kZero{0.0, 0.0, 0.0};
+
+/** Feed @p n windows of @p shape starting at @p window. */
+int
+feed(PhaseDetector &det, const std::vector<double> &shape, unsigned n,
+     uint64_t *window)
+{
+    int last = -1;
+    for (unsigned i = 0; i < n; ++i)
+        last = det.observe(shape, (*window)++);
+    return last;
+}
+
+} // anonymous namespace
+
+TEST(PhaseDetector, SegmentsTwoPhases)
+{
+    PhaseDetector det;
+    uint64_t w = 0;
+    const int a = feed(det, kShapeA, 10, &w);
+    const int b = feed(det, kShapeB, 10, &w);
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    ASSERT_EQ(det.phases().size(), 2u);
+    EXPECT_EQ(det.phases()[0].firstWindow, 0u);
+    // Phase B's first window burned hysteresis-1 windows still
+    // counted into A.
+    EXPECT_GT(det.phases()[1].firstWindow, 9u);
+}
+
+TEST(PhaseDetector, HysteresisAbsorbsSingleOutlier)
+{
+    PhaseDetector det;  // hysteresis 2
+    uint64_t w = 0;
+    feed(det, kShapeA, 8, &w);
+    // One outlier window (a cold-miss burst) must not split a phase.
+    EXPECT_EQ(det.observe(kShapeB, w++), 0);
+    EXPECT_EQ(feed(det, kShapeA, 8, &w), 0);
+    EXPECT_EQ(det.phases().size(), 1u);
+}
+
+TEST(PhaseDetector, AbaReusesIds)
+{
+    PhaseDetector det;
+    uint64_t w = 0;
+    const int a1 = feed(det, kShapeA, 10, &w);
+    const int b = feed(det, kShapeB, 10, &w);
+    const int a2 = feed(det, kShapeA, 10, &w);
+    EXPECT_EQ(a1, a2);   // A-B-A keeps two IDs, not three
+    EXPECT_NE(a1, b);
+    EXPECT_EQ(det.phases().size(), 2u);
+}
+
+TEST(PhaseDetector, ExactSumInvariant)
+{
+    // Every observed window lands in exactly one phase: per-phase
+    // window counts sum to the total, whatever the input order.
+    PhaseDetector det;
+    uint64_t w = 0;
+    feed(det, kShapeA, 7, &w);
+    feed(det, kZero, 3, &w);   // idle windows assimilate silently
+    feed(det, kShapeB, 5, &w);
+    det.observe(kShapeA, w++);  // sub-hysteresis outlier
+    feed(det, kShapeB, 4, &w);
+    feed(det, kShapeA, 6, &w);
+
+    uint64_t sum = 0;
+    for (const PhaseDetector::Phase &p : det.phases())
+        sum += p.windows;
+    EXPECT_EQ(det.windowsObserved(), w);
+    EXPECT_EQ(sum, w);
+}
+
+TEST(PhaseDetector, ZeroWindowsDoNotPerturbMean)
+{
+    PhaseDetector det;
+    uint64_t w = 0;
+    feed(det, kShapeA, 6, &w);
+    const std::vector<double> before = det.phases()[0].mean;
+    EXPECT_EQ(feed(det, kZero, 4, &w), 0);
+    EXPECT_EQ(det.phases()[0].mean, before);
+    EXPECT_EQ(det.phases()[0].windows, 10u);
+}
+
+TEST(PhaseDetector, ScaleInvariance)
+{
+    // The same shape at 10x the volume is the same phase: the
+    // detector segments on shares, not magnitudes.
+    PhaseDetector det;
+    uint64_t w = 0;
+    feed(det, kShapeA, 6, &w);
+    std::vector<double> scaled = kShapeA;
+    for (double &x : scaled)
+        x *= 10.0;
+    EXPECT_EQ(feed(det, scaled, 6, &w), 0);
+    EXPECT_EQ(det.phases().size(), 1u);
+}
+
+// ---------------------------------------------------------------
+// StatsLayer over a synthetic sampled tree
+
+TEST(StatsLayer, PhaseFieldAndExactSumOverSampler)
+{
+    // A synthetic tree with two attrib counters lets us drive phase
+    // changes deterministically: phase 1 charges cause A, phase 2
+    // charges cause B.
+    StatGroup root("fe");
+    StatGroup attrib("attrib", &root);
+    StatGroup uops("uops", &attrib);
+    ScalarStat a(&uops, "condMispredict", "cause A");
+    ScalarStat b(&uops, "l2Miss", "cause B");
+
+    std::ostringstream os;
+    IntervalSampler sampler(root, /*interval=*/100);
+    sampler.setOutput(&os);
+    StatsLayer layer(sampler);
+
+    unsigned changes = 0;
+    layer.setPhaseCallback(
+        [&](int, uint64_t) { ++changes; });
+
+    uint64_t cycle = 0;
+    for (int window = 0; window < 20; ++window) {
+        if (window < 10)
+            a += 50;
+        else
+            b += 50;
+        cycle += 100;
+        sampler.tick(cycle);
+    }
+    sampler.finish(cycle);
+
+    EXPECT_EQ(layer.windows(), 20u);
+    EXPECT_GE(changes, 2u);  // initial phase + the A->B change
+
+    // Every emitted line carries a phase ID, and the per-phase
+    // counts reconstructed from the stream match the phase table.
+    std::map<int, uint64_t> per_phase;
+    std::istringstream lines(os.str());
+    std::string line;
+    uint64_t windows = 0;
+    while (std::getline(lines, line)) {
+        JsonValue doc;
+        std::string err;
+        ASSERT_TRUE(parseJson(line, &doc, &err)) << err;
+        const JsonValue *phase = doc.find("phase");
+        ASSERT_NE(phase, nullptr) << line;
+        ++per_phase[(int)phase->asUint()];
+        ++windows;
+    }
+    EXPECT_EQ(windows, 20u);
+    EXPECT_EQ(per_phase.size(), layer.detector().phases().size());
+    uint64_t sum = 0;
+    for (const PhaseDetector::Phase &p : layer.detector().phases()) {
+        EXPECT_EQ(per_phase[p.id], p.windows);
+        sum += p.windows;
+    }
+    EXPECT_EQ(sum, windows);  // the exact-sum invariant, end to end
+}
+
+TEST(StatsLayer, StatsJsonShape)
+{
+    StatGroup root("fe");
+    StatGroup attrib("attrib", &root);
+    StatGroup uops("uops", &attrib);
+    ScalarStat a(&uops, "condMispredict", "cause A");
+
+    IntervalSampler sampler(root, 100);  // no output stream: hook only
+    StatsLayer layer(sampler);
+    uint64_t cycle = 0;
+    for (int i = 0; i < 96; ++i) {
+        a += 10 + (i % 3);
+        cycle += 100;
+        sampler.tick(cycle);
+    }
+    sampler.finish(cycle);
+
+    std::ostringstream os;
+    {
+        JsonWriter jw(os, /*pretty=*/false);
+        jw.beginObject();
+        layer.writeStatsJson(jw);
+        layer.writePhasesJson(jw);
+        jw.endObject();
+    }
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(os.str(), &doc, &err)) << err;
+    const JsonValue *stats = doc.find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->find("windows")->asUint(), 96u);
+    EXPECT_EQ(stats->find("windowCycles")->asUint(), 100u);
+    const JsonValue *bw = stats->find("bandwidth");
+    ASSERT_NE(bw, nullptr);
+    EXPECT_NE(bw->find("mean"), nullptr);
+    EXPECT_NE(bw->find("lag1"), nullptr);
+    const JsonValue *cause = stats->find("attrib.uops.condMispredict");
+    ASSERT_NE(cause, nullptr);
+    EXPECT_GT(cause->find("mean")->asNumber(), 9.0);
+    const JsonValue *phases = doc.find("phases");
+    ASSERT_NE(phases, nullptr);
+    ASSERT_TRUE(phases->isArray());
+    EXPECT_GE(phases->items.size(), 1u);
+}

@@ -7,7 +7,9 @@ required, items, enum, additionalProperties (schema form), minimum.
 Unknown keywords are ignored, so the checked-in schemas stay readable
 by full validators too.
 
-Usage: validate_schema.py SCHEMA.json DOC.json
+Usage: validate_schema.py [--jsonl] SCHEMA.json DOC.json
+With --jsonl, DOC is a JSON-Lines stream and every non-empty line is
+validated against the schema independently (interval streams).
 Exit: 0 valid, 1 invalid or unreadable.
 """
 
@@ -77,26 +79,53 @@ def validate(schema, value, path, errors):
 
 
 def main(argv):
-    if len(argv) != 3:
-        print("usage: validate_schema.py SCHEMA.json DOC.json",
-              file=sys.stderr)
+    jsonl = False
+    args = argv[1:]
+    if args and args[0] == "--jsonl":
+        jsonl = True
+        args = args[1:]
+    if len(args) != 2:
+        print("usage: validate_schema.py [--jsonl] SCHEMA.json "
+              "DOC.json", file=sys.stderr)
         return 1
+    schema_path, doc_path = args
     try:
-        with open(argv[1]) as f:
+        with open(schema_path) as f:
             schema = json.load(f)
-        with open(argv[2]) as f:
-            doc = json.load(f)
+        with open(doc_path) as f:
+            text = f.read()
     except (OSError, ValueError) as e:
         print("validate_schema: %s" % e, file=sys.stderr)
         return 1
 
     errors = []
-    validate(schema, doc, "$", errors)
+    if jsonl:
+        lines = 0
+        for i, line in enumerate(text.splitlines(), 1):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError as e:
+                errors.append("line %d: %s" % (i, e))
+                continue
+            lines += 1
+            validate(schema, doc, "line %d $" % i, errors)
+        if lines == 0 and not errors:
+            errors.append("no JSON lines found")
+    else:
+        try:
+            doc = json.loads(text)
+        except ValueError as e:
+            print("validate_schema: %s" % e, file=sys.stderr)
+            return 1
+        validate(schema, doc, "$", errors)
+
     for err in errors:
-        print("validate_schema: %s: %s" % (argv[2], err),
+        print("validate_schema: %s: %s" % (doc_path, err),
               file=sys.stderr)
     if not errors:
-        print("%s: valid against %s" % (argv[2], argv[1]))
+        print("%s: valid against %s" % (doc_path, schema_path))
     return 1 if errors else 0
 
 

@@ -43,6 +43,19 @@ using namespace xbs;
 namespace
 {
 
+/** One detected execution phase (xbsim --stats single-doc input):
+ *  the src/obs/stats phase table entry, whose mean vector is the
+ *  L1-normalized per-window attrib-delta shape — i.e. per-phase loss
+ *  shares, directly rankable as a top-loss table. */
+struct UnitPhase
+{
+    int64_t id = 0;
+    uint64_t windows = 0;
+    uint64_t firstWindow = 0;
+    uint64_t representative = 0;
+    std::vector<std::pair<std::string, double>> share;
+};
+
 /** One attributed run: a single xbsim invocation or one sweep job. */
 struct Unit
 {
@@ -56,6 +69,7 @@ struct Unit
     double hostCacheMpki = 0.0;
     double hostBranchMissRate = 0.0;
     /// @}
+    std::vector<UnitPhase> phases;  ///< empty: input had no phases[]
 };
 
 /** Fill a unit's host-perf fields from a job/run "perf" object
@@ -177,6 +191,25 @@ extractUnits(const std::string &path, std::vector<Unit> *units)
     u.id = unitLabel(frontend, workload, capacity, 0);
     if (const JsonValue *pf = doc.find("perf"); pf && pf->isObject())
         extractUnitPerf(*pf, &u);
+    if (const JsonValue *ph = doc.find("phases"); ph && ph->isArray()) {
+        for (const JsonValue &p : ph->items) {
+            UnitPhase phase;
+            if (const JsonValue *v = p.find("id"))
+                phase.id = (int64_t)v->asUint();
+            if (const JsonValue *v = p.find("windows"))
+                phase.windows = v->asUint();
+            if (const JsonValue *v = p.find("firstWindow"))
+                phase.firstWindow = v->asUint();
+            if (const JsonValue *v = p.find("representative"))
+                phase.representative = v->asUint();
+            if (const JsonValue *m = p.find("mean");
+                m && m->isObject()) {
+                for (const auto &[key, val] : m->members)
+                    phase.share.emplace_back(key, val.asNumber());
+            }
+            u.phases.push_back(std::move(phase));
+        }
+    }
     units->push_back(std::move(u));
     return kExitOk;
 }
@@ -265,6 +298,31 @@ printTopLoss(const Unit &u, unsigned top)
     };
     render("buildUops", u.attrib.uops, u.attrib.buildUops);
     render("silentCycles", u.attrib.cycles, u.attrib.silentCycles);
+    // Per-phase loss shares: where the activity went while the run
+    // was *in* that phase, not averaged across the whole run.
+    for (const UnitPhase &phase : u.phases) {
+        std::printf("  phase P%lld: %llu window%s "
+                    "(first %llu, representative %llu)\n",
+                    (long long)phase.id,
+                    (unsigned long long)phase.windows,
+                    phase.windows == 1 ? "" : "s",
+                    (unsigned long long)phase.firstWindow,
+                    (unsigned long long)phase.representative);
+        auto sorted = phase.share;
+        std::stable_sort(sorted.begin(), sorted.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.second > b.second;
+                         });
+        TextTable table({"cause", "share"});
+        unsigned shown = 0;
+        for (const auto &[name, val] : sorted) {
+            if (shown++ >= top || val <= 0.0)
+                break;
+            table.addRow({name, TextTable::pct(val)});
+        }
+        if (table.numRows() > 0)
+            std::fputs(table.render().c_str(), stdout);
+    }
     std::printf("\n");
 }
 
@@ -330,6 +388,22 @@ writeExplainJson(const std::string &path, const std::string &mode,
             jw.field("cacheMpki", u.hostCacheMpki);
             jw.field("branchMissRate", u.hostBranchMissRate);
             jw.endObject();
+        }
+        if (!u.phases.empty()) {
+            jw.beginArray("phases");
+            for (const UnitPhase &phase : u.phases) {
+                jw.beginObject();
+                jw.field("id", (int64_t)phase.id);
+                jw.field("windows", phase.windows);
+                jw.field("firstWindow", phase.firstWindow);
+                jw.field("representative", phase.representative);
+                jw.beginObject("share");
+                for (const auto &[name, val] : phase.share)
+                    jw.field(name, val);
+                jw.endObject();
+                jw.endObject();
+            }
+            jw.endArray();
         }
         writeAttribRollup(jw, u.attrib);
         jw.endObject();

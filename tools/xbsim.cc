@@ -16,6 +16,7 @@
  */
 
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -31,6 +32,7 @@
 #include "common/signals.hh"
 #include "common/status.hh"
 #include "obs/heartbeat.hh"
+#include "obs/stats/stats_layer.hh"
 #include "prof/build_info.hh"
 #include "prof/host_counters.hh"
 #include "prof/phase_profiler.hh"
@@ -142,7 +144,12 @@ main(int argc, char **argv)
     args.addBool("path-assoc", &path_assoc,
                  "path-associative trace cache (tc)");
     args.addBool("json", &json, "emit results as JSON");
-    args.addBool("stats", &stats, "dump the full statistics tree");
+    args.addBool("stats", &stats,
+                 "dump the full statistics tree plus streaming "
+                 "interval statistics (mean/variance/lag-1/95% CI "
+                 "per metric, workload phases); implies a default "
+                 "10000-cycle interval sampler when --interval-stats "
+                 "is off");
     args.addBool("list-workloads", &list, "list the catalog and exit");
     args.addString("trace-events", &trace_events,
                    "write a Chrome/Perfetto trace-event JSON file");
@@ -311,6 +318,37 @@ main(int argc, char **argv)
             xbs_fatal("cannot open '%s'", interval_out.c_str());
         sampler->setOutput(&interval_os);
         fe->attachSampler(sampler.get());
+    } else if (stats) {
+        // --stats without --interval-stats still wants the streaming
+        // estimators: sample on a default window with no JSONL
+        // output (the sampler then only feeds the stats layer).
+        sampler = std::make_unique<IntervalSampler>(fe->statRoot(),
+                                                    10000);
+        fe->attachSampler(sampler.get());
+    }
+
+    // Streaming statistics (src/obs/stats) ride every sampler:
+    // per-metric mean/variance/lag-1/batch-means CI plus online
+    // phase segmentation. A pure observer — paper metrics are
+    // byte-identical with or without it. The phase id is mirrored
+    // into the heartbeat and, as a slice track, into the event
+    // trace.
+    std::unique_ptr<StatsLayer> stats_layer;
+    ProbePoint phase_probe(&fe->probes(), "stats", "phase");
+    std::deque<std::string> phase_labels;  // stable label addresses
+    bool phase_slice_open = false;
+    if (sampler) {
+        stats_layer = std::make_unique<StatsLayer>(*sampler);
+        stats_layer->setPhaseCallback([&](int phase, uint64_t window) {
+            (void)window;
+            if (phase_slice_open)
+                phase_probe.end();
+            phase_labels.push_back("phase-" + std::to_string(phase));
+            phase_probe.begin(phase_labels.back().c_str());
+            phase_slice_open = true;
+            if (heartbeat)
+                heartbeat->setStatsPhase(phase);
+        });
     }
 
     std::optional<Trace> trace_opt;
@@ -563,6 +601,8 @@ main(int argc, char **argv)
     }
 
     fe->finishObservation();
+    if (phase_slice_open)
+        phase_probe.end();
     if (auditor)
         auditor->finishRun(*fe);
 
@@ -687,6 +727,10 @@ main(int argc, char **argv)
             jw.field("injections", injector->injections());
         if (stats)
             fe->statRoot().dumpJson(jw, /*as_member=*/true);
+        if (stats_layer) {
+            stats_layer->writeStatsJson(jw);
+            stats_layer->writePhasesJson(jw);
+        }
         jw.endObject();
         if (auditor && !auditor->ok())
             auditor->report(std::cerr);
@@ -741,6 +785,8 @@ main(int argc, char **argv)
             auditor->report(std::cout);
         if (stats)
             fe->statRoot().dump(std::cout);
+        if (stats && stats_layer)
+            stats_layer->writeText(std::cout);
     }
     if (heartbeat) {
         heartbeat->setPhase("done");

@@ -37,6 +37,7 @@
 #include "common/signals.hh"
 #include "common/table.hh"
 #include "obs/heartbeat.hh"
+#include "obs/stats/stream_stats.hh"
 
 using namespace xbs;
 
@@ -82,6 +83,14 @@ struct Snapshot
     uint64_t estTotalUops = 0;
     double uopsPerSec = 0.0;
     double etaSeconds = -1.0;  ///< negative: unknown
+    /// @{ Filled by the refresh loop, not takeSnapshot: EWMA-smoothed
+    ///    aggregate rate (first sample: the raw rate), the ETA derived
+    ///    from it, and a t-interval over the raw rate samples seen so
+    ///    far this viewing session (0 until two refreshes).
+    double uopsPerSecSmoothed = 0.0;
+    double etaSecondsSmoothed = -1.0;
+    double uopsPerSecCi95 = 0.0;
+    /// @}
 };
 
 /**
@@ -218,8 +227,10 @@ writeSnapshotJson(std::ostream &os, const std::string &dir,
     // Version 3: per-job "restoredFrom" (warm starts) and the
     // "restore" heartbeat phase. Version 4: per-job host perf
     // counters (hostIpc/hostCacheMpki/hostBranchMissRate) for jobs
-    // that ran --perf with counters available.
-    jw.field("version", (uint64_t)4);
+    // that ran --perf with counters available. Version 5: EWMA-
+    // smoothed rate/ETA alongside the raw ones, a t-interval on the
+    // rate samples, and per-job statsPhase (src/obs/stats phase ID).
+    jw.field("version", (uint64_t)5);
     jw.field("dir", dir);
     jw.field("service", !snap.hasManifest);
     jw.field("workers", (uint64_t)snap.manifest.workers);
@@ -245,6 +256,9 @@ writeSnapshotJson(std::ostream &os, const std::string &dir,
                           : 0.0);
     jw.field("uopsPerSec", snap.uopsPerSec);
     jw.field("etaSeconds", snap.etaSeconds);
+    jw.field("uopsPerSecSmoothed", snap.uopsPerSecSmoothed);
+    jw.field("etaSecondsSmoothed", snap.etaSecondsSmoothed);
+    jw.field("uopsPerSecCi95", snap.uopsPerSecCi95);
     jw.endObject();
     jw.beginArray("perJob");
     for (const JobView &view : snap.jobs) {
@@ -263,6 +277,8 @@ writeSnapshotJson(std::ostream &os, const std::string &dir,
             jw.field("rssKb", view.hb.rssKb);
             jw.field("heartbeatSeq", view.hb.seq);
             jw.field("ageSeconds", view.hbAge);
+            if (view.hb.statsPhase >= 0)
+                jw.field("statsPhase", (int64_t)view.hb.statsPhase);
             if (!view.hb.restoredFrom.empty())
                 jw.field("restoredFrom", view.hb.restoredFrom);
         }
@@ -299,14 +315,18 @@ renderTable(std::ostream &os, const std::string &dir,
              << TextTable::pct((double)snap.progressUops /
                                (double)snap.estTotalUops)
              << " of ~" << snap.estTotalUops << " uops";
-        if (snap.uopsPerSec > 0.0) {
+        if (snap.uopsPerSecSmoothed > 0.0) {
             head << " at "
-                 << TextTable::num(snap.uopsPerSec / 1e6, 2)
+                 << TextTable::num(snap.uopsPerSecSmoothed / 1e6, 2)
                  << " Muops/s";
+            if (snap.uopsPerSecCi95 > 0.0) {
+                head << " +-"
+                     << TextTable::num(snap.uopsPerSecCi95 / 1e6, 2);
+            }
         }
-        if (snap.etaSeconds >= 0.0) {
+        if (snap.etaSecondsSmoothed >= 0.0) {
             head << ", ETA "
-                 << TextTable::num(snap.etaSeconds, 0) << "s";
+                 << TextTable::num(snap.etaSecondsSmoothed, 0) << "s";
         }
         head << "\n";
     }
@@ -319,8 +339,8 @@ renderTable(std::ostream &os, const std::string &dir,
         any_perf = any_perf || view.rec->hasPerf;
 
     std::vector<std::string> header{"job", "label", "state", "att",
-                                    "phase", "uops", "rate", "rss",
-                                    "beat"};
+                                    "phase", "sPh", "uops", "rate",
+                                    "rss", "beat"};
     if (any_perf) {
         header.push_back("hIPC");
         header.push_back("hMPKI");
@@ -339,12 +359,17 @@ renderTable(std::ostream &os, const std::string &dir,
         row.push_back(std::to_string(rec.attempts));
         if (view.hasHb && !rec.done) {
             row.push_back(view.hb.phase);
+            row.push_back(view.hb.statsPhase >= 0
+                              ? "P" + std::to_string(
+                                          view.hb.statsPhase)
+                              : "-");
             row.push_back(std::to_string(view.hb.uops));
             row.push_back(
                 TextTable::num(view.hb.uopsPerSec / 1e6, 2) + "M/s");
             row.push_back(std::to_string(view.hb.rssKb) + "K");
             row.push_back(TextTable::num(view.hbAge, 1) + "s");
         } else {
+            row.push_back("-");
             row.push_back("-");
             row.push_back(rec.done && rec.hasMetrics
                               ? std::to_string(
@@ -404,12 +429,38 @@ main(int argc, char **argv)
         refresh = 0.1;
 
     installStopHandlers(&g_stop);
+    // Refresh-to-refresh state: an EWMA over the aggregate rate (so
+    // the ETA stops whipsawing with scheduler noise) and a StreamStat
+    // over the raw samples for a +-CI on the displayed throughput.
+    // With --once there is one sample: smoothed == raw, no CI.
+    constexpr double kRateAlpha = 0.3;
+    double rate_ewma = -1.0;
+    StreamStat rate_stat;
     for (;;) {
         Expected<Snapshot> snap = takeSnapshot(dir);
         if (!snap.ok()) {
             std::fprintf(stderr, "xbtop: %s\n",
                          snap.status().toString().c_str());
             return 1;
+        }
+        {
+            Snapshot &s = snap.value();
+            if (s.uopsPerSec > 0.0) {
+                rate_ewma = rate_ewma < 0.0
+                                ? s.uopsPerSec
+                                : kRateAlpha * s.uopsPerSec +
+                                      (1.0 - kRateAlpha) * rate_ewma;
+                rate_stat.push(s.uopsPerSec);
+            }
+            s.uopsPerSecSmoothed = rate_ewma < 0.0 ? 0.0 : rate_ewma;
+            if (s.estTotalUops > s.progressUops &&
+                s.uopsPerSecSmoothed > 0.0) {
+                s.etaSecondsSmoothed =
+                    (double)(s.estTotalUops - s.progressUops) /
+                    s.uopsPerSecSmoothed;
+            }
+            if (StreamStat::Ci95 ci = rate_stat.naiveCi95(); ci.valid)
+                s.uopsPerSecCi95 = ci.halfWidth;
         }
         if (json) {
             writeSnapshotJson(std::cout, dir, snap.value());
